@@ -1,0 +1,48 @@
+//! A3 (ablation): annealer schedule sweep — solution quality vs. num_reads
+//! and sweeps on the paper's C4 instance and a larger random graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{expected_cut, run_anneal};
+use qml_core::graph::{brute_force, cycle, random_gnp, Graph};
+use qml_core::prelude::*;
+
+fn job(graph: &Graph, reads: u64, sweeps: u64) -> JobBundle {
+    let mut cfg = AnnealConfig::with_reads(reads);
+    cfg.num_sweeps = Some(sweeps);
+    cfg.seed = Some(42);
+    maxcut_ising_program(graph)
+        .unwrap()
+        .with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", cfg))
+}
+
+fn bench(c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![("C4", cycle(4)), ("G(12,0.3)", random_gnp(12, 0.3, 9))];
+    println!("[anneal] graph, reads, sweeps -> expected cut (optimum), ground-state probability");
+    for (name, graph) in &instances {
+        let optimum = brute_force(graph).value;
+        for &reads in &[10u64, 100, 1000] {
+            for &sweeps in &[10u64, 100, 1000] {
+                let result = run_anneal(&job(graph, reads, sweeps));
+                let stats = result.energy_stats.unwrap();
+                println!(
+                    "[anneal]   {name:>9}, reads = {reads:>4}, sweeps = {sweeps:>4}: cut = {:.2} (opt {optimum:.1}), P(ground) = {:.2}",
+                    expected_cut(graph, &result),
+                    stats.ground_state_probability
+                );
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_anneal_schedule");
+    group.sample_size(10);
+    let graph = random_gnp(12, 0.3, 9);
+    for &sweeps in &[10u64, 100, 1000] {
+        group.bench_function(format!("g12_100_reads_{sweeps}_sweeps"), |b| {
+            b.iter(|| run_anneal(&job(&graph, 100, sweeps)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! A1 (ablation): cost-hint accuracy — descriptor-level cost hints vs. the
+//! transpiled reality across QFT widths and optimization levels (the paper's
+//! Listing 3 quotes "roughly 45 two-qubit gates and depth near 100" for the
+//! 10-qubit QFT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_core::prelude::*;
+use qml_core::backends::{Backend, GateBackend};
+
+fn run(width: usize, level: u8) -> (u64, u64, usize, usize) {
+    let bundle = qft_program(width, QftParams::default()).unwrap();
+    let hint = bundle.operators[0].cost_hint.unwrap();
+    let job = bundle.with_context(ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(128)
+            .with_seed(42)
+            .with_target(Target::linear(width))
+            .with_optimization_level(level),
+    ));
+    let result = GateBackend::new().execute(&job).unwrap();
+    let metrics = result.gate_metrics.unwrap();
+    (
+        hint.twoq.unwrap_or(0),
+        hint.depth.unwrap_or(0),
+        metrics.two_qubit_gates,
+        metrics.depth,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    println!("[cost-hints] width, opt-level -> hint(twoq, depth) vs realized(twoq, depth)");
+    for width in [4usize, 6, 8, 10, 12] {
+        for level in [0u8, 2] {
+            let (h2, hd, r2, rd) = run(width, level);
+            println!("[cost-hints]   n = {width:>2}, O{level}: hint = ({h2:>4}, {hd:>4}), realized = ({r2:>4}, {rd:>4})");
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_cost_hints");
+    group.sample_size(10);
+    for level in [0u8, 1, 2, 3] {
+        group.bench_function(format!("qft10_linear_O{level}"), |b| b.iter(|| run(10, level)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! A2 (ablation): QAOA depth/quality sweep — expected cut vs. number of
+//! layers p on several graph families, against the classical baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{expected_cut, gate_context, run_gate};
+use qml_core::graph::{brute_force, complete, cycle, random_gnp, Graph};
+use qml_core::prelude::*;
+
+fn run_qaoa(graph: &Graph, layers: usize, samples: u64) -> f64 {
+    let schedule = QaoaSchedule::Fixed(vec![RING_P1_ANGLES; layers]);
+    let job = qaoa_maxcut_program(graph, &schedule)
+        .unwrap()
+        .with_context(gate_context(samples, graph.num_nodes()));
+    expected_cut(graph, &run_gate(&job))
+}
+
+fn bench(c: &mut Criterion) {
+    let instances: Vec<(&str, Graph)> = vec![
+        ("C4", cycle(4)),
+        ("C6", cycle(6)),
+        ("K4", complete(4)),
+        ("G(8,0.5)", random_gnp(8, 0.5, 7)),
+    ];
+    println!("[qaoa-layers] graph: optimum | expected cut at p = 1..3 (fixed ring angles)");
+    for (name, graph) in &instances {
+        let optimum = brute_force(graph).value;
+        let cuts: Vec<String> = (1..=3)
+            .map(|p| format!("{:.2}", run_qaoa(graph, p, 1024)))
+            .collect();
+        println!("[qaoa-layers]   {name:>9}: opt = {optimum:.1} | {}", cuts.join(", "));
+    }
+
+    let mut group = c.benchmark_group("ablation_qaoa_layers");
+    group.sample_size(10);
+    for p in 1..=3usize {
+        let graph = cycle(6);
+        group.bench_function(format!("c6_p{p}_1024_shots"), |b| {
+            b.iter(|| run_qaoa(&graph, p, 1024))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! A5 (ablation): state-vector scaling — simulator wall-clock vs. width for
+//! the QFT workload (kernels switch to rayon parallelism above 2^14
+//! amplitudes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_core::sim::{qft_circuit, Simulator};
+
+fn run(width: usize) -> u64 {
+    let mut qc = qft_circuit(width, 0, true, false);
+    qc.measure_all();
+    Simulator::new().run(&qc, 256, 42).counts.values().sum()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("[sim-scaling] widths 10..=18, 256 shots each (PARALLEL_THRESHOLD = 2^14 amplitudes)");
+    let mut group = c.benchmark_group("ablation_sim_scaling");
+    group.sample_size(10);
+    for width in [10usize, 12, 14, 16, 18] {
+        group.bench_function(format!("qft{width}_statevector_256_shots"), |b| {
+            b.iter(|| run(width))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E3 (§5 claim): with tuned p = 1 angles the gate path's expected cut over
+//! all returned bitstrings is ≈ 3.0–3.2, and both backends return the optimal
+//! assignments 1010 / 0101 (cut = 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{expected_cut, fig3_job, qaoa_grid_search, run_anneal};
+use qml_core::graph::cycle;
+
+fn bench(c: &mut Criterion) {
+    let graph = cycle(4);
+    let (gamma, beta, best) = qaoa_grid_search(&graph, 16, 2048);
+    println!(
+        "[claim] best p=1 angles: gamma = {gamma:.3}, beta = {beta:.3} -> expected cut = {best:.2} (paper: ~3.0-3.2)"
+    );
+    let anneal = run_anneal(&fig3_job(1000));
+    println!(
+        "[claim] anneal path expected cut = {:.2}, P(optimal) = {:.2}",
+        expected_cut(&graph, &anneal),
+        anneal.probability("1010") + anneal.probability("0101")
+    );
+
+    let mut group = c.benchmark_group("claim_expected_cut");
+    group.sample_size(10);
+    group.bench_function("qaoa_angle_grid_8x8_512_shots", |b| {
+        b.iter(|| qaoa_grid_search(&graph, 8, 512))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

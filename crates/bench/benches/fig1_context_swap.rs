@@ -1,0 +1,41 @@
+//! E6 (Fig. 1 / §4): architecture claim — the same typed intent re-targets to
+//! a different backend by swapping only the context; the runtime's scheduler
+//! places each job from its context / cost hints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{anneal_context, expected_cut, gate_context};
+use qml_core::graph::cycle;
+use qml_core::prelude::*;
+
+fn run_both() -> (f64, f64) {
+    let graph = cycle(4);
+    let runtime = Runtime::with_default_backends();
+    let gate_id = runtime
+        .submit(
+            qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+                .unwrap()
+                .with_context(gate_context(1024, 4)),
+        )
+        .unwrap();
+    let anneal_id = runtime
+        .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_context(500)))
+        .unwrap();
+    runtime.run_all(2);
+    (
+        expected_cut(&graph, &runtime.result(gate_id).unwrap()),
+        expected_cut(&graph, &runtime.result(anneal_id).unwrap()),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let (gate_cut, anneal_cut) = run_both();
+    println!("[fig1] same intent, swapped context: gate expected cut = {gate_cut:.2}, anneal expected cut = {anneal_cut:.2}");
+
+    let mut group = c.benchmark_group("fig1_context_swap");
+    group.sample_size(10);
+    group.bench_function("schedule_and_run_both_paths", |b| b.iter(run_both));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

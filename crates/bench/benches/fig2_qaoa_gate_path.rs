@@ -1,0 +1,32 @@
+//! E1 (Fig. 2): the Max-Cut QAOA gate path — descriptor stack → ring-coupled
+//! transpilation → state-vector sampling → schema decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{expected_cut, fig2_job, run_gate};
+use qml_core::graph::cycle;
+
+fn bench(c: &mut Criterion) {
+    let graph = cycle(4);
+    let job = fig2_job(4096);
+    let result = run_gate(&job);
+    println!("[fig2] engine = {}, shots = {}", result.engine, result.shots);
+    println!(
+        "[fig2] P(1010) = {:.3}, P(0101) = {:.3}, expected cut = {:.2} (paper: optimal cuts 1010/0101, expected cut ~3.0-3.2 with tuned angles)",
+        result.probability("1010"),
+        result.probability("0101"),
+        expected_cut(&graph, &result)
+    );
+    let metrics = result.gate_metrics.unwrap();
+    println!(
+        "[fig2] transpiled: {} gates, {} two-qubit, depth {}",
+        metrics.total_gates, metrics.two_qubit_gates, metrics.depth
+    );
+
+    let mut group = c.benchmark_group("fig2_qaoa_gate_path");
+    group.sample_size(20);
+    group.bench_function("qaoa_c4_4096_shots", |b| b.iter(|| run_gate(&job)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

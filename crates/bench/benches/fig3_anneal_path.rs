@@ -1,0 +1,31 @@
+//! E2 (Fig. 3): the Max-Cut annealing path — single ISING_PROBLEM descriptor
+//! → BQM → Metropolis simulated annealing → schema decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{expected_cut, fig3_job, run_anneal};
+use qml_core::graph::cycle;
+
+fn bench(c: &mut Criterion) {
+    let graph = cycle(4);
+    let job = fig3_job(1000);
+    let result = run_anneal(&job);
+    let stats = result.energy_stats.unwrap();
+    println!(
+        "[fig3] reads = {}, lowest energy = {}, ground-state probability = {:.2}",
+        result.shots, stats.min_energy, stats.ground_state_probability
+    );
+    println!(
+        "[fig3] P(1010) = {:.3}, P(0101) = {:.3}, expected cut = {:.2} (paper: both backends return 1010/0101, cut = 4)",
+        result.probability("1010"),
+        result.probability("0101"),
+        expected_cut(&graph, &result)
+    );
+
+    let mut group = c.benchmark_group("fig3_anneal_path");
+    group.sample_size(20);
+    group.bench_function("ising_c4_1000_reads", |b| b.iter(|| run_anneal(&job)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 (Listing 1 / §2): the 10-qubit QFT motivational example expressed
+//! through the middle layer — 10 000 shots, basis [sx, rz, cx], linear
+//! coupling map, optimization level 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{listing1_job, run_gate};
+
+fn bench(c: &mut Criterion) {
+    let job = listing1_job(10_000);
+    let result = run_gate(&job);
+    let metrics = result.gate_metrics.unwrap();
+    println!(
+        "[listing1] shots = {}, distinct outcomes = {}, transpiled twoq = {}, depth = {}, swaps = {}",
+        result.shots,
+        result.counts.len(),
+        metrics.two_qubit_gates,
+        metrics.depth,
+        metrics.swaps_inserted
+    );
+    println!("[listing1] descriptor cost hint: twoq ~ 45 controlled phases (paper Listing 3: twoq 45, depth 100)");
+
+    let mut group = c.benchmark_group("listing1_qft_middle_layer");
+    group.sample_size(10);
+    group.bench_function("qft10_linear_10000_shots", |b| b.iter(|| run_gate(&job)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

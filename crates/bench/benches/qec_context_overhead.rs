@@ -1,0 +1,50 @@
+//! E7 (Listing 5 / §4.3.2): the QEC context changes resource estimates, not
+//! semantics. Reports physical-qubit and syndrome-round overhead per distance
+//! and benchmarks the orthogonal QEC service plus the repetition-code
+//! Monte-Carlo demonstrator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_bench::{fig2_job, run_gate};
+use qml_core::qec::{QecService, RepetitionCode};
+use qml_core::types::QecConfig;
+
+fn bench(c: &mut Criterion) {
+    println!("[qec] distance -> physical qubits/logical, logical error rate (p = 1e-3)");
+    for d in [3usize, 5, 7, 9, 11] {
+        let service = QecService::from_config(&QecConfig::surface(d)).unwrap();
+        println!(
+            "[qec]   d = {:>2}: {:>4} physical/logical, p_L = {:.3e}",
+            d,
+            service.physical_qubits_per_logical(),
+            service.logical_error_rate()
+        );
+    }
+    let base = run_gate(&fig2_job(1024));
+    let with_qec = run_gate(&{
+        let job = fig2_job(1024);
+        let ctx = job.context.clone().unwrap().with_qec(QecConfig::surface(7));
+        job.with_context(ctx)
+    });
+    println!(
+        "[qec] counts unchanged by QEC context: {} (estimate: {} physical qubits)",
+        base.counts == with_qec.counts,
+        with_qec.qec_estimate.unwrap().physical_qubits
+    );
+
+    let mut group = c.benchmark_group("qec_context_overhead");
+    group.sample_size(10);
+    group.bench_function("gate_path_with_qec_context", |b| {
+        b.iter(|| {
+            let job = fig2_job(1024);
+            let ctx = job.context.clone().unwrap().with_qec(QecConfig::surface(7));
+            run_gate(&job.with_context(ctx))
+        })
+    });
+    group.bench_function("repetition_code_mc_10k_trials_d7", |b| {
+        b.iter(|| RepetitionCode::new(7).simulate_logical_error_rate(0.05, 10_000, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one experiment from DESIGN.md §5 (a paper
+//! figure, listing, or claim, or one of the ablations). The helpers here
+//! build the workloads exactly as the examples do, so benches, examples, and
+//! integration tests all measure the same code paths.
+
+use std::collections::BTreeMap;
+
+use qml_core::backends::{AnnealBackend, Backend, ExecutionResult, GateBackend};
+use qml_core::graph::{cut_value_of_bitstring, cycle, Graph};
+use qml_core::prelude::*;
+use qml_core::types::ParamValue;
+
+/// The Listing 4 style gate context: Aer-like engine, hardware basis on a
+/// ring, optimization level 2, seeded.
+pub fn gate_context(samples: u64, ring: usize) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(samples)
+            .with_seed(42)
+            .with_target(Target::ring(ring))
+            .with_optimization_level(2),
+    )
+}
+
+/// The Fig. 3 anneal context: `num_reads` reads, seeded.
+pub fn anneal_context(reads: u64) -> ContextDescriptor {
+    let mut cfg = AnnealConfig::with_reads(reads);
+    cfg.seed = Some(42);
+    ContextDescriptor::for_anneal("anneal.neal_simulator", cfg)
+}
+
+/// The paper's Max-Cut QAOA job (Fig. 2) at fixed p = 1 angles.
+pub fn fig2_job(samples: u64) -> JobBundle {
+    qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+        .expect("valid QAOA bundle")
+        .with_context(gate_context(samples, 4))
+}
+
+/// The paper's Max-Cut annealing job (Fig. 3).
+pub fn fig3_job(reads: u64) -> JobBundle {
+    maxcut_ising_program(&cycle(4))
+        .expect("valid Ising bundle")
+        .with_context(anneal_context(reads))
+}
+
+/// The Listing 1 QFT job: 10-qubit QFT, 10 000 shots, linear coupling map.
+pub fn listing1_job(shots: u64) -> JobBundle {
+    qft_program(10, QftParams::default())
+        .expect("valid QFT bundle")
+        .with_context(ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(shots)
+                .with_seed(42)
+                .with_target(Target::linear(10))
+                .with_optimization_level(2),
+        ))
+}
+
+/// Expected cut of an execution result on a graph.
+pub fn expected_cut(graph: &Graph, result: &ExecutionResult) -> f64 {
+    result.expectation(|word| cut_value_of_bitstring(graph, word))
+}
+
+/// Grid-search the p = 1 QAOA angles for a graph on the gate backend and
+/// return `(gamma, beta, expected_cut)` of the best grid point.
+pub fn qaoa_grid_search(graph: &Graph, steps: usize, samples: u64) -> (f64, f64, f64) {
+    let template = qaoa_maxcut_program(graph, &QaoaSchedule::Symbolic { layers: 1 })
+        .expect("valid symbolic QAOA bundle");
+    let context = ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator").with_samples(samples).with_seed(42),
+    );
+    let backend = GateBackend::new();
+    let mut best = (0.0, 0.0, f64::MIN);
+    for gi in 1..steps {
+        for bi in 1..steps {
+            let gamma = std::f64::consts::PI * gi as f64 / steps as f64;
+            let beta = std::f64::consts::FRAC_PI_2 * bi as f64 / steps as f64;
+            let mut bindings = BTreeMap::new();
+            bindings.insert("gamma_0".to_string(), ParamValue::Float(gamma));
+            bindings.insert("beta_0".to_string(), ParamValue::Float(beta));
+            let job = template.bind(&bindings).with_context(context.clone());
+            let result = backend.execute(&job).expect("gate execution");
+            let value = expected_cut(graph, &result);
+            if value > best.2 {
+                best = (gamma, beta, value);
+            }
+        }
+    }
+    best
+}
+
+/// Run a job on the gate backend.
+pub fn run_gate(job: &JobBundle) -> ExecutionResult {
+    GateBackend::new().execute(job).expect("gate execution")
+}
+
+/// Run a job on the annealing backend.
+pub fn run_anneal(job: &JobBundle) -> ExecutionResult {
+    AnnealBackend::new().execute(job).expect("anneal execution")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_and_fig3_jobs_execute() {
+        let graph = cycle(4);
+        let gate = run_gate(&fig2_job(512));
+        let anneal = run_anneal(&fig3_job(200));
+        assert!(expected_cut(&graph, &gate) > 2.0);
+        assert!(expected_cut(&graph, &anneal) > 3.0);
+    }
+
+    #[test]
+    fn listing1_job_executes() {
+        let result = run_gate(&listing1_job(256));
+        assert_eq!(result.shots, 256);
+    }
+}

@@ -1,0 +1,184 @@
+//! Arithmetic operator descriptors: adders, modular adders, comparators.
+//!
+//! The paper's §4.4 lists arithmetic (addition, modular multiplication and
+//! exponentiation, comparison) among the transformations an algorithmic
+//! library provides, and §4.2 singles out the modular adder as "a main
+//! component of the Shor algorithm". These constructors emit the
+//! corresponding typed operator descriptors with cost hints; backends that
+//! cannot realize them reject the bundle instead of silently guessing.
+
+use qml_types::{
+    EncodingKind, OperatorDescriptor, QuantumDataType, QmlError, RepKind, Result,
+};
+
+use crate::cost::{adder_cost, modular_adder_cost};
+
+/// Require an integer-like register for arithmetic.
+fn require_integer(register: &QuantumDataType, what: &str) -> Result<()> {
+    match register.encoding_kind {
+        EncodingKind::IntRegister | EncodingKind::SignedIntRegister => Ok(()),
+        other => Err(QmlError::Validation(format!(
+            "{what} requires an integer register, got {other} for `{}`",
+            register.id
+        ))),
+    }
+}
+
+/// In-place addition `b ← a + b` over two equally wide integer registers.
+pub fn adder(a: &QuantumDataType, b: &QuantumDataType) -> Result<OperatorDescriptor> {
+    require_integer(a, "adder")?;
+    require_integer(b, "adder")?;
+    if a.width != b.width {
+        return Err(QmlError::WidthMismatch {
+            register: b.id.clone(),
+            expected: a.width,
+            found: b.width,
+        });
+    }
+    OperatorDescriptor::builder("add", RepKind::AdderTemplate, &a.id)
+        .codomain(&b.id)
+        .param("width", a.width)
+        .cost_hint(adder_cost(a.width))
+        .build()
+}
+
+/// In-place constant addition `reg ← reg + constant (mod 2^width)`.
+pub fn constant_adder(register: &QuantumDataType, constant: u64) -> Result<OperatorDescriptor> {
+    require_integer(register, "constant adder")?;
+    if register.width < 64 && constant >= (1u64 << register.width) {
+        return Err(QmlError::Validation(format!(
+            "constant {constant} does not fit in {} bits",
+            register.width
+        )));
+    }
+    OperatorDescriptor::builder("add_const", RepKind::AdderTemplate, &register.id)
+        .param("constant", constant as i64)
+        .param("width", register.width)
+        .cost_hint(adder_cost(register.width))
+        .build()
+}
+
+/// Modular addition `reg ← reg + constant (mod modulus)` — the Shor-algorithm
+/// primitive the paper names in §4.2.
+pub fn modular_adder(
+    register: &QuantumDataType,
+    constant: u64,
+    modulus: u64,
+) -> Result<OperatorDescriptor> {
+    require_integer(register, "modular adder")?;
+    if modulus < 2 {
+        return Err(QmlError::Validation("modulus must be at least 2".into()));
+    }
+    if register.width < 64 && modulus > (1u64 << register.width) {
+        return Err(QmlError::Validation(format!(
+            "modulus {modulus} does not fit in {} bits",
+            register.width
+        )));
+    }
+    if constant >= modulus {
+        return Err(QmlError::Validation(format!(
+            "constant {constant} must be reduced modulo {modulus}"
+        )));
+    }
+    OperatorDescriptor::builder("add_mod", RepKind::ModularAdderTemplate, &register.id)
+        .param("constant", constant as i64)
+        .param("modulus", modulus as i64)
+        .param("width", register.width)
+        .cost_hint(modular_adder_cost(register.width))
+        .build()
+}
+
+/// Comparison of an integer register against a constant, writing the result
+/// into a one-bit Boolean flag register.
+pub fn comparator(
+    register: &QuantumDataType,
+    flag: &QuantumDataType,
+    threshold: u64,
+) -> Result<OperatorDescriptor> {
+    require_integer(register, "comparator")?;
+    if flag.encoding_kind != EncodingKind::BoolRegister || flag.width != 1 {
+        return Err(QmlError::Validation(format!(
+            "comparator flag `{}` must be a 1-bit Boolean register",
+            flag.id
+        )));
+    }
+    OperatorDescriptor::builder("compare_ge", RepKind::ComparatorTemplate, &register.id)
+        .codomain(&flag.id)
+        .param("threshold", threshold as i64)
+        .cost_hint(adder_cost(register.width).with_ancillas(1))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_reg(id: &str, width: usize) -> QuantumDataType {
+        QuantumDataType::int_register(id, id, width).unwrap()
+    }
+
+    #[test]
+    fn adder_descriptor_structure() {
+        let a = int_reg("a", 6);
+        let b = int_reg("b", 6);
+        let op = adder(&a, &b).unwrap();
+        assert_eq!(op.rep_kind, RepKind::AdderTemplate);
+        assert_eq!(op.domain_qdt, "a");
+        assert_eq!(op.codomain_qdt, "b");
+        assert!(!op.is_in_place());
+        assert!(op.cost_hint.unwrap().twoq.unwrap() > 0);
+    }
+
+    #[test]
+    fn adder_width_mismatch_rejected() {
+        let a = int_reg("a", 6);
+        let b = int_reg("b", 4);
+        assert!(matches!(adder(&a, &b), Err(QmlError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn adder_requires_integer_registers() {
+        let a = int_reg("a", 4);
+        let s = QuantumDataType::ising_spins("s", "s", 4).unwrap();
+        assert!(adder(&a, &s).is_err());
+        assert!(adder(&s, &a).is_err());
+    }
+
+    #[test]
+    fn constant_adder_range_check() {
+        let reg = int_reg("x", 4);
+        assert!(constant_adder(&reg, 15).is_ok());
+        assert!(constant_adder(&reg, 16).is_err());
+    }
+
+    #[test]
+    fn modular_adder_validation() {
+        let reg = int_reg("x", 5);
+        let op = modular_adder(&reg, 7, 21).unwrap();
+        assert_eq!(op.rep_kind, RepKind::ModularAdderTemplate);
+        assert_eq!(op.params.require_u64("modulus").unwrap(), 21);
+        assert!(modular_adder(&reg, 25, 21).is_err(), "constant must be reduced");
+        assert!(modular_adder(&reg, 1, 1).is_err(), "modulus ≥ 2");
+        assert!(modular_adder(&reg, 1, 64).is_err(), "modulus must fit the register");
+    }
+
+    #[test]
+    fn modular_adder_costs_more_than_plain_adder() {
+        let reg = int_reg("x", 8);
+        let plain = constant_adder(&reg, 3).unwrap();
+        let modular = modular_adder(&reg, 3, 200).unwrap();
+        assert!(
+            modular.cost_hint.unwrap().twoq.unwrap() > plain.cost_hint.unwrap().twoq.unwrap()
+        );
+    }
+
+    #[test]
+    fn comparator_needs_boolean_flag() {
+        let reg = int_reg("x", 4);
+        let flag = QuantumDataType::bool_register("flag", "f", 1).unwrap();
+        let wide_flag = QuantumDataType::bool_register("wide", "w", 2).unwrap();
+        assert!(comparator(&reg, &flag, 7).is_ok());
+        assert!(comparator(&reg, &wide_flag, 7).is_err());
+        assert!(comparator(&reg, &reg, 7).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Composition and inversion helpers for operator descriptor sequences.
+//!
+//! The paper's algorithmic libraries provide "APIs for the construction of
+//! quantum operator descriptions, helpers for their composition and
+//! inversion, support for late-binding, and result-schema helpers" plus
+//! validation ("quantum data types compatibility check, and non-interference
+//! rules") (§4.4). Bundle-level validation lives in
+//! [`qml_types::JobBundle::validate`]; this module adds sequence-level
+//! helpers the libraries use before packaging.
+
+use qml_types::{
+    OperatorDescriptor, ParamValue, QuantumDataType, QmlError, RepKind, Result, ResultSchema,
+};
+
+/// Concatenate descriptor sequences (intent composition is just ordered
+/// concatenation — the paper: "Composition is just a list of descriptors").
+pub fn compose(sequences: &[&[OperatorDescriptor]]) -> Vec<OperatorDescriptor> {
+    sequences.iter().flat_map(|s| s.iter().cloned()).collect()
+}
+
+/// Invert a single operator descriptor, if the representation kind has a
+/// well-defined inverse at the logical level.
+pub fn invert_operator(op: &OperatorDescriptor) -> Result<OperatorDescriptor> {
+    match op.rep_kind {
+        RepKind::QftTemplate => {
+            let mut inverted = op.clone();
+            let currently_inverse = op.params.bool_or("inverse", false);
+            inverted.params.insert("inverse", !currently_inverse);
+            inverted.name = if currently_inverse { "QFT".into() } else { "IQFT".into() };
+            Ok(inverted)
+        }
+        RepKind::IsingCostPhase | RepKind::MixerRx | RepKind::ControlledPhase => {
+            let key = match op.rep_kind {
+                RepKind::IsingCostPhase => "gamma",
+                RepKind::MixerRx => "beta",
+                _ => "lambda",
+            };
+            let mut inverted = op.clone();
+            match op.params.get(key) {
+                Some(ParamValue::Float(angle)) => {
+                    inverted.params.insert(key, ParamValue::Float(-angle));
+                    Ok(inverted)
+                }
+                Some(ParamValue::Symbol(s)) => Err(QmlError::UnboundParameter(s.name.clone())),
+                _ => Err(QmlError::Validation(format!(
+                    "operator `{}` has no numeric `{key}` to invert",
+                    op.name
+                ))),
+            }
+        }
+        RepKind::HadamardLayer | RepKind::PrepUniform => Ok(op.clone()),
+        RepKind::AdderTemplate => {
+            let mut inverted = op.clone();
+            if let Some(c) = op.params.get("constant").and_then(ParamValue::as_i64) {
+                inverted.params.insert("constant", -c);
+            }
+            inverted.name = format!("{}_inverse", op.name);
+            Ok(inverted)
+        }
+        RepKind::Measurement | RepKind::IsingProblem => Err(QmlError::Unsupported(format!(
+            "operator `{}` ({}) has no inverse",
+            op.name, op.rep_kind
+        ))),
+        _ => Err(QmlError::Unsupported(format!(
+            "no inversion rule for representation kind {}",
+            op.rep_kind
+        ))),
+    }
+}
+
+/// Invert a whole unitary descriptor sequence: reverse the order and invert
+/// each element. Fails if any element is not invertible.
+pub fn invert_sequence(ops: &[OperatorDescriptor]) -> Result<Vec<OperatorDescriptor>> {
+    ops.iter().rev().map(invert_operator).collect()
+}
+
+/// Append an explicit measurement of `register` to a sequence (result-schema
+/// helper).
+pub fn with_measurement(
+    mut ops: Vec<OperatorDescriptor>,
+    register: &QuantumDataType,
+) -> Result<Vec<OperatorDescriptor>> {
+    let meas = OperatorDescriptor::builder("measure", RepKind::Measurement, &register.id)
+        .result_schema(ResultSchema::for_register(register))
+        .build()?;
+    ops.push(meas);
+    Ok(ops)
+}
+
+/// Sequence-level validation: every operator must act on one of the declared
+/// registers, and no operator may follow a measurement of the register it
+/// touches (the non-interference rule), mirroring bundle validation for
+/// not-yet-packaged sequences.
+pub fn validate_sequence(
+    registers: &[QuantumDataType],
+    ops: &[OperatorDescriptor],
+) -> Result<()> {
+    let mut measured: Vec<&str> = Vec::new();
+    for op in ops {
+        op.validate()?;
+        for touched in [op.domain_qdt.as_str(), op.codomain_qdt.as_str()] {
+            let register = registers
+                .iter()
+                .find(|r| r.id == touched)
+                .ok_or_else(|| QmlError::UnknownRegister(touched.to_string()))?;
+            if let Some(schema) = &op.result_schema {
+                if op.codomain_qdt == register.id {
+                    schema.validate_against(register)?;
+                }
+            }
+            if measured.contains(&touched) {
+                return Err(QmlError::Validation(format!(
+                    "operator `{}` acts on `{touched}` after it was measured (non-interference)",
+                    op.name
+                )));
+            }
+        }
+        if op.rep_kind.is_measurement() {
+            measured.push(op.codomain_qdt.as_str());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qaoa::{ising_register, mixer_rx, prep_uniform, qaoa_sequence, QaoaSchedule, RING_P1_ANGLES};
+    use crate::qft::{qft_operator, QftParams};
+    use qml_graph::cycle;
+    use qml_types::QuantumDataType;
+
+    #[test]
+    fn compose_concatenates_in_order() {
+        let reg = ising_register(4).unwrap();
+        let a = vec![prep_uniform(&reg).unwrap()];
+        let b = vec![mixer_rx(&reg, 0.3, 0).unwrap()];
+        let composed = compose(&[&a, &b]);
+        assert_eq!(composed.len(), 2);
+        assert_eq!(composed[0].rep_kind, RepKind::PrepUniform);
+        assert_eq!(composed[1].rep_kind, RepKind::MixerRx);
+    }
+
+    #[test]
+    fn qft_inversion_flips_the_flag_and_name() {
+        let reg = QuantumDataType::phase_register("p", "p", 6).unwrap();
+        let qft = qft_operator(&reg, QftParams::default()).unwrap();
+        let iqft = invert_operator(&qft).unwrap();
+        assert!(iqft.params.bool_or("inverse", false));
+        assert_eq!(iqft.name, "IQFT");
+        let back = invert_operator(&iqft).unwrap();
+        assert!(!back.params.bool_or("inverse", true));
+        assert_eq!(back.name, "QFT");
+    }
+
+    #[test]
+    fn angle_operators_negate_their_angles() {
+        let reg = ising_register(4).unwrap();
+        let mixer = mixer_rx(&reg, 0.7, 0).unwrap();
+        let inv = invert_operator(&mixer).unwrap();
+        assert!((inv.params.require_f64("beta").unwrap() + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_angles_cannot_be_inverted_yet() {
+        let reg = ising_register(4).unwrap();
+        let mixer = mixer_rx(&reg, ParamValue::symbol("beta_0"), 0).unwrap();
+        assert!(matches!(
+            invert_operator(&mixer),
+            Err(QmlError::UnboundParameter(_))
+        ));
+    }
+
+    #[test]
+    fn measurement_has_no_inverse() {
+        let reg = ising_register(4).unwrap();
+        let meas = crate::qaoa::measurement(&reg).unwrap();
+        assert!(invert_operator(&meas).is_err());
+    }
+
+    #[test]
+    fn sequence_inversion_reverses_order() {
+        let reg = ising_register(4).unwrap();
+        let graph = cycle(4);
+        let seq = vec![
+            prep_uniform(&reg).unwrap(),
+            crate::qaoa::ising_cost_phase(&reg, &graph, 0.4, 0).unwrap(),
+            mixer_rx(&reg, 0.2, 0).unwrap(),
+        ];
+        let inv = invert_sequence(&seq).unwrap();
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv[0].rep_kind, RepKind::MixerRx);
+        assert_eq!(inv[2].rep_kind, RepKind::PrepUniform);
+        assert!((inv[0].params.require_f64("beta").unwrap() + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_measurement_appends_schema() {
+        let reg = ising_register(4).unwrap();
+        let ops = with_measurement(vec![prep_uniform(&reg).unwrap()], &reg).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(ops[1].result_schema.is_some());
+    }
+
+    #[test]
+    fn validate_sequence_checks_registers_and_interference() {
+        let reg = ising_register(4).unwrap();
+        let graph = cycle(4);
+        let good = qaoa_sequence(&reg, &graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        validate_sequence(&[reg.clone()], &good).unwrap();
+
+        // Unknown register.
+        let other = ising_register(4).unwrap();
+        let mut renamed = other.clone();
+        renamed.id = "other".into();
+        assert!(matches!(
+            validate_sequence(&[renamed], &good),
+            Err(QmlError::UnknownRegister(_))
+        ));
+
+        // Operation after measurement.
+        let mut bad = good.clone();
+        bad.push(prep_uniform(&reg).unwrap());
+        let err = validate_sequence(&[reg], &bad).unwrap_err();
+        assert!(err.to_string().contains("non-interference"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The QFT algorithmic library: typed data in, operator descriptors out.
+//!
+//! This is the middle-layer counterpart of the paper's motivational example
+//! (§2): instead of building a Qiskit circuit, the library consumes a typed
+//! phase register and emits a `QFT_TEMPLATE` operator descriptor (Listing 3)
+//! plus an explicit measurement, leaving realization to whichever backend the
+//! context later selects.
+
+use qml_types::{
+    EncodingKind, JobBundle, OperatorDescriptor, QuantumDataType, QmlError, RepKind, Result,
+    ResultSchema,
+};
+
+use crate::cost::qft_cost;
+
+/// Parameters of a QFT request (the `params` block of Listing 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QftParams {
+    /// 0 requests the exact transform; larger values drop the
+    /// smallest-angle controlled rotations.
+    pub approx_degree: usize,
+    /// Apply the final wire-reversal swaps.
+    pub do_swaps: bool,
+    /// Build the inverse transform.
+    pub inverse: bool,
+}
+
+impl Default for QftParams {
+    fn default() -> Self {
+        QftParams {
+            approx_degree: 0,
+            do_swaps: true,
+            inverse: false,
+        }
+    }
+}
+
+/// Build the `QFT_TEMPLATE` operator descriptor for a typed register.
+///
+/// The register must be a `PHASE_REGISTER` or an `INT_REGISTER` — applying a
+/// Fourier transform to, say, Ising decision variables is a type error the
+/// library catches before anything reaches a backend.
+pub fn qft_operator(register: &QuantumDataType, params: QftParams) -> Result<OperatorDescriptor> {
+    if !matches!(
+        register.encoding_kind,
+        EncodingKind::PhaseRegister | EncodingKind::IntRegister | EncodingKind::SignedIntRegister
+    ) {
+        return Err(QmlError::Validation(format!(
+            "QFT requires a phase or integer register, got {} for `{}`",
+            register.encoding_kind, register.id
+        )));
+    }
+    if params.approx_degree >= register.width {
+        return Err(QmlError::Validation(format!(
+            "approx_degree {} must be smaller than the register width {}",
+            params.approx_degree, register.width
+        )));
+    }
+    OperatorDescriptor::builder(
+        if params.inverse { "IQFT" } else { "QFT" },
+        RepKind::QftTemplate,
+        &register.id,
+    )
+    .param("approx_degree", params.approx_degree)
+    .param("do_swaps", params.do_swaps)
+    .param("inverse", params.inverse)
+    .cost_hint(qft_cost(register.width, params.approx_degree, params.do_swaps))
+    .result_schema(ResultSchema::for_register(register))
+    .build()
+}
+
+/// The explicit measurement descriptor that closes a QFT program.
+pub fn qft_measurement(register: &QuantumDataType) -> Result<OperatorDescriptor> {
+    OperatorDescriptor::builder("measure", RepKind::Measurement, &register.id)
+        .result_schema(ResultSchema::for_register(register))
+        .build()
+}
+
+/// A complete QFT program: the paper's Listing 1 use case re-expressed as
+/// middle-layer intent — a typed phase register, the QFT template, and an
+/// explicit measurement — packaged as an (uncontextualized) job bundle.
+pub fn qft_program(width: usize, params: QftParams) -> Result<JobBundle> {
+    let register = QuantumDataType::phase_register("reg_phase", "phase", width)?;
+    let ops = vec![qft_operator(&register, params)?, qft_measurement(&register)?];
+    let bundle = JobBundle::new(format!("qft-{width}"), vec![register], ops)
+        .with_metadata("library", "qml-algorithms::qft");
+    bundle.validate()?;
+    Ok(bundle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_types::MeasurementSemantics;
+
+    #[test]
+    fn listing3_descriptor_matches_library_output() {
+        let register = QuantumDataType::phase_register("reg_phase", "phase", 10).unwrap();
+        let qod = qft_operator(&register, QftParams::default()).unwrap();
+        assert_eq!(qod.name, "QFT");
+        assert_eq!(qod.rep_kind, RepKind::QftTemplate);
+        assert_eq!(qod.domain_qdt, "reg_phase");
+        assert_eq!(qod.codomain_qdt, "reg_phase");
+        assert_eq!(qod.params.require_u64("approx_degree").unwrap(), 0);
+        assert!(qod.params.bool_or("do_swaps", false));
+        assert!(!qod.params.bool_or("inverse", true));
+        let schema = qod.result_schema.as_ref().unwrap();
+        assert_eq!(schema.datatype, MeasurementSemantics::AsPhase);
+        assert_eq!(schema.clbit_order.len(), 10);
+        assert!(qod.cost_hint.unwrap().twoq.unwrap() > 0);
+    }
+
+    #[test]
+    fn qft_program_bundle_validates() {
+        let bundle = qft_program(10, QftParams::default()).unwrap();
+        assert_eq!(bundle.data_types.len(), 1);
+        assert_eq!(bundle.operators.len(), 2);
+        assert_eq!(bundle.total_width(), 10);
+        // Round-trip through the JSON interchange form.
+        let json = bundle.to_json().unwrap();
+        let back = JobBundle::from_json(&json).unwrap();
+        assert_eq!(back, bundle);
+    }
+
+    #[test]
+    fn inverse_qft_is_named_iqft() {
+        let register = QuantumDataType::phase_register("p", "p", 4).unwrap();
+        let qod = qft_operator(
+            &register,
+            QftParams {
+                inverse: true,
+                ..QftParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(qod.name, "IQFT");
+        assert!(qod.params.bool_or("inverse", false));
+    }
+
+    #[test]
+    fn wrong_register_kind_rejected() {
+        let spins = QuantumDataType::ising_spins("ising_vars", "s", 4).unwrap();
+        assert!(qft_operator(&spins, QftParams::default()).is_err());
+        let bools = QuantumDataType::bool_register("flags", "f", 4).unwrap();
+        assert!(qft_operator(&bools, QftParams::default()).is_err());
+    }
+
+    #[test]
+    fn int_register_is_accepted() {
+        let ints = QuantumDataType::int_register("k", "k", 6).unwrap();
+        let qod = qft_operator(&ints, QftParams::default()).unwrap();
+        assert_eq!(qod.result_schema.unwrap().datatype, MeasurementSemantics::AsInt);
+    }
+
+    #[test]
+    fn excessive_approximation_rejected() {
+        let register = QuantumDataType::phase_register("p", "p", 4).unwrap();
+        let params = QftParams {
+            approx_degree: 4,
+            ..QftParams::default()
+        };
+        assert!(qft_operator(&register, params).is_err());
+    }
+
+    #[test]
+    fn approximation_lowers_the_cost_hint() {
+        let register = QuantumDataType::phase_register("p", "p", 8).unwrap();
+        let exact = qft_operator(&register, QftParams::default()).unwrap();
+        let approx = qft_operator(
+            &register,
+            QftParams {
+                approx_degree: 3,
+                ..QftParams::default()
+            },
+        )
+        .unwrap();
+        assert!(approx.cost_hint.unwrap().twoq.unwrap() < exact.cost_hint.unwrap().twoq.unwrap());
+    }
+}

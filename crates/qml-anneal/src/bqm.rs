@@ -1,0 +1,362 @@
+//! Binary quadratic models (BQM): the problem representation consumed by the
+//! annealing path.
+//!
+//! The paper's annealer backend "consumes a single Ising descriptor
+//! (equivalently a QUBO/BQM) specifying (h, J)" (§5). This module is the
+//! repository's substitute for `dimod`'s BQM: a quadratic objective over
+//! either SPIN (±1) or BINARY ({0,1}) variables with exact conversions
+//! between the two conventions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Variable convention of a BQM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vartype {
+    /// Ising spins s ∈ {−1, +1}.
+    Spin,
+    /// Binary variables x ∈ {0, 1}.
+    Binary,
+}
+
+/// A binary quadratic model: `offset + Σ_i linear_i v_i + Σ_{i<j} q_ij v_i v_j`
+/// where `v` are SPIN or BINARY variables depending on [`Vartype`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinaryQuadraticModel {
+    vartype: Vartype,
+    linear: Vec<f64>,
+    /// Quadratic terms keyed by (i, j) with i < j.
+    quadratic: BTreeMap<(usize, usize), f64>,
+    offset: f64,
+}
+
+impl BinaryQuadraticModel {
+    /// An empty model over `num_variables` variables.
+    pub fn new(num_variables: usize, vartype: Vartype) -> Self {
+        BinaryQuadraticModel {
+            vartype,
+            linear: vec![0.0; num_variables],
+            quadratic: BTreeMap::new(),
+            offset: 0.0,
+        }
+    }
+
+    /// Build an Ising model from linear fields `h` and couplings `j`.
+    pub fn from_ising(h: &[f64], j: &[(usize, usize, f64)]) -> Self {
+        let mut bqm = BinaryQuadraticModel::new(h.len(), Vartype::Spin);
+        for (i, &hi) in h.iter().enumerate() {
+            bqm.add_linear(i, hi);
+        }
+        for &(a, b, jab) in j {
+            bqm.add_quadratic(a, b, jab);
+        }
+        bqm
+    }
+
+    /// Build a QUBO from upper-triangular entries (diagonal = linear).
+    pub fn from_qubo(num_variables: usize, q: &[(usize, usize, f64)], offset: f64) -> Self {
+        let mut bqm = BinaryQuadraticModel::new(num_variables, Vartype::Binary);
+        bqm.offset = offset;
+        for &(i, j, v) in q {
+            if i == j {
+                bqm.add_linear(i, v);
+            } else {
+                bqm.add_quadratic(i, j, v);
+            }
+        }
+        bqm
+    }
+
+    /// Variable convention.
+    pub fn vartype(&self) -> Vartype {
+        self.vartype
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Number of non-zero quadratic interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.quadratic.len()
+    }
+
+    /// Constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Linear coefficient of variable `i`.
+    pub fn linear(&self, i: usize) -> f64 {
+        self.linear[i]
+    }
+
+    /// Quadratic coefficient of the pair (i, j) (0 if absent).
+    pub fn quadratic(&self, i: usize, j: usize) -> f64 {
+        let key = (i.min(j), i.max(j));
+        self.quadratic.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate over quadratic terms as (i, j, value) with i < j.
+    pub fn interactions(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.quadratic.iter().map(|(&(i, j), &v)| (i, j, v))
+    }
+
+    /// Add to the linear coefficient of variable `i`.
+    pub fn add_linear(&mut self, i: usize, value: f64) {
+        assert!(i < self.linear.len(), "variable {i} out of range");
+        self.linear[i] += value;
+    }
+
+    /// Add to the quadratic coefficient of the pair (i, j).
+    pub fn add_quadratic(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i != j, "diagonal terms belong in the linear part");
+        assert!(
+            i < self.linear.len() && j < self.linear.len(),
+            "interaction ({i},{j}) out of range"
+        );
+        *self.quadratic.entry((i.min(j), i.max(j))).or_insert(0.0) += value;
+    }
+
+    /// Add to the constant offset.
+    pub fn add_offset(&mut self, value: f64) {
+        self.offset += value;
+    }
+
+    /// Energy of a SPIN sample (entries ±1). The model is converted on the
+    /// fly if it is BINARY.
+    pub fn energy_spin(&self, spins: &[i8]) -> f64 {
+        assert_eq!(spins.len(), self.num_variables(), "sample has the wrong length");
+        match self.vartype {
+            Vartype::Spin => self.raw_energy(&spins.iter().map(|&s| f64::from(s)).collect::<Vec<_>>()),
+            Vartype::Binary => {
+                let bits: Vec<f64> = spins.iter().map(|&s| if s == 1 { 0.0 } else { 1.0 }).collect();
+                self.raw_energy(&bits)
+            }
+        }
+    }
+
+    /// Energy of a BINARY sample (entries false/true ↦ 0/1).
+    pub fn energy_binary(&self, bits: &[bool]) -> f64 {
+        assert_eq!(bits.len(), self.num_variables(), "sample has the wrong length");
+        match self.vartype {
+            Vartype::Binary => {
+                self.raw_energy(&bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<_>>())
+            }
+            Vartype::Spin => {
+                // x = 1 ⇒ s = −1 (the paper's readout convention).
+                let spins: Vec<f64> = bits.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
+                self.raw_energy(&spins)
+            }
+        }
+    }
+
+    fn raw_energy(&self, values: &[f64]) -> f64 {
+        let linear: f64 = self.linear.iter().zip(values).map(|(l, v)| l * v).sum();
+        let quadratic: f64 = self
+            .quadratic
+            .iter()
+            .map(|(&(i, j), &q)| q * values[i] * values[j])
+            .sum();
+        self.offset + linear + quadratic
+    }
+
+    /// Convert to the SPIN convention (exact, adjusting offset/linear terms).
+    pub fn to_spin(&self) -> BinaryQuadraticModel {
+        match self.vartype {
+            Vartype::Spin => self.clone(),
+            Vartype::Binary => {
+                // x = (1 − s)/2  (x=1 ⇔ s=−1, matching energy_binary above).
+                let n = self.num_variables();
+                let mut out = BinaryQuadraticModel::new(n, Vartype::Spin);
+                out.offset = self.offset;
+                for (i, &l) in self.linear.iter().enumerate() {
+                    // l·x = l/2 − l/2·s
+                    out.offset += l / 2.0;
+                    out.add_linear(i, -l / 2.0);
+                }
+                for (&(i, j), &q) in &self.quadratic {
+                    // q·x_i·x_j = q/4 (1 − s_i)(1 − s_j)
+                    out.offset += q / 4.0;
+                    out.add_linear(i, -q / 4.0);
+                    out.add_linear(j, -q / 4.0);
+                    out.add_quadratic(i, j, q / 4.0);
+                }
+                out
+            }
+        }
+    }
+
+    /// Convert to the BINARY convention (exact).
+    pub fn to_binary(&self) -> BinaryQuadraticModel {
+        match self.vartype {
+            Vartype::Binary => self.clone(),
+            Vartype::Spin => {
+                // s = 1 − 2x.
+                let n = self.num_variables();
+                let mut out = BinaryQuadraticModel::new(n, Vartype::Binary);
+                out.offset = self.offset;
+                for (i, &h) in self.linear.iter().enumerate() {
+                    out.offset += h;
+                    out.add_linear(i, -2.0 * h);
+                }
+                for (&(i, j), &jij) in &self.quadratic {
+                    out.offset += jij;
+                    out.add_linear(i, -2.0 * jij);
+                    out.add_linear(j, -2.0 * jij);
+                    out.add_quadratic(i, j, 4.0 * jij);
+                }
+                out
+            }
+        }
+    }
+
+    /// Adjacency list: for each variable, the (neighbor, coupling) pairs.
+    /// Used by the annealer's O(1) energy-delta updates.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.num_variables()];
+        for (&(i, j), &q) in &self.quadratic {
+            adj[i].push((j, q));
+            adj[j].push((i, q));
+        }
+        adj
+    }
+
+    /// The largest absolute effective field any single variable can feel
+    /// (used to pick default annealing temperature ranges).
+    pub fn max_effective_field(&self) -> f64 {
+        let adj = self.adjacency();
+        (0..self.num_variables())
+            .map(|i| self.linear[i].abs() + adj[i].iter().map(|(_, q)| q.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Exact ground-state energy by enumeration (≤ 24 variables).
+    pub fn brute_force_ground_energy(&self) -> f64 {
+        let n = self.num_variables();
+        assert!(n <= 24, "brute force is limited to 24 variables");
+        let spin_model = self.to_spin();
+        let mut best = f64::INFINITY;
+        for mask in 0u64..(1u64 << n) {
+            let spins: Vec<i8> = (0..n)
+                .map(|i| if (mask >> i) & 1 == 1 { -1 } else { 1 })
+                .collect();
+            best = best.min(spin_model.energy_spin(&spins));
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Max-Cut C4 Ising model: h = 0, unit couplings on the ring.
+    fn c4_ising() -> BinaryQuadraticModel {
+        BinaryQuadraticModel::from_ising(
+            &[0.0; 4],
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)],
+        )
+    }
+
+    #[test]
+    fn c4_energies() {
+        let bqm = c4_ising();
+        assert_eq!(bqm.num_variables(), 4);
+        assert_eq!(bqm.num_interactions(), 4);
+        // Alternating spins: every edge anti-aligned ⇒ E = −4.
+        assert_eq!(bqm.energy_spin(&[1, -1, 1, -1]), -4.0);
+        // Aligned spins: E = +4.
+        assert_eq!(bqm.energy_spin(&[1, 1, 1, 1]), 4.0);
+        assert_eq!(bqm.brute_force_ground_energy(), -4.0);
+    }
+
+    #[test]
+    fn binary_energy_uses_paper_convention() {
+        // Boolean 1 ↦ spin −1, so "1010" is the alternating ground state.
+        let bqm = c4_ising();
+        assert_eq!(bqm.energy_binary(&[true, false, true, false]), -4.0);
+        assert_eq!(bqm.energy_binary(&[false, false, false, false]), 4.0);
+    }
+
+    #[test]
+    fn spin_binary_round_trip_preserves_energies() {
+        let bqm = BinaryQuadraticModel::from_ising(
+            &[0.5, -1.0, 0.0],
+            &[(0, 1, 1.2), (1, 2, -0.7)],
+        );
+        let binary = bqm.to_binary();
+        let back = binary.to_spin();
+        for mask in 0u8..8 {
+            let spins: Vec<i8> = (0..3).map(|i| if (mask >> i) & 1 == 1 { -1 } else { 1 }).collect();
+            let bits: Vec<bool> = spins.iter().map(|&s| s == -1).collect();
+            let e0 = bqm.energy_spin(&spins);
+            assert!((binary.energy_binary(&bits) - e0).abs() < 1e-9, "binary mask {mask}");
+            assert!((back.energy_spin(&spins) - e0).abs() < 1e-9, "round trip mask {mask}");
+        }
+    }
+
+    #[test]
+    fn qubo_construction_and_energy() {
+        // Minimize x0 + x1 − 2 x0 x1 (ground states 00 and 11, energy 0).
+        let bqm = BinaryQuadraticModel::from_qubo(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -2.0)], 0.0);
+        assert_eq!(bqm.energy_binary(&[false, false]), 0.0);
+        assert_eq!(bqm.energy_binary(&[true, true]), 0.0);
+        assert_eq!(bqm.energy_binary(&[true, false]), 1.0);
+        assert_eq!(bqm.brute_force_ground_energy(), 0.0);
+    }
+
+    #[test]
+    fn repeated_terms_accumulate() {
+        let mut bqm = BinaryQuadraticModel::new(2, Vartype::Spin);
+        bqm.add_quadratic(0, 1, 1.0);
+        bqm.add_quadratic(1, 0, 0.5);
+        bqm.add_linear(0, 0.25);
+        bqm.add_linear(0, 0.25);
+        assert_eq!(bqm.quadratic(0, 1), 1.5);
+        assert_eq!(bqm.linear(0), 0.5);
+        assert_eq!(bqm.num_interactions(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let bqm = c4_ising();
+        let adj = bqm.adjacency();
+        assert_eq!(adj[0].len(), 2);
+        assert!(adj[0].iter().any(|&(j, _)| j == 1));
+        assert!(adj[0].iter().any(|&(j, _)| j == 3));
+        for i in 0..4 {
+            for &(j, w) in &adj[i] {
+                assert!(adj[j].iter().any(|&(k, w2)| k == i && w2 == w));
+            }
+        }
+    }
+
+    #[test]
+    fn max_effective_field() {
+        let bqm = BinaryQuadraticModel::from_ising(&[0.5, 0.0], &[(0, 1, -2.0)]);
+        assert_eq!(bqm.max_effective_field(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_quadratic_panics() {
+        let mut bqm = BinaryQuadraticModel::new(2, Vartype::Spin);
+        bqm.add_quadratic(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_sample_length_panics() {
+        c4_ising().energy_spin(&[1, -1]);
+    }
+
+    #[test]
+    fn offset_propagates_through_conversions() {
+        let mut bqm = c4_ising();
+        bqm.add_offset(2.5);
+        assert_eq!(bqm.energy_spin(&[1, -1, 1, -1]), -1.5);
+        assert_eq!(bqm.to_binary().energy_binary(&[true, false, true, false]), -1.5);
+    }
+}

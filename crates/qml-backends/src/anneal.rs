@@ -1,0 +1,223 @@
+//! The annealing backend: the repository's stand-in for the paper's
+//! "D-Wave Ocean neal" execution path (Fig. 3).
+//!
+//! Pipeline: lower the bundle's single `ISING_PROBLEM` descriptor to a binary
+//! quadratic model, read the annealer policy from the context's `anneal`
+//! block (`num_reads`, sweeps, β range, seed), run the Metropolis simulated
+//! annealer, and decode the aggregated samples through the same explicit
+//! result schema the gate path uses.
+
+use qml_anneal::{AnnealParams, SimulatedAnnealer};
+use qml_types::{AnnealConfig, DecodedCounts, ExecConfig, JobBundle, QmlError, Result};
+
+use crate::lowering::lower_to_bqm;
+use crate::results::{EnergyStats, ExecutionResult};
+use crate::traits::Backend;
+
+/// Default engine identifier served by [`AnnealBackend`].
+pub const DEFAULT_ANNEAL_ENGINE: &str = "anneal.simulated_annealer";
+
+/// Default Metropolis sweeps per read when the context does not specify them.
+pub const DEFAULT_SWEEPS: u64 = 200;
+
+/// The simulated-annealing backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnnealBackend;
+
+impl AnnealBackend {
+    /// Create an annealing backend.
+    pub fn new() -> Self {
+        AnnealBackend
+    }
+
+    /// Derive sampler parameters from the context blocks.
+    fn params(exec: Option<&ExecConfig>, anneal: Option<&AnnealConfig>) -> AnnealParams {
+        let num_reads = anneal
+            .map(|a| a.num_reads)
+            .or_else(|| exec.map(|e| e.samples))
+            .unwrap_or(1000);
+        let num_sweeps = anneal
+            .and_then(|a| a.num_sweeps)
+            .unwrap_or(DEFAULT_SWEEPS) as usize;
+        let seed = anneal
+            .and_then(|a| a.seed)
+            .or_else(|| exec.and_then(|e| e.seed))
+            .unwrap_or(0);
+        let mut params = AnnealParams::with_reads(num_reads)
+            .with_sweeps(num_sweeps)
+            .with_seed(seed);
+        if let Some((lo, hi)) = anneal.and_then(|a| a.beta_range) {
+            params = params.with_beta_range(lo, hi);
+        }
+        params
+    }
+}
+
+impl Backend for AnnealBackend {
+    fn name(&self) -> &str {
+        "qml-simulated-annealer"
+    }
+
+    fn supports_engine(&self, engine: &str) -> bool {
+        engine.starts_with("anneal.")
+    }
+
+    fn default_engine(&self) -> &str {
+        DEFAULT_ANNEAL_ENGINE
+    }
+
+    fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult> {
+        bundle.validate()?;
+        let context = bundle.context.clone().unwrap_or_default();
+        let exec = context.exec.clone();
+        if let Some(exec) = &exec {
+            if !self.supports_engine(&exec.engine) {
+                return Err(QmlError::Unsupported(format!(
+                    "annealing backend cannot serve engine `{}`",
+                    exec.engine
+                )));
+            }
+            exec.validate()?;
+        }
+        if let Some(anneal) = &context.anneal {
+            anneal.validate()?;
+        }
+
+        // 1. Late realization of the intent as a BQM.
+        let lowered = lower_to_bqm(bundle)?;
+
+        // 2. Sample with the context's annealer policy.
+        let params = Self::params(exec.as_ref(), context.anneal.as_ref());
+        let sample_set = SimulatedAnnealer::new().sample(&lowered.bqm, &params);
+
+        // 3. Decode through the explicit result schema. The sample set's
+        //    bitstrings are in variable order; permute them into the schema's
+        //    classical-bit order first.
+        let indices = lowered.schema.wire_indices(&lowered.register)?;
+        let counts: std::collections::BTreeMap<String, u64> = sample_set
+            .records
+            .iter()
+            .map(|record| {
+                let full = record.bitstring();
+                let word: String = indices
+                    .iter()
+                    .map(|&i| full.as_bytes()[i] as char)
+                    .collect();
+                (word, record.num_occurrences)
+            })
+            .collect();
+        let decoded = DecodedCounts::decode(&counts, &lowered.schema, &lowered.register)?;
+
+        let energy_stats = sample_set.lowest().map(|best| EnergyStats {
+            min_energy: best.energy,
+            mean_energy: sample_set.mean_energy(),
+            ground_state_probability: sample_set.ground_state_probability(1e-9),
+        });
+
+        Ok(ExecutionResult {
+            backend: self.name().to_string(),
+            engine: exec
+                .map(|e| e.engine)
+                .unwrap_or_else(|| DEFAULT_ANNEAL_ENGINE.to_string()),
+            register: lowered.register.id.clone(),
+            shots: params.num_reads,
+            counts,
+            decoded,
+            gate_metrics: None,
+            energy_stats,
+            qec_estimate: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+    use qml_graph::{cut_value_of_bitstring, cycle};
+    use qml_types::ContextDescriptor;
+
+    fn fig3_context() -> ContextDescriptor {
+        ContextDescriptor::for_anneal("anneal.neal_simulator", AnnealConfig::with_reads(1000))
+    }
+
+    #[test]
+    fn fig3_anneal_path_end_to_end() {
+        // The paper's Fig. 3 workflow: single ISING_PROBLEM + anneal context
+        // with num_reads = 1000.
+        let bundle = maxcut_ising_program(&cycle(4)).unwrap().with_context(fig3_context());
+        let result = AnnealBackend::new().execute(&bundle).unwrap();
+        assert_eq!(result.shots, 1000);
+        assert_eq!(result.counts.values().sum::<u64>(), 1000);
+        assert_eq!(result.engine, "anneal.neal_simulator");
+
+        // Both optimal cut assignments appear and dominate.
+        let stats = result.energy_stats.unwrap();
+        assert_eq!(stats.min_energy, -4.0);
+        assert!(stats.ground_state_probability > 0.8);
+        assert!(result.counts.contains_key("1010"));
+        assert!(result.counts.contains_key("0101"));
+
+        // Expected cut over all returned samples is near the optimum of 4.
+        let graph = cycle(4);
+        let expected_cut = result.expectation(|word| cut_value_of_bitstring(&graph, word));
+        assert!(expected_cut > 3.5, "expected cut {expected_cut}");
+    }
+
+    #[test]
+    fn default_context_still_runs() {
+        let bundle = maxcut_ising_program(&cycle(4)).unwrap();
+        let result = AnnealBackend::new().execute(&bundle).unwrap();
+        assert_eq!(result.shots, 1000);
+        assert_eq!(result.engine, DEFAULT_ANNEAL_ENGINE);
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let mut anneal = AnnealConfig::with_reads(200);
+        anneal.seed = Some(7);
+        let bundle = maxcut_ising_program(&cycle(4))
+            .unwrap()
+            .with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", anneal));
+        let backend = AnnealBackend::new();
+        assert_eq!(
+            backend.execute(&bundle).unwrap().counts,
+            backend.execute(&bundle).unwrap().counts
+        );
+    }
+
+    #[test]
+    fn gate_engine_rejected() {
+        let bundle = maxcut_ising_program(&cycle(4))
+            .unwrap()
+            .with_context(ContextDescriptor::for_gate(ExecConfig::new("gate.aer_simulator")));
+        assert!(matches!(
+            AnnealBackend::new().execute(&bundle),
+            Err(QmlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn qaoa_bundle_rejected() {
+        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(fig3_context());
+        assert!(matches!(
+            AnnealBackend::new().execute(&bundle),
+            Err(QmlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_and_beta_overrides_respected() {
+        let mut anneal = AnnealConfig::with_reads(50);
+        anneal.num_sweeps = Some(20);
+        anneal.beta_range = Some((0.05, 8.0));
+        anneal.seed = Some(3);
+        let bundle = maxcut_ising_program(&cycle(4))
+            .unwrap()
+            .with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", anneal));
+        let result = AnnealBackend::new().execute(&bundle).unwrap();
+        assert_eq!(result.shots, 50);
+    }
+}

@@ -1,0 +1,246 @@
+//! The gate-model backend: the repository's stand-in for the paper's
+//! "IBM Qiskit Aer" execution path (Fig. 2).
+//!
+//! Pipeline: lower the bundle's operator descriptors to a circuit, transpile
+//! it against the context's `target` block (basis gates, coupling map,
+//! optimization level), run the state-vector simulator for the requested
+//! number of shots with the requested seed, and decode the counts through the
+//! measurement descriptor's explicit result schema. If the context carries a
+//! `qec` block, the orthogonal QEC service contributes a resource estimate —
+//! without changing the program's semantics.
+
+use qml_qec::QecService;
+use qml_sim::Simulator;
+use qml_transpile::{transpile, CouplingMap, TranspileTarget};
+use qml_types::{
+    ContextDescriptor, CostHint, DecodedCounts, ExecConfig, JobBundle, QmlError, Result, Target,
+};
+
+use crate::lowering::lower_to_circuit;
+use crate::results::ExecutionResult;
+use crate::traits::Backend;
+
+/// Default engine identifier served by [`GateBackend`].
+pub const DEFAULT_GATE_ENGINE: &str = "gate.statevector_simulator";
+
+/// Execution defaults used when a bundle carries no context: an ideal
+/// all-to-all simulator with 1024 shots and seed 0.
+fn default_exec() -> ExecConfig {
+    ExecConfig::new(DEFAULT_GATE_ENGINE).with_seed(0)
+}
+
+/// Convert the context's device target into a transpilation target.
+fn to_transpile_target(target: &Target, circuit_width: usize) -> TranspileTarget {
+    let coupling_map = target.coupling_map.as_ref().map(|edges| {
+        let min_qubits = target.num_qubits.unwrap_or(0).max(circuit_width);
+        CouplingMap::new(edges, min_qubits)
+    });
+    TranspileTarget {
+        basis_gates: target.basis_gates.clone(),
+        coupling_map,
+    }
+}
+
+/// The gate-model simulator backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GateBackend;
+
+impl GateBackend {
+    /// Create a gate backend.
+    pub fn new() -> Self {
+        GateBackend
+    }
+}
+
+impl Backend for GateBackend {
+    fn name(&self) -> &str {
+        "qml-gate-simulator"
+    }
+
+    fn supports_engine(&self, engine: &str) -> bool {
+        engine.starts_with("gate.")
+    }
+
+    fn default_engine(&self) -> &str {
+        DEFAULT_GATE_ENGINE
+    }
+
+    fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult> {
+        bundle.validate()?;
+        let context = bundle.context.clone().unwrap_or_default();
+        let exec = context.exec.clone().unwrap_or_else(default_exec);
+        if !self.supports_engine(&exec.engine) {
+            return Err(QmlError::Unsupported(format!(
+                "gate backend cannot serve engine `{}`",
+                exec.engine
+            )));
+        }
+        exec.validate()?;
+
+        // 1. Late realization of the intent as a circuit.
+        let lowered = lower_to_circuit(bundle)?;
+
+        // 2. Honour the execution policy's target constraints.
+        let transpile_target = exec
+            .target
+            .as_ref()
+            .map(|t| to_transpile_target(t, lowered.circuit.num_qubits()))
+            .unwrap_or_else(TranspileTarget::ideal);
+        let transpiled = transpile(
+            &lowered.circuit,
+            &transpile_target,
+            exec.options.optimization_level,
+        )
+        .map_err(|e| QmlError::Unsupported(format!("transpilation failed: {e}")))?;
+
+        // 3. Sample.
+        let seed = exec.seed.unwrap_or(0);
+        let sim = Simulator::new();
+        let run = sim.run(&transpiled.circuit, exec.samples, seed);
+
+        // 4. Decode through the explicit result schema.
+        let decoded = DecodedCounts::decode(&run.counts, &lowered.schema, &lowered.register)?;
+
+        // 5. Orthogonal QEC service (advisory resource estimate only).
+        let qec_estimate = context
+            .qec
+            .as_ref()
+            .map(|config| {
+                QecService::from_config(config).map(|service| {
+                    let realized_cost = CostHint::gates(
+                        transpiled.metrics.two_qubit_gates as u64,
+                        transpiled.metrics.depth as u64,
+                    )
+                    .with_oneq(transpiled.metrics.single_qubit_gates as u64);
+                    service.estimate(bundle.total_width(), Some(&realized_cost))
+                })
+            })
+            .transpose()?;
+
+        Ok(ExecutionResult {
+            backend: self.name().to_string(),
+            engine: exec.engine.clone(),
+            register: lowered.register.id.clone(),
+            shots: exec.samples,
+            counts: run.counts,
+            decoded,
+            gate_metrics: Some(transpiled.metrics),
+            energy_stats: None,
+            qec_estimate,
+        })
+    }
+}
+
+/// Convenience: the Listing-4 style context for this backend — Aer-like
+/// engine, 4096 samples, seed 42, hardware basis on the given coupling map,
+/// optimization level 2.
+pub fn listing4_context(target: Target) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(4096)
+            .with_seed(42)
+            .with_target(target)
+            .with_optimization_level(2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{
+        qaoa_maxcut_program, qft_program, QaoaSchedule, QftParams, RING_P1_ANGLES,
+    };
+    use qml_graph::{cut_value_of_bitstring, cycle};
+    use qml_types::{AnnealConfig, QecConfig};
+
+    fn qaoa_bundle() -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap()
+    }
+
+    #[test]
+    fn fig2_gate_path_end_to_end() {
+        // The paper's Fig. 2 workflow: QAOA bundle + ring-coupled Aer context.
+        let bundle = qaoa_bundle().with_context(listing4_context(Target::ring(4)));
+        let result = GateBackend::new().execute(&bundle).unwrap();
+        assert_eq!(result.shots, 4096);
+        assert_eq!(result.engine, "gate.aer_simulator");
+        assert_eq!(result.register, "ising_vars");
+        assert_eq!(result.counts.values().sum::<u64>(), 4096);
+        // The transpiled circuit respects the hardware basis.
+        let metrics = result.gate_metrics.unwrap();
+        assert!(metrics.two_qubit_gates >= 8, "4 ZZ couplings → ≥ 8 CX");
+        // The optimal cuts are the two most likely outcomes among cut values.
+        let graph = cycle(4);
+        let expected_cut = result.expectation(|word| cut_value_of_bitstring(&graph, word));
+        assert!(expected_cut > 2.0, "QAOA must beat the random baseline of 2.0, got {expected_cut}");
+    }
+
+    #[test]
+    fn default_context_is_ideal_simulator() {
+        let result = GateBackend::new().execute(&qaoa_bundle()).unwrap();
+        assert_eq!(result.engine, DEFAULT_GATE_ENGINE);
+        assert_eq!(result.shots, 1024);
+        assert_eq!(result.gate_metrics.unwrap().swaps_inserted, 0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let bundle = qaoa_bundle().with_context(listing4_context(Target::ring(4)));
+        let backend = GateBackend::new();
+        let a = backend.execute(&bundle).unwrap();
+        let b = backend.execute(&bundle).unwrap();
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn qft_listing1_runs_through_the_middle_layer() {
+        let bundle = qft_program(10, QftParams::default())
+            .unwrap()
+            .with_context(listing4_context(Target::linear(10)));
+        let result = GateBackend::new().execute(&bundle).unwrap();
+        assert_eq!(result.counts.values().sum::<u64>(), 4096);
+        let metrics = result.gate_metrics.unwrap();
+        assert!(metrics.swaps_inserted > 0, "linear coupling forces routing");
+        assert!(metrics.two_qubit_gates >= 45);
+    }
+
+    #[test]
+    fn anneal_engine_rejected() {
+        let bundle = qaoa_bundle().with_context(ContextDescriptor::for_anneal(
+            "anneal.neal_simulator",
+            AnnealConfig::with_reads(10),
+        ));
+        assert!(matches!(
+            GateBackend::new().execute(&bundle),
+            Err(QmlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn qec_context_adds_resource_estimate_without_changing_counts() {
+        let plain = qaoa_bundle().with_context(listing4_context(Target::ring(4)));
+        let with_qec = qaoa_bundle()
+            .with_context(listing4_context(Target::ring(4)).with_qec(QecConfig::surface(7)));
+        let backend = GateBackend::new();
+        let a = backend.execute(&plain).unwrap();
+        let b = backend.execute(&with_qec).unwrap();
+        assert_eq!(a.counts, b.counts, "QEC context must not change semantics");
+        assert!(a.qec_estimate.is_none());
+        let estimate = b.qec_estimate.unwrap();
+        assert_eq!(estimate.logical_qubits, 4);
+        assert!(estimate.physical_qubits >= 4 * 97);
+    }
+
+    #[test]
+    fn unknown_qec_family_is_an_error_not_a_silent_ignore() {
+        let mut qec = QecConfig::surface(7);
+        qec.code_family = "fancy-new-code".into();
+        let bundle = qaoa_bundle().with_context(listing4_context(Target::ring(4)).with_qec(qec));
+        assert!(GateBackend::new().execute(&bundle).is_err());
+    }
+
+    #[test]
+    fn estimate_cost_positive_for_qaoa() {
+        assert!(GateBackend::new().estimate_cost(&qaoa_bundle()) > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # qml-backends — gate and annealing backends for the middle layer
+//!
+//! Backends are where the paper's late binding happens: the same validated
+//! [`qml_types::JobBundle`] (typed data + operator descriptors + context) is
+//! realized either as a transpiled circuit on the state-vector simulator
+//! ([`GateBackend`], the Qiskit-Aer path of Fig. 2) or as a binary quadratic
+//! model on the Metropolis annealer ([`AnnealBackend`], the Ocean-neal path
+//! of Fig. 3). Both report the same [`ExecutionResult`] shape, decoded
+//! through the bundle's explicit result schema.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anneal;
+pub mod gate;
+pub mod lowering;
+pub mod results;
+pub mod traits;
+
+pub use anneal::{AnnealBackend, DEFAULT_ANNEAL_ENGINE, DEFAULT_SWEEPS};
+pub use gate::{listing4_context, GateBackend, DEFAULT_GATE_ENGINE};
+pub use lowering::{lower_to_bqm, lower_to_circuit, LoweredBqm, LoweredCircuit};
+pub use results::{EnergyStats, ExecutionResult};
+pub use traits::Backend;

@@ -1,0 +1,336 @@
+//! Lowering: realizing operator descriptors as circuits or quadratic models.
+//!
+//! This is the layer the paper calls "realization hooks ... rules that lower
+//! a quantum operator descriptor to a target-specific form (gate list, pulse
+//! schedule, anneal submission) when the caller supplies a backend/context"
+//! (§4.4). Lowering happens **late**: the same intent bundle is handed to
+//! whichever backend the context selects, and only then do descriptors become
+//! gates (gate path) or a binary quadratic model (annealing path).
+
+use qml_anneal::BinaryQuadraticModel;
+use qml_sim::{qft_circuit, Circuit, Gate};
+use qml_types::{
+    JobBundle, OperatorDescriptor, ParamValue, QmlError, QuantumDataType, RepKind, Result,
+    ResultSchema,
+};
+
+use qml_algorithms::parse_ising_operator;
+
+/// The gate-path lowering of a job bundle: a circuit plus the information
+/// needed to decode its counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredCircuit {
+    /// The realized circuit (registers laid out contiguously in declaration
+    /// order).
+    pub circuit: Circuit,
+    /// The register the final measurement reads out.
+    pub register: QuantumDataType,
+    /// The explicit result schema attached to the measurement descriptor.
+    pub schema: ResultSchema,
+}
+
+/// The annealing-path lowering of a job bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredBqm {
+    /// The binary quadratic model to sample.
+    pub bqm: BinaryQuadraticModel,
+    /// The register the samples refer to.
+    pub register: QuantumDataType,
+    /// The explicit result schema attached to the problem descriptor.
+    pub schema: ResultSchema,
+}
+
+/// Extract the edges/weights parameters of an `ISING_COST_PHASE` descriptor.
+fn parse_edges(op: &OperatorDescriptor, width: usize) -> Result<Vec<(usize, usize, f64)>> {
+    let edges = match op.params.get("edges") {
+        Some(ParamValue::List(items)) => items,
+        _ => {
+            return Err(QmlError::Validation(format!(
+                "operator `{}` is missing its `edges` parameter",
+                op.name
+            )))
+        }
+    };
+    let weights: Option<&[ParamValue]> = op.params.get("weights").and_then(ParamValue::as_list);
+    edges
+        .iter()
+        .enumerate()
+        .map(|(idx, entry)| {
+            let pair = entry
+                .as_list()
+                .ok_or_else(|| QmlError::Validation("edge entries must be [u, v]".into()))?;
+            if pair.len() != 2 {
+                return Err(QmlError::Validation("edge entries must be [u, v]".into()));
+            }
+            let u = pair[0]
+                .as_u64()
+                .ok_or_else(|| QmlError::Validation("bad edge index".into()))? as usize;
+            let v = pair[1]
+                .as_u64()
+                .ok_or_else(|| QmlError::Validation("bad edge index".into()))? as usize;
+            if u >= width || v >= width || u == v {
+                return Err(QmlError::Validation(format!(
+                    "edge ({u},{v}) is invalid for a width-{width} register"
+                )));
+            }
+            let w = weights
+                .and_then(|ws| ws.get(idx))
+                .and_then(ParamValue::as_f64)
+                .unwrap_or(1.0);
+            Ok((u, v, w))
+        })
+        .collect()
+}
+
+/// Lower a job bundle to a gate-model circuit.
+///
+/// The bundle must end with exactly one `MEASUREMENT` descriptor (explicit
+/// measurement is the only way to obtain classical data) and every unitary
+/// descriptor must have a gate realization.
+pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
+    bundle.validate()?;
+    bundle.ensure_bound()?;
+    let offsets = bundle.register_offsets();
+    let total_width = bundle.total_width();
+    let mut circuit = Circuit::new(total_width);
+    let mut readout: Option<(QuantumDataType, ResultSchema)> = None;
+
+    for op in &bundle.operators {
+        let register = bundle
+            .find_qdt(&op.domain_qdt)
+            .ok_or_else(|| QmlError::UnknownRegister(op.domain_qdt.clone()))?;
+        let offset = offsets[&register.id];
+        let wire = |i: usize| offset + i;
+
+        match &op.rep_kind {
+            RepKind::PrepUniform | RepKind::HadamardLayer => {
+                for i in 0..register.width {
+                    circuit.push(Gate::H(wire(i)));
+                }
+            }
+            RepKind::IsingCostPhase => {
+                let gamma = op.params.require_f64("gamma")?;
+                for (u, v, w) in parse_edges(op, register.width)? {
+                    // exp(−i γ w Z_u Z_v) = RZZ(2 γ w).
+                    circuit.push(Gate::Rzz(wire(u), wire(v), 2.0 * gamma * w));
+                }
+            }
+            RepKind::MixerRx => {
+                let beta = op.params.require_f64("beta")?;
+                for i in 0..register.width {
+                    // exp(−i β X) = RX(2β).
+                    circuit.push(Gate::Rx(wire(i), 2.0 * beta));
+                }
+            }
+            RepKind::QftTemplate => {
+                let approx = op.params.u64_or("approx_degree", 0) as usize;
+                let do_swaps = op.params.bool_or("do_swaps", true);
+                let inverse = op.params.bool_or("inverse", false);
+                let qft = qft_circuit(register.width, approx, do_swaps, inverse);
+                let map: Vec<usize> = (0..register.width).map(wire).collect();
+                circuit.compose(&qft.remap(&map, total_width));
+            }
+            RepKind::AngleEncoding => {
+                let angles = op
+                    .params
+                    .get("angles")
+                    .and_then(ParamValue::as_list)
+                    .ok_or_else(|| QmlError::Validation("angle encoding needs `angles`".into()))?;
+                for (i, angle) in angles.iter().enumerate() {
+                    let theta = angle
+                        .as_f64()
+                        .ok_or_else(|| QmlError::Validation("non-numeric angle".into()))?;
+                    circuit.push(Gate::Ry(wire(i), theta));
+                }
+            }
+            RepKind::Measurement => {
+                let schema = op
+                    .result_schema
+                    .clone()
+                    .ok_or_else(|| QmlError::Validation("measurement without result schema".into()))?;
+                let codomain = bundle
+                    .find_qdt(&op.codomain_qdt)
+                    .ok_or_else(|| QmlError::UnknownRegister(op.codomain_qdt.clone()))?;
+                let indices = schema.wire_indices(codomain)?;
+                let qubits: Vec<usize> = indices.iter().map(|&i| offsets[&codomain.id] + i).collect();
+                circuit.measure(&qubits);
+                readout = Some((codomain.clone(), schema));
+            }
+            other => {
+                return Err(QmlError::Unsupported(format!(
+                    "the gate backend has no realization rule for `{other}` (operator `{}`)",
+                    op.name
+                )))
+            }
+        }
+    }
+
+    let (register, schema) = readout.ok_or_else(|| {
+        QmlError::Validation(
+            "bundle has no MEASUREMENT descriptor; implicit measurement is forbidden".into(),
+        )
+    })?;
+    Ok(LoweredCircuit {
+        circuit,
+        register,
+        schema,
+    })
+}
+
+/// Lower a job bundle to a binary quadratic model for annealing backends.
+///
+/// The bundle must contain exactly one `ISING_PROBLEM` descriptor; anything
+/// else is not an annealing workload.
+pub fn lower_to_bqm(bundle: &JobBundle) -> Result<LoweredBqm> {
+    bundle.validate()?;
+    bundle.ensure_bound()?;
+    let problems: Vec<&OperatorDescriptor> = bundle
+        .operators
+        .iter()
+        .filter(|op| op.rep_kind.is_problem())
+        .collect();
+    if problems.len() != 1 {
+        return Err(QmlError::Unsupported(format!(
+            "the annealing backend expects exactly one ISING_PROBLEM descriptor, found {}",
+            problems.len()
+        )));
+    }
+    if bundle.operators.len() != 1 {
+        return Err(QmlError::Unsupported(
+            "the annealing backend cannot realize additional operators alongside ISING_PROBLEM".into(),
+        ));
+    }
+    let op = problems[0];
+    let register = bundle
+        .find_qdt(&op.domain_qdt)
+        .ok_or_else(|| QmlError::UnknownRegister(op.domain_qdt.clone()))?;
+    let problem = parse_ising_operator(op, register.width)?;
+    let bqm = BinaryQuadraticModel::from_ising(&problem.h, &problem.j);
+    let schema = op
+        .result_schema
+        .clone()
+        .unwrap_or_else(|| ResultSchema::for_register(register));
+    schema.validate_against(register)?;
+    Ok(LoweredBqm {
+        bqm,
+        register: register.clone(),
+        schema,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{
+        maxcut_ising_program, qaoa_maxcut_program, qft_program, QaoaSchedule, QftParams,
+        RING_P1_ANGLES,
+    };
+    use qml_graph::cycle;
+    use qml_sim::Simulator;
+    use qml_types::QuantumDataType;
+
+    #[test]
+    fn qaoa_bundle_lowers_to_expected_gates() {
+        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let lowered = lower_to_circuit(&bundle).unwrap();
+        let counts = lowered.circuit.gate_counts();
+        assert_eq!(counts["h"], 4, "PREP_UNIFORM = one H per qubit");
+        assert_eq!(counts["rzz"], 4, "one ZZ per edge of C4");
+        assert_eq!(counts["rx"], 4, "one RX per qubit");
+        assert_eq!(lowered.circuit.num_clbits(), 4);
+        assert_eq!(lowered.register.id, "ising_vars");
+    }
+
+    #[test]
+    fn qft_bundle_lowers_and_runs() {
+        let bundle = qft_program(5, QftParams::default()).unwrap();
+        let lowered = lower_to_circuit(&bundle).unwrap();
+        assert!(lowered.circuit.gate_counts().contains_key("cp"));
+        let result = Simulator::new().run(&lowered.circuit, 256, 7);
+        assert_eq!(result.counts.values().sum::<u64>(), 256);
+    }
+
+    #[test]
+    fn unbound_symbols_block_lowering() {
+        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 }).unwrap();
+        assert!(matches!(
+            lower_to_circuit(&bundle),
+            Err(QmlError::UnboundParameter(_))
+        ));
+    }
+
+    #[test]
+    fn missing_measurement_rejected() {
+        let register = qml_algorithms::ising_register(4).unwrap();
+        let prep = qml_algorithms::qaoa::prep_uniform(&register).unwrap();
+        let bundle = JobBundle::new("no-measure", vec![register], vec![prep]);
+        let err = lower_to_circuit(&bundle).unwrap_err();
+        assert!(err.to_string().contains("MEASUREMENT"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_descriptor_rejected_by_gate_path() {
+        let a = QuantumDataType::int_register("a", "a", 3).unwrap();
+        let b = QuantumDataType::int_register("b", "b", 3).unwrap();
+        let add = qml_algorithms::adder(&a, &b).unwrap();
+        let meas = qml_algorithms::with_measurement(vec![add], &b).unwrap();
+        let bundle = JobBundle::new("adder", vec![a, b], meas);
+        assert!(matches!(
+            lower_to_circuit(&bundle),
+            Err(QmlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn multi_register_layout_offsets_wires() {
+        // Two registers: the second register's gates must land on wires ≥ 3.
+        let a = QuantumDataType::bool_register("a", "a", 3).unwrap();
+        let b = QuantumDataType::bool_register("b", "b", 2).unwrap();
+        let prep_b = qml_algorithms::hadamard_layer(&b).unwrap();
+        let ops = qml_algorithms::with_measurement(vec![prep_b], &b).unwrap();
+        let bundle = JobBundle::new("two-regs", vec![a, b], ops);
+        let lowered = lower_to_circuit(&bundle).unwrap();
+        assert!(lowered
+            .circuit
+            .gates()
+            .iter()
+            .all(|g| g.qubits().iter().all(|&q| q >= 3)));
+        assert_eq!(lowered.circuit.num_qubits(), 5);
+        assert_eq!(lowered.circuit.measured(), &[3, 4]);
+    }
+
+    #[test]
+    fn ising_bundle_lowers_to_bqm() {
+        let bundle = maxcut_ising_program(&cycle(4)).unwrap();
+        let lowered = lower_to_bqm(&bundle).unwrap();
+        assert_eq!(lowered.bqm.num_variables(), 4);
+        assert_eq!(lowered.bqm.num_interactions(), 4);
+        assert_eq!(lowered.bqm.energy_spin(&[1, -1, 1, -1]), -4.0);
+        assert_eq!(lowered.register.id, "ising_vars");
+    }
+
+    #[test]
+    fn qaoa_bundle_rejected_by_anneal_lowering() {
+        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        assert!(matches!(lower_to_bqm(&bundle), Err(QmlError::Unsupported(_))));
+    }
+
+    #[test]
+    fn ising_bundle_rejected_by_gate_lowering() {
+        let bundle = maxcut_ising_program(&cycle(4)).unwrap();
+        assert!(matches!(
+            lower_to_circuit(&bundle),
+            Err(QmlError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_edges_rejected() {
+        let register = qml_algorithms::ising_register(4).unwrap();
+        let mut cost = qml_algorithms::qaoa::ising_cost_phase(&register, &cycle(4), 0.3, 0).unwrap();
+        cost.params.insert("edges", ParamValue::List(vec![ParamValue::Int(1)]));
+        let ops = qml_algorithms::with_measurement(vec![cost], &register).unwrap();
+        let bundle = JobBundle::new("bad-edges", vec![register], ops);
+        assert!(lower_to_circuit(&bundle).is_err());
+    }
+}

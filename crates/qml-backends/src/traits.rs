@@ -1,0 +1,82 @@
+//! The backend abstraction: anything that can execute a middle-layer job
+//! bundle.
+//!
+//! Backends are deliberately thin: they receive a complete, validated
+//! [`JobBundle`] (intent + context) and return a uniform
+//! [`ExecutionResult`](crate::results::ExecutionResult). Everything
+//! device-specific — lowering, transpilation, sampling — happens behind this
+//! trait, which is what makes the upper layers technology-agnostic.
+
+use qml_types::{JobBundle, Result};
+
+use crate::results::ExecutionResult;
+
+/// A backend able to realize and execute middle-layer job bundles.
+pub trait Backend: Send + Sync {
+    /// Stable backend name (used by the registry and in results).
+    fn name(&self) -> &str;
+
+    /// True if this backend can serve the given engine identifier
+    /// (e.g. `"gate.aer_simulator"`, `"anneal.neal_simulator"`).
+    fn supports_engine(&self, engine: &str) -> bool;
+
+    /// The engine identifier this backend uses when a bundle carries no
+    /// context (late binding to a sensible default).
+    fn default_engine(&self) -> &str;
+
+    /// Execute a job bundle and return its decoded result.
+    fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult>;
+
+    /// A rough, device-independent score for how expensive this bundle would
+    /// be on this backend — consumed by the runtime's cost-hint scheduler.
+    /// The default implementation sums the descriptors' cost hints.
+    fn estimate_cost(&self, bundle: &JobBundle) -> f64 {
+        bundle
+            .operators
+            .iter()
+            .filter_map(|op| op.cost_hint.as_ref())
+            .map(|hint| hint.scheduling_weight())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+    use qml_graph::cycle;
+    use qml_types::QmlError;
+
+    struct DummyBackend;
+
+    impl Backend for DummyBackend {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn supports_engine(&self, engine: &str) -> bool {
+            engine.starts_with("dummy.")
+        }
+        fn default_engine(&self) -> &str {
+            "dummy.null"
+        }
+        fn execute(&self, _bundle: &JobBundle) -> Result<ExecutionResult> {
+            Err(QmlError::Unsupported("dummy backend cannot execute".into()))
+        }
+    }
+
+    #[test]
+    fn default_cost_estimate_sums_hints() {
+        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let backend = DummyBackend;
+        let cost = backend.estimate_cost(&bundle);
+        assert!(cost > 0.0, "QAOA descriptors carry cost hints, so the estimate is positive");
+    }
+
+    #[test]
+    fn engine_matching() {
+        let backend = DummyBackend;
+        assert!(backend.supports_engine("dummy.anything"));
+        assert!(!backend.supports_engine("gate.aer_simulator"));
+        assert_eq!(backend.default_engine(), "dummy.null");
+    }
+}

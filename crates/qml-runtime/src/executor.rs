@@ -1,0 +1,274 @@
+//! Job lifecycle and parallel execution.
+//!
+//! The runtime accepts packaged job bundles (`job.json` artifacts in the
+//! paper's workflow), schedules each onto a backend, and executes queued jobs
+//! concurrently on crossbeam scoped threads. Job state is shared behind a
+//! `parking_lot` mutex so callers can poll status from other threads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use qml_backends::ExecutionResult;
+use qml_types::{JobBundle, QmlError, Result};
+
+use crate::registry::Scheduler;
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Submitted, not yet executed.
+    Queued,
+    /// Currently executing on a backend.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Finished with an error (message attached).
+    Failed(String),
+}
+
+/// A submitted job: the bundle, its status, and (eventually) its result.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Identifier assigned at submission.
+    pub id: JobId,
+    /// The submitted bundle.
+    pub bundle: JobBundle,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// The execution result once completed.
+    pub result: Option<ExecutionResult>,
+}
+
+/// The middle-layer runtime: a scheduler plus a job store.
+pub struct Runtime {
+    scheduler: Scheduler,
+    jobs: Arc<Mutex<BTreeMap<JobId, Job>>>,
+    next_id: Arc<Mutex<u64>>,
+}
+
+impl Runtime {
+    /// A runtime over the given scheduler.
+    pub fn new(scheduler: Scheduler) -> Self {
+        Runtime {
+            scheduler,
+            jobs: Arc::new(Mutex::new(BTreeMap::new())),
+            next_id: Arc::new(Mutex::new(0)),
+        }
+    }
+
+    /// A runtime with the built-in gate and annealing backends.
+    pub fn with_default_backends() -> Self {
+        Runtime::new(Scheduler::new(
+            crate::registry::BackendRegistry::with_default_backends(),
+        ))
+    }
+
+    /// The scheduler backing this runtime.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Submit a bundle for execution. Validation failures are rejected at
+    /// submission time, not at run time.
+    pub fn submit(&self, bundle: JobBundle) -> Result<JobId> {
+        bundle.validate()?;
+        let mut next = self.next_id.lock();
+        let id = JobId(*next);
+        *next += 1;
+        drop(next);
+        self.jobs.lock().insert(
+            id,
+            Job {
+                id,
+                bundle,
+                status: JobStatus::Queued,
+                result: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Status of a job.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.jobs.lock().get(&id).map(|j| j.status.clone())
+    }
+
+    /// Result of a completed job.
+    pub fn result(&self, id: JobId) -> Option<ExecutionResult> {
+        self.jobs.lock().get(&id).and_then(|j| j.result.clone())
+    }
+
+    /// Ids of all jobs in submission order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        self.jobs.lock().keys().copied().collect()
+    }
+
+    /// Execute one queued job synchronously.
+    pub fn run_job(&self, id: JobId) -> Result<ExecutionResult> {
+        let bundle = {
+            let mut jobs = self.jobs.lock();
+            let job = jobs
+                .get_mut(&id)
+                .ok_or_else(|| QmlError::Validation(format!("unknown job id {id:?}")))?;
+            if job.status != JobStatus::Queued {
+                return Err(QmlError::Validation(format!(
+                    "job {id:?} is not queued (status {:?})",
+                    job.status
+                )));
+            }
+            job.status = JobStatus::Running;
+            job.bundle.clone()
+        };
+
+        let outcome = self.scheduler.execute(&bundle);
+        let mut jobs = self.jobs.lock();
+        let job = jobs.get_mut(&id).expect("job disappeared while running");
+        match &outcome {
+            Ok(result) => {
+                job.status = JobStatus::Completed;
+                job.result = Some(result.clone());
+            }
+            Err(err) => {
+                job.status = JobStatus::Failed(err.to_string());
+            }
+        }
+        outcome
+    }
+
+    /// Execute every queued job, distributing them over crossbeam scoped
+    /// threads (at most `max_parallel` at a time). Returns the per-job
+    /// outcomes in submission order.
+    pub fn run_all(&self, max_parallel: usize) -> Vec<(JobId, Result<ExecutionResult>)> {
+        let queued: Vec<JobId> = {
+            let jobs = self.jobs.lock();
+            jobs.values()
+                .filter(|j| j.status == JobStatus::Queued)
+                .map(|j| j.id)
+                .collect()
+        };
+        let max_parallel = max_parallel.max(1);
+        let outcomes: Mutex<Vec<(JobId, Result<ExecutionResult>)>> = Mutex::new(Vec::new());
+
+        let outcomes_ref = &outcomes;
+        for chunk in queued.chunks(max_parallel) {
+            crossbeam::scope(|scope| {
+                for &id in chunk {
+                    scope.spawn(move |_| {
+                        let outcome = self.run_job(id);
+                        outcomes_ref.lock().push((id, outcome));
+                    });
+                }
+            })
+            .expect("job execution thread panicked");
+        }
+
+        let mut results = outcomes.into_inner();
+        results.sort_by_key(|(id, _)| *id);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{
+        maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES,
+    };
+    use qml_graph::cycle;
+    use qml_types::{AnnealConfig, ContextDescriptor, ExecConfig, JobBundle};
+
+    fn gate_bundle(samples: u64) -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(ContextDescriptor::for_gate(
+                ExecConfig::new("gate.aer_simulator").with_samples(samples).with_seed(1),
+            ))
+    }
+
+    fn anneal_bundle(reads: u64) -> JobBundle {
+        maxcut_ising_program(&cycle(4)).unwrap().with_context(
+            ContextDescriptor::for_anneal("anneal.neal_simulator", AnnealConfig::with_reads(reads)),
+        )
+    }
+
+    #[test]
+    fn submit_run_and_query() {
+        let runtime = Runtime::with_default_backends();
+        let id = runtime.submit(gate_bundle(128)).unwrap();
+        assert_eq!(runtime.status(id), Some(JobStatus::Queued));
+        let result = runtime.run_job(id).unwrap();
+        assert_eq!(result.shots, 128);
+        assert_eq!(runtime.status(id), Some(JobStatus::Completed));
+        assert_eq!(runtime.result(id).unwrap().shots, 128);
+    }
+
+    #[test]
+    fn invalid_bundle_rejected_at_submission() {
+        let runtime = Runtime::with_default_backends();
+        let bundle = JobBundle::new("empty", vec![], vec![]);
+        assert!(runtime.submit(bundle).is_err());
+        assert!(runtime.job_ids().is_empty());
+    }
+
+    #[test]
+    fn running_a_job_twice_is_rejected() {
+        let runtime = Runtime::with_default_backends();
+        let id = runtime.submit(anneal_bundle(50)).unwrap();
+        runtime.run_job(id).unwrap();
+        assert!(runtime.run_job(id).is_err());
+    }
+
+    #[test]
+    fn failed_jobs_record_their_error() {
+        let runtime = Runtime::with_default_backends();
+        // A QAOA bundle forced onto the annealing engine cannot be realized.
+        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(ContextDescriptor::for_anneal(
+                "anneal.neal_simulator",
+                AnnealConfig::with_reads(10),
+            ));
+        let id = runtime.submit(bundle).unwrap();
+        assert!(runtime.run_job(id).is_err());
+        match runtime.status(id).unwrap() {
+            JobStatus::Failed(msg) => assert!(msg.contains("ISING_PROBLEM"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_all_executes_mixed_workloads_in_parallel() {
+        let runtime = Runtime::with_default_backends();
+        let ids = vec![
+            runtime.submit(gate_bundle(64)).unwrap(),
+            runtime.submit(anneal_bundle(64)).unwrap(),
+            runtime.submit(gate_bundle(32)).unwrap(),
+            runtime.submit(anneal_bundle(32)).unwrap(),
+        ];
+        let outcomes = runtime.run_all(4);
+        assert_eq!(outcomes.len(), 4);
+        for (id, outcome) in &outcomes {
+            assert!(outcome.is_ok(), "job {id:?} failed: {outcome:?}");
+            assert_eq!(runtime.status(*id), Some(JobStatus::Completed));
+        }
+        // Gate jobs went to the gate backend, anneal jobs to the annealer.
+        assert_eq!(runtime.result(ids[0]).unwrap().backend, "qml-gate-simulator");
+        assert_eq!(runtime.result(ids[1]).unwrap().backend, "qml-simulated-annealer");
+    }
+
+    #[test]
+    fn run_all_with_single_thread_budget() {
+        let runtime = Runtime::with_default_backends();
+        runtime.submit(gate_bundle(16)).unwrap();
+        runtime.submit(anneal_bundle(16)).unwrap();
+        let outcomes = runtime.run_all(1);
+        assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+    }
+}

@@ -1,0 +1,24 @@
+//! # qml-runtime — registry, scheduler, job lifecycle, and context services
+//!
+//! The runtime is the layer between packaged job bundles and backends:
+//!
+//! * [`BackendRegistry`] — the available backends (gate simulator, annealer,
+//!   and any user-registered implementation of [`qml_backends::Backend`]).
+//! * [`Scheduler`] — honours an explicit engine request from the context, and
+//!   otherwise ranks family-compatible backends by descriptor cost hints —
+//!   the paper's HPC-scheduler analogy (§2).
+//! * [`Runtime`] — job submission, status tracking, and parallel execution of
+//!   queued jobs on crossbeam scoped threads.
+//! * [`services`] — orthogonal context services (§4.3.1): the QEC service and
+//!   a communication estimator for partitioned (multi-QPU) execution.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod executor;
+pub mod registry;
+pub mod services;
+
+pub use executor::{Job, JobId, JobStatus, Runtime};
+pub use registry::{BackendRegistry, Placement, Scheduler};
+pub use services::{estimate_communication, with_communication, CommunicationEstimate, ContextServices};

@@ -1,0 +1,386 @@
+//! Quantum circuits: ordered gate lists with explicit measurement maps.
+//!
+//! A [`Circuit`] is the realization target the gate backend lowers operator
+//! descriptors into and the unit the transpiler rewrites. Measurements are
+//! explicit — a circuit with no `measure` entries produces no classical data,
+//! honouring the middle layer's "no implicit measurements" rule.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::gate::Gate;
+
+/// An ordered list of gates on `num_qubits` qubits plus an explicit
+/// measurement map (qubit → classical bit position).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+    /// Qubits measured at the end of the circuit, in classical-bit order:
+    /// `measured[j]` is the qubit whose outcome becomes classical bit `j`.
+    measured: Vec<usize>,
+}
+
+impl Circuit {
+    /// An empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+            measured: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits produced by the measurement map.
+    pub fn num_clbits(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// The gates in application order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The measurement map (classical bit `j` reads qubit `measured()[j]`).
+    pub fn measured(&self) -> &[usize] {
+        &self.measured
+    }
+
+    /// Append a gate.
+    ///
+    /// # Panics
+    /// Panics if the gate touches a qubit outside the circuit.
+    pub fn push(&mut self, gate: Gate) {
+        for q in gate.qubits() {
+            assert!(
+                q < self.num_qubits,
+                "gate {} on qubit {q} exceeds circuit width {}",
+                gate.name(),
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+    }
+
+    /// Append every gate of a slice.
+    pub fn extend(&mut self, gates: &[Gate]) {
+        for &g in gates {
+            self.push(g);
+        }
+    }
+
+    /// Append another circuit's gates (its measurements are ignored).
+    pub fn compose(&mut self, other: &Circuit) {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot compose a wider circuit ({} qubits) into {} qubits",
+            other.num_qubits,
+            self.num_qubits
+        );
+        self.extend(&other.gates);
+    }
+
+    /// Declare that `qubits` are measured (in the given classical-bit order).
+    ///
+    /// # Panics
+    /// Panics if a qubit is measured twice or is out of range.
+    pub fn measure(&mut self, qubits: &[usize]) {
+        for &q in qubits {
+            assert!(q < self.num_qubits, "measured qubit {q} out of range");
+            assert!(
+                !self.measured.contains(&q),
+                "qubit {q} is already measured (no double measurement)"
+            );
+            self.measured.push(q);
+        }
+    }
+
+    /// Measure every qubit in index order.
+    pub fn measure_all(&mut self) {
+        let all: Vec<usize> = (0..self.num_qubits).collect();
+        self.measure(&all);
+    }
+
+    /// Total gate count.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit holds no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of two-qubit gates.
+    pub fn count_two_qubit(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Number of single-qubit gates.
+    pub fn count_single_qubit(&self) -> usize {
+        self.gates.len() - self.count_two_qubit()
+    }
+
+    /// Gate counts keyed by gate name (the statistic Qiskit's `count_ops`
+    /// reports and the paper's cost hints approximate).
+    pub fn gate_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for g in &self.gates {
+            *out.entry(g.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Circuit depth: the length of the longest chain of gates sharing
+    /// qubits, computed greedily in program order.
+    pub fn depth(&self) -> usize {
+        let mut per_qubit = vec![0usize; self.num_qubits];
+        let mut depth = 0usize;
+        for g in &self.gates {
+            let level = g
+                .qubits()
+                .iter()
+                .map(|&q| per_qubit[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in g.qubits() {
+                per_qubit[q] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+
+    /// The inverse circuit: gates reversed and individually inverted.
+    /// Measurements are not carried over (the inverse of a measured circuit
+    /// is only meaningful up to the measurement).
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(Gate::inverse).collect(),
+            measured: Vec::new(),
+        }
+    }
+
+    /// Remap every gate and measurement through `map` (old index → new
+    /// index) onto a circuit of `new_width` qubits.
+    pub fn remap(&self, map: &[usize], new_width: usize) -> Circuit {
+        assert_eq!(map.len(), self.num_qubits, "layout map must cover every qubit");
+        let mut out = Circuit::new(new_width);
+        for g in &self.gates {
+            out.push(g.remap(map));
+        }
+        out.measured = self.measured.iter().map(|&q| map[q]).collect();
+        out
+    }
+
+    /// Does the circuit only use gates whose names appear in `basis`?
+    /// (Measurements are always allowed.)
+    pub fn uses_only(&self, basis: &[String]) -> bool {
+        self.gates.iter().all(|g| basis.iter().any(|b| b == g.name()))
+    }
+}
+
+/// Build the textbook QFT circuit on qubits `0..n` of a circuit: Hadamards
+/// and controlled phases, with optional final wire-reversal swaps and an
+/// approximation degree that drops the smallest-angle rotations — the
+/// realization of the paper's `QFT_TEMPLATE` descriptor parameters.
+pub fn qft_circuit(n: usize, approx_degree: usize, do_swaps: bool, inverse: bool) -> Circuit {
+    let mut qc = Circuit::new(n);
+    for j in (0..n).rev() {
+        qc.push(Gate::H(j));
+        for k in (0..j).rev() {
+            let distance = j - k;
+            // approximation_degree = d drops rotations with distance > n-1-d.
+            if approx_degree > 0 && distance > n.saturating_sub(1 + approx_degree) {
+                continue;
+            }
+            let angle = std::f64::consts::PI / (1 << distance) as f64;
+            qc.push(Gate::Cp(k, j, angle));
+        }
+    }
+    if do_swaps {
+        for i in 0..n / 2 {
+            qc.push(Gate::Swap(i, n - 1 - i));
+        }
+    }
+    if inverse {
+        qc.inverse()
+    } else {
+        qc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn push_and_counts() {
+        let mut qc = Circuit::new(3);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 1), Gate::Rz(2, 0.4), Gate::Cx(1, 2)]);
+        assert_eq!(qc.len(), 4);
+        assert_eq!(qc.count_two_qubit(), 2);
+        assert_eq!(qc.count_single_qubit(), 2);
+        assert_eq!(qc.gate_counts()["cx"], 2);
+        assert_eq!(qc.depth(), 3);
+    }
+
+    #[test]
+    fn depth_of_parallel_layers() {
+        let mut qc = Circuit::new(4);
+        qc.extend(&[Gate::H(0), Gate::H(1), Gate::H(2), Gate::H(3)]);
+        assert_eq!(qc.depth(), 1);
+        qc.push(Gate::Cx(0, 1));
+        qc.push(Gate::Cx(2, 3));
+        assert_eq!(qc.depth(), 2);
+        qc.push(Gate::Cx(1, 2));
+        assert_eq!(qc.depth(), 3);
+    }
+
+    #[test]
+    fn empty_circuit_properties() {
+        let qc = Circuit::new(2);
+        assert!(qc.is_empty());
+        assert_eq!(qc.depth(), 0);
+        assert_eq!(qc.num_clbits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds circuit width")]
+    fn gate_out_of_range_panics() {
+        Circuit::new(2).push(Gate::H(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already measured")]
+    fn double_measurement_panics() {
+        let mut qc = Circuit::new(2);
+        qc.measure(&[0]);
+        qc.measure(&[0]);
+    }
+
+    #[test]
+    fn measure_all_order() {
+        let mut qc = Circuit::new(3);
+        qc.measure_all();
+        assert_eq!(qc.measured(), &[0, 1, 2]);
+        assert_eq!(qc.num_clbits(), 3);
+    }
+
+    #[test]
+    fn inverse_undoes_circuit() {
+        let mut qc = Circuit::new(3);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::Cx(0, 1),
+            Gate::T(2),
+            Gate::Rz(1, 0.9),
+            Gate::Cp(0, 2, 0.4),
+            Gate::Sx(1),
+        ]);
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_all(qc.gates());
+        sv.apply_all(qc.inverse().gates());
+        let zero = StateVector::zero_state(3);
+        assert!((sv.fidelity(&zero) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remap_moves_gates_and_measurements() {
+        let mut qc = Circuit::new(2);
+        qc.push(Gate::Cx(0, 1));
+        qc.measure(&[0, 1]);
+        let remapped = qc.remap(&[3, 1], 4);
+        assert_eq!(remapped.gates()[0], Gate::Cx(3, 1));
+        assert_eq!(remapped.measured(), &[3, 1]);
+        assert_eq!(remapped.num_qubits(), 4);
+    }
+
+    #[test]
+    fn uses_only_checks_basis() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::Sx(0), Gate::Rz(1, 0.3), Gate::Cx(0, 1)]);
+        let basis: Vec<String> = ["sx", "rz", "cx"].iter().map(|s| s.to_string()).collect();
+        assert!(qc.uses_only(&basis));
+        qc.push(Gate::H(0));
+        assert!(!qc.uses_only(&basis));
+    }
+
+    #[test]
+    fn qft_gate_count_matches_formula() {
+        // Exact QFT with swaps: n Hadamards, n(n-1)/2 controlled phases,
+        // ⌊n/2⌋ swaps.
+        let n = 10;
+        let qc = qft_circuit(n, 0, true, false);
+        let counts = qc.gate_counts();
+        assert_eq!(counts["h"], n);
+        assert_eq!(counts["cp"], n * (n - 1) / 2);
+        assert_eq!(counts["swap"], n / 2);
+    }
+
+    #[test]
+    fn approximate_qft_drops_small_rotations() {
+        let exact = qft_circuit(8, 0, false, false);
+        let approx = qft_circuit(8, 3, false, false);
+        assert!(approx.count_two_qubit() < exact.count_two_qubit());
+    }
+
+    #[test]
+    fn qft_of_basis_state_gives_uniform_magnitudes() {
+        let n = 4;
+        let qc = qft_circuit(n, 0, true, false);
+        let mut sv = StateVector::basis_state(n, 5);
+        sv.apply_all(qc.gates());
+        let expected = 1.0 / (1 << n) as f64;
+        for i in 0..(1 << n) {
+            assert!((sv.probability(i) - expected).abs() < 1e-9, "index {i}");
+        }
+    }
+
+    #[test]
+    fn qft_inverse_qft_is_identity() {
+        let n = 5;
+        let forward = qft_circuit(n, 0, true, false);
+        let backward = qft_circuit(n, 0, true, true);
+        let mut sv = StateVector::basis_state(n, 19);
+        sv.apply_all(forward.gates());
+        sv.apply_all(backward.gates());
+        assert!((sv.probability(19) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qft_diagonalizes_phase_gradient() {
+        // Preparing the phase-gradient state for integer k and applying the
+        // inverse QFT must yield |k⟩: the basis of quantum phase estimation.
+        let n = 5;
+        let dim = 1usize << n;
+        let k = 11usize;
+        // Build Σ_x e^{2πi k x / 2^n} |x⟩ / √2^n with H + phase gates.
+        let mut qc = Circuit::new(n);
+        for q in 0..n {
+            qc.push(Gate::H(q));
+            let angle = TAU * (k as f64) * (1 << q) as f64 / dim as f64;
+            qc.push(Gate::Phase(q, angle));
+        }
+        // The inverse of the no-swap QFT maps it back to |k⟩ bit-reversed;
+        // with swaps enabled the result is |k⟩ directly.
+        let inv = qft_circuit(n, 0, true, true);
+        let mut sv = StateVector::zero_state(n);
+        sv.apply_all(qc.gates());
+        sv.apply_all(inv.gates());
+        assert!(
+            (sv.probability(k) - 1.0).abs() < 1e-9,
+            "P(|{k}⟩) = {}",
+            sv.probability(k)
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! The simulator's gate set.
+//!
+//! This is the vocabulary gate backends lower operator descriptors into and
+//! the transpiler rewrites. It covers everything the paper's two workflows
+//! need — the QFT motivational example (H, controlled-phase, SWAP) and the
+//! QAOA Max-Cut path (H, RZZ, RX) — plus the `{sx, rz, cx}` hardware basis of
+//! the paper's Listing 4 context and the generic `U(θ, φ, λ)` used by
+//! single-qubit resynthesis.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+use crate::complex::Complex64;
+
+/// A quantum gate applied to specific qubit indices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// S†.
+    Sdg(usize),
+    /// T = diag(1, e^{iπ/4}).
+    T(usize),
+    /// T†.
+    Tdg(usize),
+    /// √X — a hardware-native gate in the paper's `[sx, rz, cx]` basis.
+    Sx(usize),
+    /// Rotation about X by θ.
+    Rx(usize, f64),
+    /// Rotation about Y by θ.
+    Ry(usize, f64),
+    /// Rotation about Z by θ (global-phase-free diag(e^{-iθ/2}, e^{iθ/2})).
+    Rz(usize, f64),
+    /// Phase gate P(λ) = diag(1, e^{iλ}).
+    Phase(usize, f64),
+    /// Generic single-qubit U(θ, φ, λ).
+    U(usize, f64, f64, f64),
+    /// Controlled-X (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z.
+    Cz(usize, usize),
+    /// Controlled-phase CP(λ) (control, target, λ).
+    Cp(usize, usize, f64),
+    /// SWAP.
+    Swap(usize, usize),
+    /// Two-qubit ZZ interaction exp(-i θ/2 Z⊗Z) — the QAOA cost layer's
+    /// native primitive.
+    Rzz(usize, usize, f64),
+}
+
+impl Gate {
+    /// Lower-case gate name as used in context `basis_gates` lists.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Sx(_) => "sx",
+            Gate::Rx(_, _) => "rx",
+            Gate::Ry(_, _) => "ry",
+            Gate::Rz(_, _) => "rz",
+            Gate::Phase(_, _) => "p",
+            Gate::U(_, _, _, _) => "u",
+            Gate::Cx(_, _) => "cx",
+            Gate::Cz(_, _) => "cz",
+            Gate::Cp(_, _, _) => "cp",
+            Gate::Swap(_, _) => "swap",
+            Gate::Rzz(_, _, _) => "rzz",
+        }
+    }
+
+    /// Qubits the gate acts on (control first for controlled gates).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Sx(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Phase(q, _)
+            | Gate::U(q, _, _, _) => vec![q],
+            Gate::Cx(c, t) | Gate::Cz(c, t) | Gate::Cp(c, t, _) | Gate::Swap(c, t) | Gate::Rzz(c, t, _) => {
+                vec![c, t]
+            }
+        }
+    }
+
+    /// True for two-qubit (entangling) gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().len() == 2
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(q),
+            Gate::X(q) => Gate::X(q),
+            Gate::Y(q) => Gate::Y(q),
+            Gate::Z(q) => Gate::Z(q),
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            // sx⁻¹ = sx† = rx(-π/2) up to global phase.
+            Gate::Sx(q) => Gate::Rx(q, -FRAC_PI_2),
+            Gate::Rx(q, t) => Gate::Rx(q, -t),
+            Gate::Ry(q, t) => Gate::Ry(q, -t),
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            Gate::Phase(q, t) => Gate::Phase(q, -t),
+            Gate::U(q, theta, phi, lambda) => Gate::U(q, -theta, -lambda, -phi),
+            Gate::Cx(c, t) => Gate::Cx(c, t),
+            Gate::Cz(c, t) => Gate::Cz(c, t),
+            Gate::Cp(c, t, l) => Gate::Cp(c, t, -l),
+            Gate::Swap(a, b) => Gate::Swap(a, b),
+            Gate::Rzz(a, b, t) => Gate::Rzz(a, b, -t),
+        }
+    }
+
+    /// Remap qubit indices through `map` (used by routing and register
+    /// layout). `map[i]` is the new index of old qubit `i`.
+    pub fn remap(&self, map: &[usize]) -> Gate {
+        let m = |q: usize| map[q];
+        match *self {
+            Gate::H(q) => Gate::H(m(q)),
+            Gate::X(q) => Gate::X(m(q)),
+            Gate::Y(q) => Gate::Y(m(q)),
+            Gate::Z(q) => Gate::Z(m(q)),
+            Gate::S(q) => Gate::S(m(q)),
+            Gate::Sdg(q) => Gate::Sdg(m(q)),
+            Gate::T(q) => Gate::T(m(q)),
+            Gate::Tdg(q) => Gate::Tdg(m(q)),
+            Gate::Sx(q) => Gate::Sx(m(q)),
+            Gate::Rx(q, t) => Gate::Rx(m(q), t),
+            Gate::Ry(q, t) => Gate::Ry(m(q), t),
+            Gate::Rz(q, t) => Gate::Rz(m(q), t),
+            Gate::Phase(q, t) => Gate::Phase(m(q), t),
+            Gate::U(q, a, b, c) => Gate::U(m(q), a, b, c),
+            Gate::Cx(c, t) => Gate::Cx(m(c), m(t)),
+            Gate::Cz(c, t) => Gate::Cz(m(c), m(t)),
+            Gate::Cp(c, t, l) => Gate::Cp(m(c), m(t), l),
+            Gate::Swap(a, b) => Gate::Swap(m(a), m(b)),
+            Gate::Rzz(a, b, t) => Gate::Rzz(m(a), m(b), t),
+        }
+    }
+
+    /// The 2×2 matrix of a single-qubit gate in row-major order
+    /// `[m00, m01, m10, m11]`, or `None` for two-qubit gates.
+    pub fn single_qubit_matrix(&self) -> Option<[Complex64; 4]> {
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let m = match *self {
+            Gate::H(_) => [
+                Complex64::real(inv_sqrt2),
+                Complex64::real(inv_sqrt2),
+                Complex64::real(inv_sqrt2),
+                Complex64::real(-inv_sqrt2),
+            ],
+            Gate::X(_) => [
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ONE,
+                Complex64::ZERO,
+            ],
+            Gate::Y(_) => [
+                Complex64::ZERO,
+                -Complex64::I,
+                Complex64::I,
+                Complex64::ZERO,
+            ],
+            Gate::Z(_) => [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                -Complex64::ONE,
+            ],
+            Gate::S(_) => [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::I,
+            ],
+            Gate::Sdg(_) => [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                -Complex64::I,
+            ],
+            Gate::T(_) => [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::from_phase(PI / 4.0),
+            ],
+            Gate::Tdg(_) => [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::from_phase(-PI / 4.0),
+            ],
+            Gate::Sx(_) => [
+                Complex64::new(0.5, 0.5),
+                Complex64::new(0.5, -0.5),
+                Complex64::new(0.5, -0.5),
+                Complex64::new(0.5, 0.5),
+            ],
+            Gate::Rx(_, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                [
+                    Complex64::real(c),
+                    Complex64::new(0.0, -s),
+                    Complex64::new(0.0, -s),
+                    Complex64::real(c),
+                ]
+            }
+            Gate::Ry(_, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                [
+                    Complex64::real(c),
+                    Complex64::real(-s),
+                    Complex64::real(s),
+                    Complex64::real(c),
+                ]
+            }
+            Gate::Rz(_, t) => [
+                Complex64::from_phase(-t / 2.0),
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::from_phase(t / 2.0),
+            ],
+            Gate::Phase(_, l) => [
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::from_phase(l),
+            ],
+            Gate::U(_, theta, phi, lambda) => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                [
+                    Complex64::real(c),
+                    Complex64::from_phase(lambda).scale(-s),
+                    Complex64::from_phase(phi).scale(s),
+                    Complex64::from_phase(phi + lambda).scale(c),
+                ]
+            }
+            _ => return None,
+        };
+        Some(m)
+    }
+}
+
+/// Multiply two 2×2 matrices stored row-major: `a · b`.
+pub fn matmul2(a: &[Complex64; 4], b: &[Complex64; 4]) -> [Complex64; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Check that a 2×2 matrix is unitary within `eps`.
+pub fn is_unitary2(m: &[Complex64; 4], eps: f64) -> bool {
+    // m† m = I
+    let dag = [m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()];
+    let p = matmul2(&dag, m);
+    p[0].approx_eq(Complex64::ONE, eps)
+        && p[3].approx_eq(Complex64::ONE, eps)
+        && p[1].approx_eq(Complex64::ZERO, eps)
+        && p[2].approx_eq(Complex64::ZERO, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    fn single_qubit_gates() -> Vec<Gate> {
+        vec![
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Sx(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.3),
+            Gate::Rz(0, 2.1),
+            Gate::Phase(0, 0.9),
+            Gate::U(0, 1.0, 0.5, -0.3),
+        ]
+    }
+
+    #[test]
+    fn all_single_qubit_matrices_are_unitary() {
+        for gate in single_qubit_gates() {
+            let m = gate.single_qubit_matrix().unwrap();
+            assert!(is_unitary2(&m, EPS), "{} is not unitary", gate.name());
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_have_no_single_matrix() {
+        for gate in [Gate::Cx(0, 1), Gate::Cz(0, 1), Gate::Swap(0, 1), Gate::Rzz(0, 1, 0.3)] {
+            assert!(gate.single_qubit_matrix().is_none());
+            assert!(gate.is_two_qubit());
+        }
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = Gate::Sx(0).single_qubit_matrix().unwrap();
+        let x = Gate::X(0).single_qubit_matrix().unwrap();
+        let sq = matmul2(&sx, &sx);
+        for i in 0..4 {
+            assert!(sq[i].approx_eq(x[i], EPS), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_gate_is_identity_for_1q() {
+        for gate in single_qubit_gates() {
+            let m = gate.single_qubit_matrix().unwrap();
+            let inv = gate.inverse().single_qubit_matrix().unwrap();
+            let p = matmul2(&inv, &m);
+            // Identity up to a global phase: off-diagonals vanish and the
+            // diagonal entries are equal unit-magnitude numbers.
+            assert!(p[1].approx_eq(Complex64::ZERO, EPS), "{}", gate.name());
+            assert!(p[2].approx_eq(Complex64::ZERO, EPS), "{}", gate.name());
+            assert!((p[0].abs() - 1.0).abs() < EPS, "{}", gate.name());
+            assert!(p[0].approx_eq(p[3], EPS), "{}", gate.name());
+        }
+    }
+
+    #[test]
+    fn u_gate_specializations() {
+        // U(π/2, 0, π) = H up to global phase; compare action structure.
+        let u = Gate::U(0, std::f64::consts::FRAC_PI_2, 0.0, PI)
+            .single_qubit_matrix()
+            .unwrap();
+        let h = Gate::H(0).single_qubit_matrix().unwrap();
+        for i in 0..4 {
+            assert!(u[i].approx_eq(h[i], EPS), "entry {i}: {} vs {}", u[i], h[i]);
+        }
+    }
+
+    #[test]
+    fn names_and_qubits() {
+        assert_eq!(Gate::Cx(2, 5).name(), "cx");
+        assert_eq!(Gate::Cx(2, 5).qubits(), vec![2, 5]);
+        assert_eq!(Gate::Rz(3, 0.1).qubits(), vec![3]);
+        assert_eq!(Gate::Rzz(0, 1, 0.4).name(), "rzz");
+    }
+
+    #[test]
+    fn remap_changes_indices() {
+        let map = vec![2, 0, 1];
+        assert_eq!(Gate::Cx(0, 2).remap(&map), Gate::Cx(2, 1));
+        assert_eq!(Gate::H(1).remap(&map), Gate::H(0));
+    }
+
+    #[test]
+    fn phase_and_rz_differ_by_global_phase_only() {
+        let theta = 0.83;
+        let p = Gate::Phase(0, theta).single_qubit_matrix().unwrap();
+        let rz = Gate::Rz(0, theta).single_qubit_matrix().unwrap();
+        // p = e^{iθ/2} rz  ⇒ ratio of corresponding entries is a fixed phase.
+        let phase = Complex64::from_phase(theta / 2.0);
+        assert!(p[0].approx_eq(rz[0] * phase, EPS));
+        assert!(p[3].approx_eq(rz[3] * phase, EPS));
+    }
+}

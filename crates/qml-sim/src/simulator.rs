@@ -1,0 +1,171 @@
+//! The state-vector simulator: the repository's stand-in for IBM Qiskit Aer.
+//!
+//! The paper's gate path executes circuits on the Aer state-vector simulator
+//! with a shot count and seed (Listing 4: `samples = 4096`, `seed = 42`).
+//! [`Simulator`] reproduces exactly that contract: exact amplitudes, then
+//! multinomial shot sampling with a reproducible seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+use crate::circuit::Circuit;
+use crate::state::StateVector;
+
+/// Shot-sampled execution result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    /// Observed bitstrings (character `j` = classical bit `j`) with counts.
+    pub counts: BTreeMap<String, u64>,
+    /// Number of shots drawn.
+    pub shots: u64,
+    /// Seed used for sampling.
+    pub seed: u64,
+}
+
+impl SimulationResult {
+    /// Empirical probability of a word.
+    pub fn probability(&self, word: &str) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        *self.counts.get(word).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// The most frequent word (ties broken lexicographically).
+    pub fn most_frequent(&self) -> Option<(&str, u64)> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(w, &n)| (w.as_str(), n))
+    }
+}
+
+/// An ideal (noise-free) state-vector simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator;
+
+impl Simulator {
+    /// Create a simulator.
+    pub fn new() -> Self {
+        Simulator
+    }
+
+    /// Evolve |0...0⟩ through the circuit and return the final state vector
+    /// (measurements are ignored — this is the exact, pre-measurement state).
+    pub fn statevector(&self, circuit: &Circuit) -> StateVector {
+        let mut sv = StateVector::zero_state(circuit.num_qubits());
+        sv.apply_all(circuit.gates());
+        sv
+    }
+
+    /// Run the circuit for `shots` samples of its measured qubits.
+    ///
+    /// # Panics
+    /// Panics if the circuit declares no measurements — implicit "measure
+    /// everything" defaults are exactly what the middle layer forbids.
+    pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> SimulationResult {
+        assert!(
+            circuit.num_clbits() > 0,
+            "circuit has no measurements; the middle layer forbids implicit measurement"
+        );
+        let sv = self.statevector(circuit);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = sv.sample_counts(circuit.measured(), shots, &mut rng);
+        SimulationResult {
+            counts,
+            shots,
+            seed,
+        }
+    }
+
+    /// Exact outcome distribution of the measured qubits (no sampling noise).
+    pub fn exact_distribution(&self, circuit: &Circuit) -> BTreeMap<String, f64> {
+        assert!(
+            circuit.num_clbits() > 0,
+            "circuit has no measurements; the middle layer forbids implicit measurement"
+        );
+        let sv = self.statevector(circuit);
+        sv.marginal_probabilities(circuit.measured())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::qft_circuit;
+    use crate::gate::Gate;
+
+    #[test]
+    fn bell_counts_only_00_and_11() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 1)]);
+        qc.measure_all();
+        let result = Simulator::new().run(&qc, 4096, 42);
+        assert_eq!(result.shots, 4096);
+        assert_eq!(result.counts.len(), 2);
+        assert!(result.counts.contains_key("00"));
+        assert!(result.counts.contains_key("11"));
+        assert!((result.probability("00") - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut qc = Circuit::new(3);
+        qc.extend(&[Gate::H(0), Gate::H(1), Gate::H(2)]);
+        qc.measure_all();
+        let sim = Simulator::new();
+        assert_eq!(sim.run(&qc, 1000, 7).counts, sim.run(&qc, 1000, 7).counts);
+        assert_ne!(sim.run(&qc, 1000, 7).counts, sim.run(&qc, 1000, 8).counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurements")]
+    fn unmeasured_circuit_panics() {
+        let mut qc = Circuit::new(1);
+        qc.push(Gate::H(0));
+        Simulator::new().run(&qc, 10, 0);
+    }
+
+    #[test]
+    fn exact_distribution_matches_theory() {
+        let mut qc = Circuit::new(1);
+        qc.push(Gate::Ry(0, 2.0 * (0.3f64).asin())); // P(1) = 0.09
+        qc.measure_all();
+        let dist = Simulator::new().exact_distribution(&qc);
+        assert!((dist["1"] - 0.09).abs() < 1e-9);
+        assert!((dist["0"] - 0.91).abs() < 1e-9);
+    }
+
+    #[test]
+    fn listing1_qft_on_zero_state_is_uniform() {
+        // The motivational example: 10-qubit QFT measured with 10 000 shots.
+        // On |0...0⟩ the QFT produces the uniform distribution.
+        let n = 10;
+        let mut qc = qft_circuit(n, 0, true, false);
+        qc.measure_all();
+        let result = Simulator::new().run(&qc, 10_000, 1234);
+        // Every outcome probability should be close to 1/1024 ≈ 0.001; check
+        // that no outcome is wildly over-represented.
+        let max = result.counts.values().max().copied().unwrap_or(0) as f64 / 10_000.0;
+        assert!(max < 0.01, "max outcome probability {max}");
+        assert_eq!(result.counts.values().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn partial_measurement_word_length() {
+        let mut qc = Circuit::new(4);
+        qc.extend(&[Gate::X(2)]);
+        qc.measure(&[2, 0]);
+        let result = Simulator::new().run(&qc, 10, 3);
+        assert_eq!(result.most_frequent(), Some(("10", 10)));
+    }
+
+    #[test]
+    fn statevector_access_without_measurement() {
+        let mut qc = Circuit::new(2);
+        qc.push(Gate::H(0));
+        let sv = Simulator::new().statevector(&qc);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+}

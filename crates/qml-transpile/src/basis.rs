@@ -1,0 +1,300 @@
+//! Basis translation: rewriting gates into a target's native gate set.
+//!
+//! The paper's context descriptor constrains compilation to the gate set
+//! `[sx, rz, cx]` (Listing 4), "which forces realistic routing and basis
+//! decompositions". This module performs those decompositions: every
+//! single-qubit gate is rewritten as a ZXZXZ sequence (RZ·SX·RZ·SX·RZ), and
+//! every two-qubit gate is expanded over CX plus single-qubit gates. All
+//! rewrites are exact up to a global phase, which is irrelevant to any
+//! measurement statistics the middle layer exposes.
+
+use qml_sim::{matmul2, Circuit, Complex64, Gate};
+
+use crate::target::TranspileTarget;
+
+/// Extract OpenQASM `U(θ, φ, λ)` angles (and the global phase) from an
+/// arbitrary single-qubit unitary.
+pub fn u_angles_from_matrix(m: &[Complex64; 4]) -> (f64, f64, f64) {
+    let eps = 1e-12;
+    let theta = 2.0 * m[2].abs().atan2(m[0].abs());
+    if m[0].abs() < eps {
+        // θ = π: cos(θ/2) = 0; choose λ = 0.
+        let g = (-m[1]).arg();
+        let phi = m[2].arg() - g;
+        (theta, phi, 0.0)
+    } else if m[2].abs() < eps {
+        // θ = 0: sin(θ/2) = 0; choose φ = 0.
+        let g = m[0].arg();
+        let lambda = m[3].arg() - g;
+        (theta, 0.0, lambda)
+    } else {
+        let g = m[0].arg();
+        let phi = m[2].arg() - g;
+        let lambda = (-m[1]).arg() - g;
+        (theta, phi, lambda)
+    }
+}
+
+/// Rewrite any single-qubit gate as the ZXZXZ sequence
+/// `RZ(λ) · SX · RZ(θ+π) · SX · RZ(φ+π)` (listed in application order),
+/// exact up to a global phase.
+pub fn decompose_1q_to_zsx(gate: &Gate) -> Vec<Gate> {
+    let q = gate.qubits()[0];
+    // Diagonal gates need only a single RZ.
+    match *gate {
+        Gate::Rz(_, t) => return vec![Gate::Rz(q, t)],
+        Gate::Z(_) => return vec![Gate::Rz(q, std::f64::consts::PI)],
+        Gate::S(_) => return vec![Gate::Rz(q, std::f64::consts::FRAC_PI_2)],
+        Gate::Sdg(_) => return vec![Gate::Rz(q, -std::f64::consts::FRAC_PI_2)],
+        Gate::T(_) => return vec![Gate::Rz(q, std::f64::consts::FRAC_PI_4)],
+        Gate::Tdg(_) => return vec![Gate::Rz(q, -std::f64::consts::FRAC_PI_4)],
+        Gate::Phase(_, l) => return vec![Gate::Rz(q, l)],
+        Gate::Sx(_) => return vec![Gate::Sx(q)],
+        _ => {}
+    }
+    let m = gate
+        .single_qubit_matrix()
+        .expect("decompose_1q_to_zsx requires a single-qubit gate");
+    let (theta, phi, lambda) = u_angles_from_matrix(&m);
+    vec![
+        Gate::Rz(q, lambda),
+        Gate::Sx(q),
+        Gate::Rz(q, theta + std::f64::consts::PI),
+        Gate::Sx(q),
+        Gate::Rz(q, phi + std::f64::consts::PI),
+    ]
+}
+
+/// Expand a two-qubit gate over `{cx, single-qubit}` gates. Single-qubit
+/// helpers emitted here may themselves need a further ZXZXZ pass.
+pub fn decompose_2q_to_cx(gate: &Gate) -> Vec<Gate> {
+    match *gate {
+        Gate::Cx(c, t) => vec![Gate::Cx(c, t)],
+        Gate::Cz(c, t) => vec![Gate::H(t), Gate::Cx(c, t), Gate::H(t)],
+        Gate::Cp(c, t, l) => vec![
+            Gate::Phase(c, l / 2.0),
+            Gate::Cx(c, t),
+            Gate::Phase(t, -l / 2.0),
+            Gate::Cx(c, t),
+            Gate::Phase(t, l / 2.0),
+        ],
+        Gate::Swap(a, b) => vec![Gate::Cx(a, b), Gate::Cx(b, a), Gate::Cx(a, b)],
+        Gate::Rzz(a, b, t) => vec![Gate::Cx(a, b), Gate::Rz(b, t), Gate::Cx(a, b)],
+        _ => panic!("decompose_2q_to_cx called on non-two-qubit gate {}", gate.name()),
+    }
+}
+
+/// Rewrite a single gate into gates allowed by the target. Gates already in
+/// the basis pass through unchanged.
+pub fn decompose_gate(gate: &Gate, target: &TranspileTarget) -> Vec<Gate> {
+    if target.allows(gate.name()) {
+        return vec![*gate];
+    }
+    if gate.is_two_qubit() {
+        decompose_2q_to_cx(gate)
+            .into_iter()
+            .flat_map(|g| decompose_gate(&g, target))
+            .collect()
+    } else {
+        decompose_1q_to_zsx(gate)
+            .into_iter()
+            .filter(|g| !matches!(g, Gate::Rz(_, t) if t.abs() < 1e-15))
+            .collect()
+    }
+}
+
+/// Rewrite every gate of a circuit into the target basis, preserving the
+/// measurement map.
+pub fn decompose_to_basis(circuit: &Circuit, target: &TranspileTarget) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for gate in circuit.gates() {
+        for g in decompose_gate(gate, target) {
+            out.push(g);
+        }
+    }
+    out.measure(circuit.measured());
+    out
+}
+
+/// Compare two single-qubit gate sequences as matrices, up to global phase.
+/// Exposed for tests and the optimization passes.
+pub fn sequences_equal_up_to_phase(a: &[Gate], b: &[Gate], eps: f64) -> bool {
+    let ma = sequence_matrix(a);
+    let mb = sequence_matrix(b);
+    matrices_equal_up_to_phase(&ma, &mb, eps)
+}
+
+/// Product matrix of a single-qubit gate sequence (applied left to right).
+pub fn sequence_matrix(gates: &[Gate]) -> [Complex64; 4] {
+    let mut m = [
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::ONE,
+    ];
+    for g in gates {
+        let gm = g
+            .single_qubit_matrix()
+            .expect("sequence_matrix requires single-qubit gates");
+        m = matmul2(&gm, &m);
+    }
+    m
+}
+
+/// True if two 2×2 matrices are equal up to a global phase.
+pub fn matrices_equal_up_to_phase(a: &[Complex64; 4], b: &[Complex64; 4], eps: f64) -> bool {
+    // Find the largest entry of a to normalize the phase against.
+    let (idx, _) = a
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.norm_sqr().partial_cmp(&y.1.norm_sqr()).unwrap())
+        .unwrap();
+    if b[idx].abs() < eps {
+        return false;
+    }
+    // phase = a[idx] / b[idx]
+    let denom = b[idx].norm_sqr();
+    let phase = a[idx] * b[idx].conj() * (1.0 / denom);
+    (0..4).all(|i| (b[i] * phase).approx_eq(a[i], eps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_sim::{qft_circuit, Simulator, StateVector};
+
+    const EPS: f64 = 1e-9;
+
+    fn all_1q_gates() -> Vec<Gate> {
+        vec![
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Sx(0),
+            Gate::Rx(0, 0.37),
+            Gate::Ry(0, -2.2),
+            Gate::Rz(0, 1.9),
+            Gate::Phase(0, 0.55),
+            Gate::U(0, 1.2, 0.4, -0.9),
+        ]
+    }
+
+    #[test]
+    fn u_angle_extraction_round_trips() {
+        for gate in all_1q_gates() {
+            let m = gate.single_qubit_matrix().unwrap();
+            let (theta, phi, lambda) = u_angles_from_matrix(&m);
+            let rebuilt = Gate::U(0, theta, phi, lambda).single_qubit_matrix().unwrap();
+            assert!(
+                matrices_equal_up_to_phase(&m, &rebuilt, EPS),
+                "angle extraction failed for {}",
+                gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zsx_decomposition_is_exact_up_to_phase() {
+        for gate in all_1q_gates() {
+            let seq = decompose_1q_to_zsx(&gate);
+            assert!(
+                sequences_equal_up_to_phase(&[gate], &seq, EPS),
+                "ZXZXZ decomposition failed for {}",
+                gate.name()
+            );
+            assert!(seq.iter().all(|g| matches!(g, Gate::Rz(_, _) | Gate::Sx(_))));
+        }
+    }
+
+    #[test]
+    fn diagonal_gates_become_single_rz() {
+        for gate in [Gate::Z(0), Gate::S(0), Gate::T(0), Gate::Phase(0, 0.3), Gate::Rz(0, 1.0)] {
+            let seq = decompose_1q_to_zsx(&gate);
+            assert_eq!(seq.len(), 1, "{} should lower to one rz", gate.name());
+        }
+    }
+
+    #[test]
+    fn two_qubit_decompositions_preserve_statevector() {
+        // Verify on a 2-qubit probe state with non-trivial single-qubit prep.
+        let prep = [Gate::Ry(0, 0.63), Gate::Rx(1, -1.1), Gate::Rz(0, 0.2)];
+        for gate in [
+            Gate::Cz(0, 1),
+            Gate::Cp(0, 1, 0.77),
+            Gate::Swap(0, 1),
+            Gate::Rzz(0, 1, 1.3),
+            Gate::Cx(1, 0),
+        ] {
+            let mut direct = StateVector::zero_state(2);
+            direct.apply_all(&prep);
+            direct.apply(&gate);
+
+            let mut decomposed = StateVector::zero_state(2);
+            decomposed.apply_all(&prep);
+            decomposed.apply_all(&decompose_2q_to_cx(&gate));
+
+            assert!(
+                (direct.fidelity(&decomposed) - 1.0).abs() < EPS,
+                "{} decomposition changed the state",
+                gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_to_hardware_basis_only_emits_basis_gates() {
+        let mut qc = qft_circuit(5, 0, true, false);
+        qc.measure_all();
+        let target = TranspileTarget::hardware_all_to_all();
+        let lowered = decompose_to_basis(&qc, &target);
+        let basis: Vec<String> = ["sx", "rz", "cx"].iter().map(|s| s.to_string()).collect();
+        assert!(lowered.uses_only(&basis));
+        assert_eq!(lowered.measured(), qc.measured());
+    }
+
+    #[test]
+    fn hardware_basis_circuit_preserves_distribution() {
+        let n = 4;
+        let mut qc = qft_circuit(n, 0, true, false);
+        qc.measure_all();
+        let lowered = decompose_to_basis(&qc, &TranspileTarget::hardware_all_to_all());
+
+        let sim = Simulator::new();
+        let a = sim.exact_distribution(&qc);
+        let b = sim.exact_distribution(&lowered);
+        for (word, p) in &a {
+            let q = b.get(word).copied().unwrap_or(0.0);
+            assert!((p - q).abs() < 1e-9, "distribution differs at {word}");
+        }
+    }
+
+    #[test]
+    fn ideal_target_is_a_no_op() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::H(0), Gate::Cp(0, 1, 0.4)]);
+        qc.measure_all();
+        let out = decompose_to_basis(&qc, &TranspileTarget::ideal());
+        assert_eq!(out.gates(), qc.gates());
+    }
+
+    #[test]
+    fn gates_already_in_basis_pass_through() {
+        let target = TranspileTarget::hardware_all_to_all();
+        assert_eq!(decompose_gate(&Gate::Cx(0, 1), &target), vec![Gate::Cx(0, 1)]);
+        assert_eq!(decompose_gate(&Gate::Sx(2), &target), vec![Gate::Sx(2)]);
+        assert_eq!(decompose_gate(&Gate::Rz(1, 0.5), &target), vec![Gate::Rz(1, 0.5)]);
+    }
+
+    #[test]
+    fn matrices_equal_up_to_phase_detects_difference() {
+        let h = Gate::H(0).single_qubit_matrix().unwrap();
+        let x = Gate::X(0).single_qubit_matrix().unwrap();
+        assert!(!matrices_equal_up_to_phase(&h, &x, 1e-9));
+        assert!(matrices_equal_up_to_phase(&h, &h, 1e-9));
+    }
+}

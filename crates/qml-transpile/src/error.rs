@@ -1,0 +1,57 @@
+//! Transpilation errors.
+
+use std::fmt;
+
+/// Errors produced by routing and transpilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranspileError {
+    /// The coupling map has fewer qubits than the circuit needs.
+    TooFewQubits {
+        /// Qubits required by the circuit.
+        needed: usize,
+        /// Qubits available on the device.
+        available: usize,
+    },
+    /// Two qubits that must interact lie in disconnected components of the
+    /// coupling map.
+    Disconnected(usize, usize),
+    /// The requested basis cannot express the circuit (e.g. no entangling
+    /// gate in the basis).
+    UnsupportedBasis(String),
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::TooFewQubits { needed, available } => write!(
+                f,
+                "circuit needs {needed} qubits but the coupling map only provides {available}"
+            ),
+            TranspileError::Disconnected(a, b) => {
+                write!(f, "physical qubits {a} and {b} are not connected")
+            }
+            TranspileError::UnsupportedBasis(msg) => write!(f, "unsupported basis: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TranspileError::TooFewQubits {
+            needed: 5,
+            available: 3
+        }
+        .to_string()
+        .contains("5"));
+        assert!(TranspileError::Disconnected(1, 4).to_string().contains("not connected"));
+        assert!(TranspileError::UnsupportedBasis("no cx".into())
+            .to_string()
+            .contains("no cx"));
+    }
+}

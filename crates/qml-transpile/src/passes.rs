@@ -1,0 +1,373 @@
+//! Optimization passes over circuits.
+//!
+//! These are the classical peephole optimizations behind the context
+//! descriptor's `optimization_level` option (Listing 4 uses level 2):
+//!
+//! * level 0 — no optimization,
+//! * level 1 — drop identity rotations, cancel adjacent inverse pairs,
+//! * level 2 — level 1 plus rotation merging, iterated to a fixpoint,
+//! * level 3 — level 2 plus resynthesis of single-qubit gate runs into
+//!   canonical `RZ·SX·RZ·SX·RZ` sequences.
+//!
+//! Every pass preserves the circuit's unitary up to global phase, and hence
+//! every measured distribution.
+
+use qml_sim::{Circuit, Gate};
+
+use crate::basis::{decompose_1q_to_zsx, sequence_matrix, u_angles_from_matrix};
+
+const ANGLE_EPS: f64 = 1e-12;
+
+/// True if the rotation angle is an integer multiple of 2π (identity up to
+/// global phase).
+fn is_trivial_angle(theta: f64) -> bool {
+    let reduced = theta.rem_euclid(std::f64::consts::TAU);
+    reduced.abs() < ANGLE_EPS || (std::f64::consts::TAU - reduced).abs() < ANGLE_EPS
+}
+
+/// Remove rotations that are the identity (angle ≡ 0 mod 2π).
+pub fn drop_identity_rotations(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for gate in circuit.gates() {
+        let trivial = match *gate {
+            Gate::Rz(_, t) | Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Phase(_, t) => is_trivial_angle(t),
+            Gate::Cp(_, _, t) | Gate::Rzz(_, _, t) => is_trivial_angle(t),
+            _ => false,
+        };
+        if !trivial {
+            out.push(*gate);
+        }
+    }
+    out.measure(circuit.measured());
+    out
+}
+
+/// Index of the last gate in `gates` that shares a qubit with `gate`.
+fn last_overlapping(gates: &[Gate], gate: &Gate) -> Option<usize> {
+    let qs = gate.qubits();
+    gates
+        .iter()
+        .rposition(|g| g.qubits().iter().any(|q| qs.contains(q)))
+}
+
+/// True if `a` followed by `b` is the identity (up to global phase).
+fn is_inverse_pair(a: &Gate, b: &Gate) -> bool {
+    if a.qubits() != b.qubits() {
+        return false;
+    }
+    match (a, b) {
+        (Gate::H(_), Gate::H(_))
+        | (Gate::X(_), Gate::X(_))
+        | (Gate::Y(_), Gate::Y(_))
+        | (Gate::Z(_), Gate::Z(_))
+        | (Gate::Cx(_, _), Gate::Cx(_, _))
+        | (Gate::Cz(_, _), Gate::Cz(_, _))
+        | (Gate::Swap(_, _), Gate::Swap(_, _)) => true,
+        (Gate::S(_), Gate::Sdg(_)) | (Gate::Sdg(_), Gate::S(_)) => true,
+        (Gate::T(_), Gate::Tdg(_)) | (Gate::Tdg(_), Gate::T(_)) => true,
+        (Gate::Rz(_, t1), Gate::Rz(_, t2))
+        | (Gate::Rx(_, t1), Gate::Rx(_, t2))
+        | (Gate::Ry(_, t1), Gate::Ry(_, t2))
+        | (Gate::Phase(_, t1), Gate::Phase(_, t2))
+        | (Gate::Cp(_, _, t1), Gate::Cp(_, _, t2))
+        | (Gate::Rzz(_, _, t1), Gate::Rzz(_, _, t2)) => is_trivial_angle(t1 + t2),
+        _ => false,
+    }
+}
+
+/// Cancel adjacent gate/inverse pairs (adjacent in the per-qubit dependency
+/// order, not merely in list order).
+pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        if let Some(idx) = last_overlapping(&gates, gate) {
+            if is_inverse_pair(&gates[idx], gate) {
+                gates.remove(idx);
+                continue;
+            }
+        }
+        gates.push(*gate);
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.extend(&gates);
+    out.measure(circuit.measured());
+    out
+}
+
+/// Merge adjacent rotations of the same kind on the same qubits by summing
+/// their angles.
+pub fn merge_rotations(circuit: &Circuit) -> Circuit {
+    let mut gates: Vec<Gate> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        if let Some(idx) = last_overlapping(&gates, gate) {
+            let merged = match (&gates[idx], gate) {
+                (Gate::Rz(q, a), Gate::Rz(_, b)) if gates[idx].qubits() == gate.qubits() => {
+                    Some(Gate::Rz(*q, a + b))
+                }
+                (Gate::Rx(q, a), Gate::Rx(_, b)) if gates[idx].qubits() == gate.qubits() => {
+                    Some(Gate::Rx(*q, a + b))
+                }
+                (Gate::Ry(q, a), Gate::Ry(_, b)) if gates[idx].qubits() == gate.qubits() => {
+                    Some(Gate::Ry(*q, a + b))
+                }
+                (Gate::Phase(q, a), Gate::Phase(_, b)) if gates[idx].qubits() == gate.qubits() => {
+                    Some(Gate::Phase(*q, a + b))
+                }
+                (Gate::Cp(c, t, a), Gate::Cp(_, _, b)) if gates[idx].qubits() == gate.qubits() => {
+                    Some(Gate::Cp(*c, *t, a + b))
+                }
+                (Gate::Rzz(c, t, a), Gate::Rzz(_, _, b)) if gates[idx].qubits() == gate.qubits() => {
+                    Some(Gate::Rzz(*c, *t, a + b))
+                }
+                _ => None,
+            };
+            if let Some(m) = merged {
+                gates[idx] = m;
+                continue;
+            }
+        }
+        gates.push(*gate);
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    out.extend(&gates);
+    out.measure(circuit.measured());
+    out
+}
+
+/// Resynthesize every maximal run of single-qubit gates on a qubit into the
+/// canonical `RZ·SX·RZ·SX·RZ` form (or a single `RZ` when the run is
+/// diagonal). Only emits `rz`/`sx`, so the result stays within the paper's
+/// hardware basis.
+pub fn resynthesize_1q_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out_gates: Vec<Gate> = Vec::with_capacity(circuit.len());
+    // Pending run of single-qubit gates per qubit.
+    let mut pending: Vec<Vec<Gate>> = vec![Vec::new(); n];
+
+    let flush = |pending: &mut Vec<Gate>, out: &mut Vec<Gate>| {
+        if pending.is_empty() {
+            return;
+        }
+        let q = pending[0].qubits()[0];
+        let m = sequence_matrix(pending);
+        let (theta, phi, lambda) = u_angles_from_matrix(&m);
+        let resynth: Vec<Gate> = decompose_1q_to_zsx(&Gate::U(q, theta, phi, lambda))
+            .into_iter()
+            .filter(|g| !matches!(g, Gate::Rz(_, t) if is_trivial_angle(*t)))
+            .collect();
+        // Only adopt the canonical form when it is actually shorter; otherwise
+        // keep the original run (it may already be optimal).
+        if resynth.len() < pending.len() {
+            out.extend_from_slice(&resynth);
+        } else {
+            out.extend_from_slice(pending);
+        }
+        pending.clear();
+    };
+
+    for gate in circuit.gates() {
+        let qs = gate.qubits();
+        if qs.len() == 1 && gate.single_qubit_matrix().is_some() {
+            pending[qs[0]].push(*gate);
+        } else {
+            for &q in &qs {
+                flush(&mut pending[q], &mut out_gates);
+            }
+            out_gates.push(*gate);
+        }
+    }
+    for q in 0..n {
+        flush(&mut pending[q], &mut out_gates);
+    }
+
+    let mut out = Circuit::new(n);
+    out.extend(&out_gates);
+    out.measure(circuit.measured());
+    out
+}
+
+/// Run the optimization pipeline for the given level (0–3).
+pub fn optimize(circuit: &Circuit, level: u8) -> Circuit {
+    if level == 0 {
+        return circuit.clone();
+    }
+    let mut current = circuit.clone();
+    let max_rounds = 8;
+    for _ in 0..max_rounds {
+        let mut next = drop_identity_rotations(&current);
+        next = cancel_adjacent_inverses(&next);
+        if level >= 2 {
+            next = merge_rotations(&next);
+            next = drop_identity_rotations(&next);
+            next = cancel_adjacent_inverses(&next);
+        }
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    if level >= 3 {
+        current = resynthesize_1q_runs(&current);
+        current = drop_identity_rotations(&current);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_sim::Simulator;
+
+    fn assert_same_distribution(a: &Circuit, b: &Circuit) {
+        let sim = Simulator::new();
+        let da = sim.exact_distribution(a);
+        let db = sim.exact_distribution(b);
+        for (word, p) in &da {
+            let q = db.get(word).copied().unwrap_or(0.0);
+            assert!((p - q).abs() < 1e-9, "distribution differs at {word}: {p} vs {q}");
+        }
+    }
+
+    fn probe_circuit() -> Circuit {
+        let mut qc = Circuit::new(3);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::H(0), // cancels
+            Gate::Rz(1, 0.4),
+            Gate::Rz(1, -0.4), // cancels via merge/drop
+            Gate::Cx(0, 1),
+            Gate::Cx(0, 1), // cancels
+            Gate::Ry(2, 0.9),
+            Gate::Rz(2, 0.0), // identity
+            Gate::T(0),
+            Gate::Tdg(0), // cancels
+            Gate::Rzz(1, 2, 0.3),
+            Gate::Rzz(1, 2, 0.5), // merges
+            Gate::H(1),
+        ]);
+        qc.measure_all();
+        qc
+    }
+
+    #[test]
+    fn drop_identity_rotations_removes_trivial_angles() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[
+            Gate::Rz(0, 0.0),
+            Gate::Rx(1, std::f64::consts::TAU),
+            Gate::Cp(0, 1, 0.0),
+            Gate::H(0),
+        ]);
+        qc.measure_all();
+        let out = drop_identity_rotations(&qc);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.gates()[0], Gate::H(0));
+    }
+
+    #[test]
+    fn cancel_handles_interleaved_qubits() {
+        // The two H(0) gates are separated by a gate on qubit 1 only; they
+        // must still cancel.
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::H(0), Gate::Rz(1, 0.3), Gate::H(0)]);
+        qc.measure_all();
+        let out = cancel_adjacent_inverses(&qc);
+        assert_eq!(out.gate_counts().get("h"), None);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cancel_does_not_cross_blocking_gates() {
+        // A CX on qubit 0 sits between the two H(0): must NOT cancel.
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 1), Gate::H(0)]);
+        qc.measure_all();
+        let out = cancel_adjacent_inverses(&qc);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn merge_rotations_sums_angles() {
+        let mut qc = Circuit::new(1);
+        qc.extend(&[Gate::Rz(0, 0.25), Gate::Rz(0, 0.5)]);
+        qc.measure_all();
+        let out = merge_rotations(&qc);
+        assert_eq!(out.len(), 1);
+        match out.gates()[0] {
+            Gate::Rz(0, t) => assert!((t - 0.75).abs() < 1e-12),
+            ref g => panic!("unexpected gate {g:?}"),
+        }
+    }
+
+    #[test]
+    fn optimization_levels_monotonically_shrink_the_probe() {
+        let qc = probe_circuit();
+        let sizes: Vec<usize> = (0..=3).map(|l| optimize(&qc, l).len()).collect();
+        assert_eq!(sizes[0], qc.len());
+        assert!(sizes[1] < sizes[0]);
+        assert!(sizes[2] <= sizes[1]);
+        assert!(sizes[3] <= sizes[2]);
+    }
+
+    #[test]
+    fn every_level_preserves_the_distribution() {
+        let qc = probe_circuit();
+        for level in 0..=3 {
+            let out = optimize(&qc, level);
+            assert_same_distribution(&qc, &out);
+        }
+    }
+
+    #[test]
+    fn resynthesis_compacts_long_1q_runs() {
+        let mut qc = Circuit::new(1);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::T(0),
+            Gate::Rx(0, 0.3),
+            Gate::S(0),
+            Gate::Ry(0, -0.8),
+            Gate::Rz(0, 1.1),
+            Gate::H(0),
+        ]);
+        qc.measure_all();
+        let out = resynthesize_1q_runs(&qc);
+        assert!(out.len() <= 5, "run of 7 gates should compress to ≤ 5, got {}", out.len());
+        assert_same_distribution(&qc, &out);
+        let basis: Vec<String> = ["sx", "rz"].iter().map(|s| s.to_string()).collect();
+        assert!(out.uses_only(&basis));
+    }
+
+    #[test]
+    fn resynthesis_preserves_distribution_with_entanglers() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::T(0),
+            Gate::Cx(0, 1),
+            Gate::Rx(1, 0.7),
+            Gate::Ry(1, 0.2),
+            Gate::Cx(0, 1),
+            Gate::H(1),
+        ]);
+        qc.measure_all();
+        let out = optimize(&qc, 3);
+        assert_same_distribution(&qc, &out);
+    }
+
+    #[test]
+    fn optimize_level0_is_identity() {
+        let qc = probe_circuit();
+        assert_eq!(optimize(&qc, 0), qc);
+    }
+
+    #[test]
+    fn fully_cancelling_circuit_reduces_to_nothing() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::Cx(0, 1), Gate::Cx(0, 1), Gate::H(0), Gate::H(0)]);
+        qc.measure_all();
+        let out = optimize(&qc, 2);
+        assert!(out.is_empty());
+        assert_eq!(out.num_clbits(), 2, "measurements survive optimization");
+    }
+}

@@ -1,0 +1,228 @@
+//! Coupling-map routing: SWAP insertion so every two-qubit gate acts on
+//! adjacent physical qubits.
+//!
+//! The paper's context target block "forces realistic routing" (Listing 4).
+//! The router keeps a live layout (logical qubit → physical qubit); whenever a
+//! two-qubit gate spans non-adjacent physical qubits it walks the shortest
+//! path in the coupling graph, inserting SWAPs and updating the layout, then
+//! applies the gate. Measurement maps are rewritten through the final layout
+//! so decoding stays correct.
+
+use qml_sim::{Circuit, Gate};
+
+use crate::error::TranspileError;
+use crate::target::CouplingMap;
+
+/// Result of routing a circuit onto a coupling map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedCircuit {
+    /// The routed circuit over physical qubits.
+    pub circuit: Circuit,
+    /// Layout before the first gate: `initial_layout[logical] = physical`.
+    pub initial_layout: Vec<usize>,
+    /// Layout after the last gate (SWAPs permute it).
+    pub final_layout: Vec<usize>,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Route `circuit` onto `coupling`, starting from the trivial layout
+/// (logical i ↦ physical i).
+pub fn route(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit, TranspileError> {
+    let logical = circuit.num_qubits();
+    let physical = coupling.num_qubits().max(logical);
+    if coupling.num_qubits() < logical {
+        return Err(TranspileError::TooFewQubits {
+            needed: logical,
+            available: coupling.num_qubits(),
+        });
+    }
+
+    // layout[logical] = physical; phys2log[physical] = logical (or usize::MAX).
+    let mut layout: Vec<usize> = (0..logical).collect();
+    let mut phys2log: Vec<usize> = (0..physical)
+        .map(|p| if p < logical { p } else { usize::MAX })
+        .collect();
+    let initial_layout = layout.clone();
+
+    let mut routed = Circuit::new(physical);
+    let mut swaps_inserted = 0usize;
+
+    for gate in circuit.gates() {
+        let qubits = gate.qubits();
+        if qubits.len() == 1 {
+            routed.push(gate.remap(&layout));
+            continue;
+        }
+        let (la, lb) = (qubits[0], qubits[1]);
+        let (mut pa, pb) = (layout[la], layout[lb]);
+        if !coupling.are_adjacent(pa, pb) {
+            let path = coupling
+                .shortest_path(pa, pb)
+                .ok_or(TranspileError::Disconnected(pa, pb))?;
+            // Walk logical qubit `la` along the path until adjacent to pb.
+            for window in path.windows(2).take(path.len().saturating_sub(2)) {
+                let (from, to) = (window[0], window[1]);
+                routed.push(Gate::Swap(from, to));
+                swaps_inserted += 1;
+                // Swap the logical occupants of the two physical qubits.
+                let (lf, lt) = (phys2log[from], phys2log[to]);
+                phys2log[from] = lt;
+                phys2log[to] = lf;
+                if lf != usize::MAX {
+                    layout[lf] = to;
+                }
+                if lt != usize::MAX {
+                    layout[lt] = from;
+                }
+            }
+            pa = layout[la];
+            debug_assert!(coupling.are_adjacent(pa, layout[lb]));
+        }
+        routed.push(gate.remap(&layout));
+    }
+
+    // Measurements read the physical qubit currently holding each logical one.
+    let measured: Vec<usize> = circuit.measured().iter().map(|&l| layout[l]).collect();
+    routed.measure(&measured);
+
+    Ok(RoutedCircuit {
+        circuit: routed,
+        initial_layout,
+        final_layout: layout,
+        swaps_inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_sim::Simulator;
+
+    /// Routing must never change the measured distribution (SWAPs permute the
+    /// state but the measurement map is rewritten accordingly).
+    fn assert_same_distribution(original: &Circuit, routed: &Circuit) {
+        let sim = Simulator::new();
+        let a = sim.exact_distribution(original);
+        let b = sim.exact_distribution(routed);
+        for (word, p) in &a {
+            let q = b.get(word).copied().unwrap_or(0.0);
+            assert!((p - q).abs() < 1e-9, "distribution differs at {word}: {p} vs {q}");
+        }
+        for (word, q) in &b {
+            assert!(a.contains_key(word) || *q < 1e-9, "unexpected outcome {word}");
+        }
+    }
+
+    #[test]
+    fn adjacent_gates_need_no_swaps() {
+        let mut qc = Circuit::new(3);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2)]);
+        qc.measure_all();
+        let routed = route(&qc, &CouplingMap::linear(3)).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.final_layout, vec![0, 1, 2]);
+        assert_same_distribution(&qc, &routed.circuit);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        let mut qc = Circuit::new(4);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 3)]);
+        qc.measure_all();
+        let routed = route(&qc, &CouplingMap::linear(4)).unwrap();
+        assert!(routed.swaps_inserted >= 2, "0→3 on a line needs ≥ 2 swaps");
+        assert_same_distribution(&qc, &routed.circuit);
+    }
+
+    #[test]
+    fn ring_reduces_swaps_relative_to_line() {
+        let mut qc = Circuit::new(4);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 3)]);
+        qc.measure_all();
+        let line = route(&qc, &CouplingMap::linear(4)).unwrap();
+        let ring = route(&qc, &CouplingMap::ring(4)).unwrap();
+        assert_eq!(ring.swaps_inserted, 0, "0 and 3 are adjacent on the ring");
+        assert!(line.swaps_inserted > ring.swaps_inserted);
+        assert_same_distribution(&qc, &ring.circuit);
+    }
+
+    #[test]
+    fn qaoa_ring_circuit_routes_on_ring_without_swaps() {
+        // The paper's Max-Cut QAOA circuit only couples ring neighbours, so on
+        // the ring coupling map of its context no SWAPs are needed.
+        let mut qc = Circuit::new(4);
+        for q in 0..4 {
+            qc.push(Gate::H(q));
+        }
+        for &(a, b) in &[(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+            qc.push(Gate::Rzz(a, b, 0.7));
+        }
+        for q in 0..4 {
+            qc.push(Gate::Rx(q, 0.4));
+        }
+        qc.measure_all();
+        let routed = route(&qc, &CouplingMap::ring(4)).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_same_distribution(&qc, &routed.circuit);
+    }
+
+    #[test]
+    fn layout_tracks_multiple_swaps_correctly() {
+        // A sequence of distant two-qubit gates: correctness is checked by
+        // comparing distributions (the strongest possible oracle).
+        let mut qc = Circuit::new(5);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::Ry(2, 0.9),
+            Gate::Cx(0, 4),
+            Gate::Cx(4, 1),
+            Gate::Cp(2, 0, 0.6),
+            Gate::Rzz(3, 1, 1.1),
+        ]);
+        qc.measure_all();
+        let routed = route(&qc, &CouplingMap::linear(5)).unwrap();
+        assert!(routed.swaps_inserted > 0);
+        assert_same_distribution(&qc, &routed.circuit);
+    }
+
+    #[test]
+    fn partial_measurement_maps_through_layout() {
+        let mut qc = Circuit::new(4);
+        qc.extend(&[Gate::X(0), Gate::Cx(0, 3)]);
+        qc.measure(&[3, 0]);
+        let routed = route(&qc, &CouplingMap::linear(4)).unwrap();
+        assert_same_distribution(&qc, &routed.circuit);
+        assert_eq!(routed.circuit.num_clbits(), 2);
+    }
+
+    #[test]
+    fn too_small_device_rejected() {
+        let mut qc = Circuit::new(5);
+        qc.push(Gate::H(0));
+        qc.measure_all();
+        let err = route(&qc, &CouplingMap::linear(3)).unwrap_err();
+        assert!(matches!(err, TranspileError::TooFewQubits { .. }));
+    }
+
+    #[test]
+    fn disconnected_device_rejected() {
+        let mut qc = Circuit::new(4);
+        qc.push(Gate::Cx(0, 3));
+        qc.measure_all();
+        // Two disconnected 2-qubit islands.
+        let cm = CouplingMap::new(&[(0, 1), (2, 3)], 4);
+        let err = route(&qc, &cm).unwrap_err();
+        assert!(matches!(err, TranspileError::Disconnected(_, _)));
+    }
+
+    #[test]
+    fn wider_device_than_circuit_is_fine() {
+        let mut qc = Circuit::new(2);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 1)]);
+        qc.measure_all();
+        let routed = route(&qc, &CouplingMap::linear(6)).unwrap();
+        assert_eq!(routed.circuit.num_qubits(), 6);
+        assert_same_distribution(&qc, &routed.circuit);
+    }
+}

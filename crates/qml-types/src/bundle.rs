@@ -1,0 +1,371 @@
+//! Job bundles: packaging intent + context for submission (paper §4.4).
+//!
+//! "A packaging utility ... combine[s] the quantum data type, operators, and
+//! optional context into a submission bundle (`job.json`)." A [`JobBundle`]
+//! is that artifact. Its validation enforces the cross-descriptor rules the
+//! paper requires of the algorithmic libraries: registers referenced by
+//! operators must be declared, result schemas must match their registers, and
+//! no operator may follow a measurement of the same register (the
+//! "no hidden measurement/reset" non-interference rule).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::context::ContextDescriptor;
+use crate::error::{QmlError, Result};
+use crate::params::ParamValue;
+use crate::qdt::QuantumDataType;
+use crate::qod::OperatorDescriptor;
+
+/// Name of the JSON Schema governing job bundles.
+pub const JOB_SCHEMA: &str = "job.schema.json";
+
+/// A complete, submittable middle-layer job: typed registers, an operator
+/// descriptor sequence, and an optional execution context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobBundle {
+    /// JSON Schema identifier used to validate this artifact.
+    #[serde(rename = "$schema", default = "default_job_schema")]
+    pub schema: String,
+    /// Human-readable job name.
+    pub name: String,
+    /// Declared quantum data types (registers).
+    pub data_types: Vec<QuantumDataType>,
+    /// Operator descriptor sequence, applied in order.
+    pub operators: Vec<OperatorDescriptor>,
+    /// Optional execution context (policy). Intent stays valid without it.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub context: Option<ContextDescriptor>,
+    /// Free-form metadata (provenance, workflow ids, ...).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub metadata: BTreeMap<String, ParamValue>,
+}
+
+fn default_job_schema() -> String {
+    JOB_SCHEMA.to_string()
+}
+
+impl JobBundle {
+    /// Create a bundle from intent artifacts, without a context.
+    pub fn new(
+        name: impl Into<String>,
+        data_types: Vec<QuantumDataType>,
+        operators: Vec<OperatorDescriptor>,
+    ) -> Self {
+        JobBundle {
+            schema: JOB_SCHEMA.to_string(),
+            name: name.into(),
+            data_types,
+            operators,
+            context: None,
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    /// Attach (or replace) the execution context, builder-style. This is the
+    /// only thing that changes when re-targeting a program: the intent
+    /// artifacts are untouched.
+    pub fn with_context(mut self, context: ContextDescriptor) -> Self {
+        self.context = Some(context);
+        self
+    }
+
+    /// Attach a metadata entry, builder-style.
+    pub fn with_metadata(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.metadata.insert(key.into(), value.into());
+        self
+    }
+
+    /// Look up a declared register by id.
+    pub fn find_qdt(&self, id: &str) -> Option<&QuantumDataType> {
+        self.data_types.iter().find(|q| q.id == id)
+    }
+
+    /// Total width (in carriers) across all declared registers.
+    pub fn total_width(&self) -> usize {
+        self.data_types.iter().map(|q| q.width).sum()
+    }
+
+    /// Starting carrier offset of each register when registers are laid out
+    /// contiguously in declaration order (used by gate backends to assign
+    /// physical wires).
+    pub fn register_offsets(&self) -> BTreeMap<String, usize> {
+        let mut offsets = BTreeMap::new();
+        let mut offset = 0usize;
+        for qdt in &self.data_types {
+            offsets.insert(qdt.id.clone(), offset);
+            offset += qdt.width;
+        }
+        offsets
+    }
+
+    /// Names of all unbound symbolic parameters across the operator sequence.
+    pub fn unbound_symbols(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .operators
+            .iter()
+            .flat_map(|op| op.unbound_symbols())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Late binding: substitute symbolic parameters and return the bound
+    /// bundle. Unknown symbols are left in place (call
+    /// [`JobBundle::ensure_bound`] before submission).
+    pub fn bind(&self, bindings: &BTreeMap<String, ParamValue>) -> JobBundle {
+        JobBundle {
+            operators: self.operators.iter().map(|op| op.bind(bindings)).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Error if any operator still carries an unbound symbol.
+    pub fn ensure_bound(&self) -> Result<()> {
+        let symbols = self.unbound_symbols();
+        if let Some(first) = symbols.first() {
+            Err(QmlError::UnboundParameter(first.clone()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Full cross-descriptor validation:
+    ///
+    /// 1. every individual descriptor is structurally valid,
+    /// 2. register ids are unique,
+    /// 3. every operator references declared registers,
+    /// 4. result schemas match the registers they read out,
+    /// 5. **non-interference**: once a register has been measured, no further
+    ///    operator may act on it (no hidden measurement/reset),
+    /// 6. the context (if present) is valid.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.trim().is_empty() {
+            return Err(QmlError::Validation("job name must be non-empty".into()));
+        }
+        if self.schema != JOB_SCHEMA {
+            return Err(QmlError::Validation(format!(
+                "job bundle references unknown schema `{}` (expected `{JOB_SCHEMA}`)",
+                self.schema
+            )));
+        }
+        if self.data_types.is_empty() {
+            return Err(QmlError::Validation(
+                "job bundle must declare at least one quantum data type".into(),
+            ));
+        }
+        let mut ids = BTreeSet::new();
+        for qdt in &self.data_types {
+            qdt.validate()?;
+            if !ids.insert(qdt.id.clone()) {
+                return Err(QmlError::Validation(format!(
+                    "duplicate quantum data type id `{}`",
+                    qdt.id
+                )));
+            }
+        }
+
+        let mut measured: BTreeSet<&str> = BTreeSet::new();
+        for op in &self.operators {
+            op.validate()?;
+            let domain = self
+                .find_qdt(&op.domain_qdt)
+                .ok_or_else(|| QmlError::UnknownRegister(op.domain_qdt.clone()))?;
+            let codomain = self
+                .find_qdt(&op.codomain_qdt)
+                .ok_or_else(|| QmlError::UnknownRegister(op.codomain_qdt.clone()))?;
+            op.validate_against(domain, codomain)?;
+
+            for touched in [op.domain_qdt.as_str(), op.codomain_qdt.as_str()] {
+                if measured.contains(touched) {
+                    return Err(QmlError::Validation(format!(
+                        "operator `{}` acts on register `{touched}` after it has been measured \
+                         (non-interference rule)",
+                        op.name
+                    )));
+                }
+            }
+            if op.rep_kind.is_measurement() {
+                measured.insert(op.codomain_qdt.as_str());
+            }
+        }
+
+        if let Some(ctx) = &self.context {
+            ctx.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Serialize to the `job.json` interchange form (pretty-printed).
+    pub fn to_json(&self) -> Result<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parse a `job.json` artifact and validate it.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let bundle: JobBundle = serde_json::from_str(json)?;
+        bundle.validate()?;
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{AnnealConfig, ContextDescriptor, ExecConfig, Target};
+    use crate::cost::CostHint;
+    use crate::qod::RepKind;
+    use crate::result_schema::ResultSchema;
+
+    fn ising_qdt() -> QuantumDataType {
+        QuantumDataType::ising_spins("ising_vars", "s", 4).unwrap()
+    }
+
+    fn prep(reg: &str) -> OperatorDescriptor {
+        OperatorDescriptor::builder("prep", RepKind::PrepUniform, reg)
+            .build()
+            .unwrap()
+    }
+
+    fn measure(qdt: &QuantumDataType) -> OperatorDescriptor {
+        OperatorDescriptor::builder("measure", RepKind::Measurement, &qdt.id)
+            .result_schema(ResultSchema::for_register(qdt))
+            .build()
+            .unwrap()
+    }
+
+    fn simple_bundle() -> JobBundle {
+        let qdt = ising_qdt();
+        let ops = vec![prep("ising_vars"), measure(&qdt)];
+        JobBundle::new("maxcut", vec![qdt], ops)
+    }
+
+    #[test]
+    fn bundle_validates_and_round_trips() {
+        let bundle = simple_bundle();
+        bundle.validate().unwrap();
+        let json = bundle.to_json().unwrap();
+        let back = JobBundle::from_json(&json).unwrap();
+        assert_eq!(back, bundle);
+        assert!(json.contains("\"$schema\""));
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let qdt = ising_qdt();
+        let ops = vec![prep("not_declared")];
+        let bundle = JobBundle::new("bad", vec![qdt], ops);
+        assert!(matches!(
+            bundle.validate(),
+            Err(QmlError::UnknownRegister(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_register_rejected() {
+        let bundle = JobBundle::new("dup", vec![ising_qdt(), ising_qdt()], vec![]);
+        assert!(bundle.validate().is_err());
+    }
+
+    #[test]
+    fn empty_data_types_rejected() {
+        let bundle = JobBundle::new("empty", vec![], vec![]);
+        assert!(bundle.validate().is_err());
+    }
+
+    #[test]
+    fn non_interference_rule_enforced() {
+        let qdt = ising_qdt();
+        let ops = vec![prep("ising_vars"), measure(&qdt), prep("ising_vars")];
+        let bundle = JobBundle::new("post-measure", vec![qdt], ops);
+        let err = bundle.validate().unwrap_err();
+        assert!(err.to_string().contains("non-interference"), "{err}");
+    }
+
+    #[test]
+    fn operating_on_other_register_after_measurement_is_fine() {
+        let a = QuantumDataType::ising_spins("a", "a", 2).unwrap();
+        let b = QuantumDataType::ising_spins("b", "b", 2).unwrap();
+        let ops = vec![prep("a"), measure(&a), prep("b"), measure(&b)];
+        let bundle = JobBundle::new("two-regs", vec![a, b], ops);
+        bundle.validate().unwrap();
+    }
+
+    #[test]
+    fn register_offsets_are_contiguous() {
+        let a = QuantumDataType::ising_spins("a", "a", 3).unwrap();
+        let b = QuantumDataType::int_register("b", "b", 5).unwrap();
+        let bundle = JobBundle::new("layout", vec![a, b], vec![]);
+        let offsets = bundle.register_offsets();
+        assert_eq!(offsets["a"], 0);
+        assert_eq!(offsets["b"], 3);
+        assert_eq!(bundle.total_width(), 8);
+    }
+
+    #[test]
+    fn context_swap_preserves_intent() {
+        let bundle = simple_bundle();
+        let gate = bundle.clone().with_context(ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(4096)
+                .with_seed(42)
+                .with_target(Target::ring(4)),
+        ));
+        let anneal = bundle.clone().with_context(ContextDescriptor::for_anneal(
+            "anneal.neal_simulator",
+            AnnealConfig::with_reads(1000),
+        ));
+        gate.validate().unwrap();
+        anneal.validate().unwrap();
+        // The intent artifacts are bit-identical across both targets.
+        assert_eq!(gate.data_types, anneal.data_types);
+        assert_eq!(gate.operators, anneal.operators);
+        assert_ne!(gate.context, anneal.context);
+    }
+
+    #[test]
+    fn late_binding_round_trip() {
+        let qdt = ising_qdt();
+        let cost = OperatorDescriptor::builder("cost", RepKind::IsingCostPhase, "ising_vars")
+            .param("gamma", ParamValue::symbol("gamma_0"))
+            .cost_hint(CostHint::gates(4, 8))
+            .build()
+            .unwrap();
+        let bundle = JobBundle::new("qaoa", vec![qdt], vec![cost]);
+        assert_eq!(bundle.unbound_symbols(), vec!["gamma_0".to_string()]);
+        assert!(bundle.ensure_bound().is_err());
+
+        let mut bindings = BTreeMap::new();
+        bindings.insert("gamma_0".to_string(), ParamValue::Float(0.9));
+        let bound = bundle.bind(&bindings);
+        bound.ensure_bound().unwrap();
+        bound.validate().unwrap();
+        // Binding never mutates the original (intent artifacts are immutable).
+        assert!(bundle.ensure_bound().is_err());
+    }
+
+    #[test]
+    fn invalid_context_rejected_at_bundle_level() {
+        let bundle = simple_bundle().with_context(ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator").with_samples(0),
+        ));
+        assert!(bundle.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(JobBundle::from_json("{ not json").is_err());
+        assert!(JobBundle::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let bundle = simple_bundle()
+            .with_metadata("workflow", "maxcut-demo")
+            .with_metadata("revision", 3);
+        let json = bundle.to_json().unwrap();
+        let back = JobBundle::from_json(&json).unwrap();
+        assert_eq!(back.metadata.len(), 2);
+    }
+}

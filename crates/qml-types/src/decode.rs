@@ -1,0 +1,339 @@
+//! Decoding of measured words according to explicit result schemas.
+//!
+//! The middle layer's composability principle requires that "results need
+//! unambiguous decoding rules (e.g. bit or mode ordering, datatype
+//! interpretation)" (paper §3). This module is the single place where a raw
+//! classical word becomes a typed value — there is no default interpretation
+//! anywhere else in the stack.
+//!
+//! # Bitstring convention
+//!
+//! A measured word is a string of `'0'`/`'1'` characters where the character
+//! at position `i` is the outcome of **classical bit `i`** — i.e. of the wire
+//! listed at `clbit_order[i]` in the result schema. Bit significance is then
+//! applied per the schema's `bit_significance` field: with `LSB_0`, classical
+//! bit `i` has weight `2^i`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::encoding::{BitOrder, MeasurementSemantics};
+use crate::error::{QmlError, Result};
+use crate::qdt::QuantumDataType;
+use crate::result_schema::ResultSchema;
+
+/// A decoded measurement outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DecodedValue {
+    /// Unsigned integer value (AS_INT).
+    Int(u64),
+    /// Per-carrier Boolean labels in classical-bit order (AS_BOOL).
+    Bool(Vec<bool>),
+    /// Phase value (AS_PHASE): the observed index and its phase fraction in
+    /// turns (multiply by 2π for radians).
+    Phase {
+        /// Observed integer index k.
+        index: u64,
+        /// Phase fraction k·phase_scale, in turns.
+        fraction: f64,
+    },
+    /// Per-carrier Ising spins, `+1`/`-1`, in classical-bit order (AS_SPIN).
+    Spins(Vec<i8>),
+    /// Raw, uninterpreted bitstring (AS_RAW).
+    Raw(String),
+}
+
+impl DecodedValue {
+    /// The integer value if this is an `Int`.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            DecodedValue::Int(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// The phase fraction if this is a `Phase`.
+    pub fn as_phase_fraction(&self) -> Option<f64> {
+        match self {
+            DecodedValue::Phase { fraction, .. } => Some(*fraction),
+            _ => None,
+        }
+    }
+
+    /// The Boolean labels if this is a `Bool`.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match self {
+            DecodedValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The spins if this is a `Spins`.
+    pub fn as_spins(&self) -> Option<&[i8]> {
+        match self {
+            DecodedValue::Spins(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a measured word into per-classical-bit booleans.
+fn parse_bits(word: &str) -> Result<Vec<bool>> {
+    word.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(QmlError::Decode(format!(
+                "measured word contains non-binary character `{other}`"
+            ))),
+        })
+        .collect()
+}
+
+/// Integer value of the per-bit outcomes under the given significance order.
+fn word_to_index(bits: &[bool], order: BitOrder) -> u64 {
+    let width = bits.len();
+    bits.iter().enumerate().fold(0u64, |acc, (i, &bit)| {
+        if bit {
+            acc | (1u64 << order.weight_exponent(i, width))
+        } else {
+            acc
+        }
+    })
+}
+
+/// Decode a single measured word according to a result schema and the data
+/// type of the register it reads out.
+pub fn decode_word(word: &str, schema: &ResultSchema, qdt: &QuantumDataType) -> Result<DecodedValue> {
+    let bits = parse_bits(word)?;
+    if bits.len() != schema.num_clbits() {
+        return Err(QmlError::Decode(format!(
+            "measured word has {} bits but the result schema declares {} classical bits",
+            bits.len(),
+            schema.num_clbits()
+        )));
+    }
+    match schema.datatype {
+        MeasurementSemantics::AsInt => Ok(DecodedValue::Int(word_to_index(
+            &bits,
+            schema.bit_significance,
+        ))),
+        MeasurementSemantics::AsBool => Ok(DecodedValue::Bool(bits)),
+        MeasurementSemantics::AsSpin => Ok(DecodedValue::Spins(
+            bits.iter().map(|&b| if b { -1 } else { 1 }).collect(),
+        )),
+        MeasurementSemantics::AsPhase => {
+            let scale = qdt.phase_scale.ok_or_else(|| {
+                QmlError::Decode(format!(
+                    "register `{}` has AS_PHASE semantics but no phase_scale",
+                    qdt.id
+                ))
+            })?;
+            let index = word_to_index(&bits, schema.bit_significance);
+            Ok(DecodedValue::Phase {
+                index,
+                fraction: scale.fraction(index),
+            })
+        }
+        MeasurementSemantics::AsRaw => Ok(DecodedValue::Raw(word.to_string())),
+    }
+}
+
+/// Decode an Ising-spin assignment from a Boolean word using the convention
+/// stated in the paper's §5: Boolean readout `0 ↦ spin +1`, `1 ↦ spin −1`.
+pub fn bools_to_spins(bits: &[bool]) -> Vec<i8> {
+    bits.iter().map(|&b| if b { -1 } else { 1 }).collect()
+}
+
+/// Aggregated, decoded counts: every observed word with its multiplicity and
+/// its decoded value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodedCounts {
+    /// Observed words and how often each occurred.
+    pub counts: BTreeMap<String, u64>,
+    /// Decoded value per observed word.
+    pub decoded: BTreeMap<String, DecodedValue>,
+    /// Total number of samples.
+    pub total: u64,
+}
+
+impl DecodedCounts {
+    /// Decode a whole counts map.
+    pub fn decode(
+        counts: &BTreeMap<String, u64>,
+        schema: &ResultSchema,
+        qdt: &QuantumDataType,
+    ) -> Result<Self> {
+        let mut decoded = BTreeMap::new();
+        let mut total = 0u64;
+        for (word, &n) in counts {
+            decoded.insert(word.clone(), decode_word(word, schema, qdt)?);
+            total += n;
+        }
+        Ok(DecodedCounts {
+            counts: counts.clone(),
+            decoded,
+            total,
+        })
+    }
+
+    /// The most frequently observed word (ties broken lexicographically).
+    pub fn most_frequent(&self) -> Option<(&str, u64)> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(w, &n)| (w.as_str(), n))
+    }
+
+    /// Empirical probability of a word.
+    pub fn probability(&self, word: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(word).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Expected value of a user-supplied objective over the observed words,
+    /// weighted by how often each word was observed — the statistic the paper
+    /// calls the "expected cut".
+    pub fn expectation<F: Fn(&str, &DecodedValue) -> f64>(&self, objective: F) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .map(|(word, &n)| objective(word, &self.decoded[word]) * n as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_schema(width: usize, order: BitOrder) -> (ResultSchema, QuantumDataType) {
+        let qdt = QuantumDataType::builder("r", width)
+            .bit_order(order)
+            .build()
+            .unwrap();
+        let mut schema = ResultSchema::for_register(&qdt);
+        schema.bit_significance = order;
+        (schema, qdt)
+    }
+
+    #[test]
+    fn int_decode_lsb0() {
+        let (schema, qdt) = int_schema(4, BitOrder::Lsb0);
+        // clbit 0 = '1' → weight 2^0, clbit 3 = '1' → weight 2^3.
+        let v = decode_word("1001", &schema, &qdt).unwrap();
+        assert_eq!(v, DecodedValue::Int(0b1001));
+    }
+
+    #[test]
+    fn int_decode_msb0() {
+        let (schema, qdt) = int_schema(4, BitOrder::Msb0);
+        // clbit 0 = '1' → weight 2^3.
+        let v = decode_word("1000", &schema, &qdt).unwrap();
+        assert_eq!(v, DecodedValue::Int(8));
+    }
+
+    #[test]
+    fn phase_decode_uses_phase_scale() {
+        let qdt = QuantumDataType::phase_register("reg_phase", "phase", 10).unwrap();
+        let schema = ResultSchema::for_register(&qdt);
+        // Index 512 out of 1024 = half a turn.
+        let word: String = (0..10).map(|i| if i == 9 { '1' } else { '0' }).collect();
+        let v = decode_word(&word, &schema, &qdt).unwrap();
+        match v {
+            DecodedValue::Phase { index, fraction } => {
+                assert_eq!(index, 512);
+                assert!((fraction - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected phase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bool_and_spin_decode() {
+        let qdt = QuantumDataType::ising_spins("ising_vars", "s", 4).unwrap();
+        let schema = ResultSchema::for_register(&qdt);
+        let v = decode_word("1010", &schema, &qdt).unwrap();
+        assert_eq!(
+            v,
+            DecodedValue::Bool(vec![true, false, true, false]),
+            "ISING_SPIN registers read out AS_BOOL per the paper's PoC"
+        );
+        assert_eq!(bools_to_spins(&[true, false, true, false]), vec![-1, 1, -1, 1]);
+
+        let mut spin_schema = schema.clone();
+        spin_schema.datatype = MeasurementSemantics::AsSpin;
+        let v = decode_word("1010", &spin_schema, &qdt).unwrap();
+        assert_eq!(v, DecodedValue::Spins(vec![-1, 1, -1, 1]));
+    }
+
+    #[test]
+    fn raw_decode_passthrough() {
+        let qdt = QuantumDataType::builder("raw", 3)
+            .encoding(crate::encoding::EncodingKind::AmplitudeRegister)
+            .build()
+            .unwrap();
+        let schema = ResultSchema::for_register(&qdt);
+        assert_eq!(
+            decode_word("011", &schema, &qdt).unwrap(),
+            DecodedValue::Raw("011".into())
+        );
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let (schema, qdt) = int_schema(4, BitOrder::Lsb0);
+        assert!(decode_word("101", &schema, &qdt).is_err());
+        assert!(decode_word("10101", &schema, &qdt).is_err());
+    }
+
+    #[test]
+    fn non_binary_rejected() {
+        let (schema, qdt) = int_schema(4, BitOrder::Lsb0);
+        assert!(decode_word("10x1", &schema, &qdt).is_err());
+    }
+
+    #[test]
+    fn phase_without_scale_rejected() {
+        let qdt = QuantumDataType::int_register("r", "r", 4).unwrap();
+        let mut schema = ResultSchema::for_register(&qdt);
+        schema.datatype = MeasurementSemantics::AsPhase;
+        assert!(decode_word("0000", &schema, &qdt).is_err());
+    }
+
+    #[test]
+    fn counts_statistics() {
+        let qdt = QuantumDataType::ising_spins("ising_vars", "s", 4).unwrap();
+        let schema = ResultSchema::for_register(&qdt);
+        let mut counts = BTreeMap::new();
+        counts.insert("1010".to_string(), 600u64);
+        counts.insert("0101".to_string(), 300u64);
+        counts.insert("0000".to_string(), 100u64);
+        let decoded = DecodedCounts::decode(&counts, &schema, &qdt).unwrap();
+        assert_eq!(decoded.total, 1000);
+        assert_eq!(decoded.most_frequent(), Some(("1010", 600)));
+        assert!((decoded.probability("0101") - 0.3).abs() < 1e-12);
+        assert_eq!(decoded.probability("1111"), 0.0);
+
+        // Count the number of 1-labels as a toy objective.
+        let avg_ones = decoded.expectation(|word, _| {
+            word.chars().filter(|&c| c == '1').count() as f64
+        });
+        assert!((avg_ones - (0.6 * 2.0 + 0.3 * 2.0 + 0.1 * 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_edge_cases() {
+        let qdt = QuantumDataType::ising_spins("ising_vars", "s", 4).unwrap();
+        let schema = ResultSchema::for_register(&qdt);
+        let decoded = DecodedCounts::decode(&BTreeMap::new(), &schema, &qdt).unwrap();
+        assert_eq!(decoded.total, 0);
+        assert_eq!(decoded.most_frequent(), None);
+        assert_eq!(decoded.expectation(|_, _| 1.0), 0.0);
+    }
+}

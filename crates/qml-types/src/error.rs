@@ -1,0 +1,108 @@
+//! Error type shared by every descriptor constructor and validator in the
+//! middle layer.
+//!
+//! The middle layer's contract is that malformed descriptors are rejected
+//! *early* — at construction or at bundle validation — rather than surfacing
+//! as backend failures. Every fallible operation in `qml-types` returns
+//! [`QmlError`].
+
+use std::fmt;
+
+/// Errors produced by descriptor construction, validation, (de)serialization,
+/// parameter binding, and result decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QmlError {
+    /// A descriptor violated a structural or semantic constraint.
+    Validation(String),
+    /// A descriptor referenced a quantum data type id that is not part of the
+    /// bundle (or the referenced register has the wrong shape).
+    UnknownRegister(String),
+    /// Two descriptors disagree about the width of a register.
+    WidthMismatch {
+        /// Register id whose width is disputed.
+        register: String,
+        /// Width declared by the quantum data type.
+        expected: usize,
+        /// Width implied by the operator or result schema.
+        found: usize,
+    },
+    /// A symbolic parameter was still unbound at realization time.
+    UnboundParameter(String),
+    /// JSON (de)serialization failed.
+    Json(String),
+    /// The requested operation is valid but not supported by this component
+    /// (e.g. an engine string no registered backend understands).
+    Unsupported(String),
+    /// Decoding a measured word according to a result schema failed.
+    Decode(String),
+}
+
+impl fmt::Display for QmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QmlError::Validation(msg) => write!(f, "validation error: {msg}"),
+            QmlError::UnknownRegister(id) => write!(f, "unknown register `{id}`"),
+            QmlError::WidthMismatch {
+                register,
+                expected,
+                found,
+            } => write!(
+                f,
+                "width mismatch for register `{register}`: declared {expected}, used as {found}"
+            ),
+            QmlError::UnboundParameter(name) => {
+                write!(f, "parameter `{name}` is still unbound at realization time")
+            }
+            QmlError::Json(msg) => write!(f, "json error: {msg}"),
+            QmlError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            QmlError::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QmlError {}
+
+impl From<serde_json::Error> for QmlError {
+    fn from(err: serde_json::Error) -> Self {
+        QmlError::Json(err.to_string())
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, QmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_validation() {
+        let e = QmlError::Validation("width must be > 0".into());
+        assert_eq!(e.to_string(), "validation error: width must be > 0");
+    }
+
+    #[test]
+    fn display_width_mismatch() {
+        let e = QmlError::WidthMismatch {
+            register: "reg_phase".into(),
+            expected: 10,
+            found: 4,
+        };
+        assert!(e.to_string().contains("reg_phase"));
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn from_serde_json() {
+        let bad: std::result::Result<serde_json::Value, _> = serde_json::from_str("{not json");
+        let err: QmlError = bad.unwrap_err().into();
+        assert!(matches!(err, QmlError::Json(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(QmlError::Unsupported("pulse engine".into()));
+    }
+}

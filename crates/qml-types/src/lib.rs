@@ -1,0 +1,161 @@
+//! # qml-types — typed descriptors for a technology-agnostic quantum middle layer
+//!
+//! This crate implements the descriptor model of *"An HPC-Inspired Blueprint
+//! for a Technology-Agnostic Quantum Middle Layer"* (Markidis et al., SC
+//! Workshops '25): the artifacts a quantum application emits **once** to state
+//! its intent, independent of whether a gate-model simulator, an annealer, or
+//! any future backend executes it.
+//!
+//! The model has four pieces, mirroring the paper's §4:
+//!
+//! * [`QuantumDataType`] — what a register *means* (width, encoding, bit
+//!   order, measurement semantics, phase scale). See [`qdt`].
+//! * [`OperatorDescriptor`] — which logical transformation is requested
+//!   (rep kind, parameters, cost hints, result schema), with no gates, pulses
+//!   or device details. See [`qod`].
+//! * [`ContextDescriptor`] — how the program may be executed (engine, shots,
+//!   target constraints, QEC policy, annealer settings), orthogonal to the
+//!   intent. See [`context`].
+//! * [`JobBundle`] — the packaged `job.json` submitted to a backend. See
+//!   [`bundle`].
+//!
+//! Decoding of measured words back into typed values happens exclusively
+//! through [`decode`], driven by explicit [`ResultSchema`]s — never by
+//! convention.
+//!
+//! ## Example
+//!
+//! ```
+//! use qml_types::prelude::*;
+//!
+//! // Intent: 4 Ising decision variables, prepared uniformly and measured.
+//! let qdt = QuantumDataType::ising_spins("ising_vars", "s", 4)?;
+//! let prep = OperatorDescriptor::builder("prep", RepKind::PrepUniform, "ising_vars").build()?;
+//! let meas = OperatorDescriptor::builder("measure", RepKind::Measurement, "ising_vars")
+//!     .result_schema(ResultSchema::for_register(&qdt))
+//!     .build()?;
+//! let bundle = JobBundle::new("demo", vec![qdt], vec![prep, meas]);
+//! bundle.validate()?;
+//!
+//! // Policy: a gate simulator with 4096 shots — swapping this re-targets the
+//! // program without touching the intent above.
+//! let ctx = ContextDescriptor::for_gate(
+//!     ExecConfig::new("gate.aer_simulator").with_samples(4096).with_seed(42),
+//! );
+//! let job = bundle.with_context(ctx);
+//! job.validate()?;
+//! # Ok::<(), qml_types::QmlError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bundle;
+pub mod context;
+pub mod cost;
+pub mod decode;
+pub mod encoding;
+pub mod error;
+pub mod params;
+pub mod qdt;
+pub mod qod;
+pub mod result_schema;
+
+pub use bundle::{JobBundle, JOB_SCHEMA};
+pub use context::{
+    AnnealConfig, ContextDescriptor, ExecConfig, ExecOptions, QecConfig, Target, CTX_SCHEMA,
+};
+pub use cost::CostHint;
+pub use decode::{bools_to_spins, decode_word, DecodedCounts, DecodedValue};
+pub use encoding::{BitOrder, EncodingKind, MeasurementSemantics, PhaseScale};
+pub use error::{QmlError, Result};
+pub use params::{ParamValue, Params, SymbolRef};
+pub use qdt::{QdtBuilder, QuantumDataType, QDT_SCHEMA};
+pub use qod::{OperatorDescriptor, QodBuilder, RepKind, QOD_SCHEMA};
+pub use result_schema::{MeasurementBasis, ResultSchema};
+
+/// Convenience prelude re-exporting the types most programs need.
+pub mod prelude {
+    pub use crate::bundle::JobBundle;
+    pub use crate::context::{AnnealConfig, ContextDescriptor, ExecConfig, QecConfig, Target};
+    pub use crate::cost::CostHint;
+    pub use crate::decode::{decode_word, DecodedCounts, DecodedValue};
+    pub use crate::encoding::{BitOrder, EncodingKind, MeasurementSemantics, PhaseScale};
+    pub use crate::error::{QmlError, Result};
+    pub use crate::params::{ParamValue, Params};
+    pub use crate::qdt::QuantumDataType;
+    pub use crate::qod::{OperatorDescriptor, RepKind};
+    pub use crate::result_schema::{MeasurementBasis, ResultSchema};
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::prelude::*;
+    use proptest::prelude::*;
+
+    fn arb_encoding() -> impl Strategy<Value = EncodingKind> {
+        prop_oneof![
+            Just(EncodingKind::IntRegister),
+            Just(EncodingKind::BoolRegister),
+            Just(EncodingKind::IsingSpin),
+            Just(EncodingKind::SignedIntRegister),
+        ]
+    }
+
+    proptest! {
+        /// Any QDT built through the builder serializes to JSON and back to an
+        /// identical descriptor.
+        #[test]
+        fn qdt_json_round_trip(width in 1usize..=63, encoding in arb_encoding(), msb in any::<bool>()) {
+            let qdt = qml_types_builder(width, encoding, msb);
+            let json = serde_json::to_string(&qdt).unwrap();
+            let back: QuantumDataType = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, qdt);
+        }
+
+        /// Decoding an integer word and re-encoding its bits is the identity
+        /// for every width and bit order.
+        #[test]
+        fn int_decode_matches_direct_binary(width in 1usize..=16, value in 0u64..65536, msb in any::<bool>()) {
+            let value = value & ((1u64 << width) - 1);
+            let order = if msb { BitOrder::Msb0 } else { BitOrder::Lsb0 };
+            let qdt = QuantumDataType::builder("r", width).bit_order(order).build().unwrap();
+            let mut schema = ResultSchema::for_register(&qdt);
+            schema.bit_significance = order;
+            // Build the word: character i is classical bit i.
+            let word: String = (0..width)
+                .map(|i| {
+                    let exp = order.weight_exponent(i, width);
+                    if (value >> exp) & 1 == 1 { '1' } else { '0' }
+                })
+                .collect();
+            let decoded = decode_word(&word, &schema, &qdt).unwrap();
+            prop_assert_eq!(decoded, DecodedValue::Int(value));
+        }
+
+        /// Binding never introduces new unbound symbols, and binding all
+        /// listed symbols produces a fully bound parameter set.
+        #[test]
+        fn binding_is_monotone(names in proptest::collection::vec("[a-z]{1,8}", 1..5)) {
+            let mut params = Params::new();
+            for (i, name) in names.iter().enumerate() {
+                params.insert(format!("p{i}"), ParamValue::symbol(name.clone()));
+            }
+            let before = params.unbound_symbols();
+            let bindings: std::collections::BTreeMap<String, ParamValue> = before
+                .iter()
+                .map(|n| (n.clone(), ParamValue::Float(1.0)))
+                .collect();
+            let bound = params.bind(&bindings);
+            prop_assert!(bound.unbound_symbols().is_empty());
+        }
+    }
+
+    fn qml_types_builder(width: usize, encoding: EncodingKind, msb: bool) -> QuantumDataType {
+        QuantumDataType::builder("reg", width)
+            .encoding(encoding)
+            .bit_order(if msb { BitOrder::Msb0 } else { BitOrder::Lsb0 })
+            .build()
+            .unwrap()
+    }
+}

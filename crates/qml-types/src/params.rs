@@ -1,0 +1,434 @@
+//! Operator parameters with support for **late binding**.
+//!
+//! The paper requires that the middle layer "allow late parameter binding"
+//! (§3): an operator descriptor may carry symbolic parameters (for instance
+//! the QAOA angles γ, β) which are bound only when the bundle is submitted to
+//! a backend. [`ParamValue::Symbol`] represents such an unbound parameter;
+//! [`Params::bind`] substitutes concrete values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{QmlError, Result};
+
+/// Reference to a named, not-yet-bound parameter.
+///
+/// Serialized as `{"$param": "gamma_0"}` so it cannot be confused with an
+/// ordinary nested map in the untagged [`ParamValue`] representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SymbolRef {
+    /// Name of the symbolic parameter.
+    #[serde(rename = "$param")]
+    pub name: String,
+}
+
+/// A JSON-compatible parameter value carried by an operator or context
+/// descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ParamValue {
+    /// Boolean flag (e.g. `do_swaps`).
+    Bool(bool),
+    /// Signed integer (e.g. `approx_degree`).
+    Int(i64),
+    /// Floating-point value (e.g. a rotation angle).
+    Float(f64),
+    /// A symbolic, late-bound parameter (`{"$param": "gamma_0"}`).
+    Symbol(SymbolRef),
+    /// Text value (e.g. an engine name inside an extension block).
+    Str(String),
+    /// Ordered list of values (e.g. an edge list).
+    List(Vec<ParamValue>),
+    /// Nested map of values.
+    Map(BTreeMap<String, ParamValue>),
+}
+
+impl ParamValue {
+    /// Construct a symbolic (unbound) parameter.
+    pub fn symbol(name: impl Into<String>) -> Self {
+        ParamValue::Symbol(SymbolRef { name: name.into() })
+    }
+
+    /// True if this value is — or contains — an unbound symbol.
+    pub fn has_symbol(&self) -> bool {
+        match self {
+            ParamValue::Symbol(_) => true,
+            ParamValue::List(items) => items.iter().any(ParamValue::has_symbol),
+            ParamValue::Map(map) => map.values().any(ParamValue::has_symbol),
+            _ => false,
+        }
+    }
+
+    /// Names of all unbound symbols contained in this value.
+    pub fn symbols(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<String>) {
+        match self {
+            ParamValue::Symbol(s) => out.push(s.name.clone()),
+            ParamValue::List(items) => items.iter().for_each(|v| v.collect_symbols(out)),
+            ParamValue::Map(map) => map.values().for_each(|v| v.collect_symbols(out)),
+            _ => {}
+        }
+    }
+
+    /// Replace every symbol found in `bindings` with its concrete value.
+    /// Symbols without a binding are left in place.
+    pub fn bind(&self, bindings: &BTreeMap<String, ParamValue>) -> ParamValue {
+        match self {
+            ParamValue::Symbol(s) => bindings.get(&s.name).cloned().unwrap_or_else(|| self.clone()),
+            ParamValue::List(items) => {
+                ParamValue::List(items.iter().map(|v| v.bind(bindings)).collect())
+            }
+            ParamValue::Map(map) => ParamValue::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), v.bind(bindings)))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Interpret the value as an `f64` (integers widen, booleans map to 0/1).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(x) => Some(*x),
+            ParamValue::Int(x) => Some(*x as f64),
+            ParamValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(x) => Some(*x),
+            ParamValue::Float(x) if x.fract() == 0.0 => Some(*x as i64),
+            ParamValue::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a `u64` (rejects negatives).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|x| u64::try_from(x).ok())
+    }
+
+    /// Interpret the value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a list.
+    pub fn as_list(&self) -> Option<&[ParamValue]> {
+        match self {
+            ParamValue::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, ParamValue>> {
+        match self {
+            ParamValue::Map(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match serde_json::to_string(self) {
+            Ok(s) => f.write_str(&s),
+            Err(_) => f.write_str("<param>"),
+        }
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(b: bool) -> Self {
+        ParamValue::Bool(b)
+    }
+}
+impl From<i64> for ParamValue {
+    fn from(x: i64) -> Self {
+        ParamValue::Int(x)
+    }
+}
+impl From<i32> for ParamValue {
+    fn from(x: i32) -> Self {
+        ParamValue::Int(x as i64)
+    }
+}
+impl From<usize> for ParamValue {
+    fn from(x: usize) -> Self {
+        ParamValue::Int(x as i64)
+    }
+}
+impl From<f64> for ParamValue {
+    fn from(x: f64) -> Self {
+        ParamValue::Float(x)
+    }
+}
+impl From<&str> for ParamValue {
+    fn from(s: &str) -> Self {
+        ParamValue::Str(s.to_string())
+    }
+}
+impl From<String> for ParamValue {
+    fn from(s: String) -> Self {
+        ParamValue::Str(s)
+    }
+}
+impl<T: Into<ParamValue>> From<Vec<T>> for ParamValue {
+    fn from(items: Vec<T>) -> Self {
+        ParamValue::List(items.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Named parameter set attached to an operator descriptor (the `params`
+/// block of the paper's Listing 3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Params {
+    /// Underlying ordered map (ordered so JSON artifacts are reproducible).
+    pub entries: BTreeMap<String, ParamValue>,
+}
+
+impl Params {
+    /// Empty parameter set.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// Insert (or replace) a parameter, builder-style.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<ParamValue>) -> Self {
+        self.entries.insert(key.into(), value.into());
+        self
+    }
+
+    /// Insert (or replace) a parameter in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<ParamValue>) {
+        self.entries.insert(key.into(), value.into());
+    }
+
+    /// Look up a parameter by name.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.entries.get(key)
+    }
+
+    /// Required `f64` parameter, with a descriptive error.
+    pub fn require_f64(&self, key: &str) -> Result<f64> {
+        match self.get(key) {
+            Some(ParamValue::Symbol(s)) => Err(QmlError::UnboundParameter(s.name.clone())),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| QmlError::Validation(format!("parameter `{key}` is not numeric"))),
+            None => Err(QmlError::Validation(format!("missing parameter `{key}`"))),
+        }
+    }
+
+    /// Required `u64` parameter.
+    pub fn require_u64(&self, key: &str) -> Result<u64> {
+        match self.get(key) {
+            Some(ParamValue::Symbol(s)) => Err(QmlError::UnboundParameter(s.name.clone())),
+            Some(v) => v.as_u64().ok_or_else(|| {
+                QmlError::Validation(format!("parameter `{key}` is not an unsigned integer"))
+            }),
+            None => Err(QmlError::Validation(format!("missing parameter `{key}`"))),
+        }
+    }
+
+    /// Optional `bool` parameter with a default.
+    pub fn bool_or(&self, key: &str, default: bool) -> bool {
+        self.get(key).and_then(ParamValue::as_bool).unwrap_or(default)
+    }
+
+    /// Optional `u64` parameter with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(ParamValue::as_u64).unwrap_or(default)
+    }
+
+    /// Optional `f64` parameter with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(ParamValue::as_f64).unwrap_or(default)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Names of every unbound symbol across all entries.
+    pub fn unbound_symbols(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .values()
+            .flat_map(|v| v.symbols())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Return a copy with every symbol found in `bindings` substituted.
+    pub fn bind(&self, bindings: &BTreeMap<String, ParamValue>) -> Params {
+        Params {
+            entries: self
+                .entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.bind(bindings)))
+                .collect(),
+        }
+    }
+
+    /// Error if any entry still contains an unbound symbol.
+    pub fn ensure_bound(&self) -> Result<()> {
+        let symbols = self.unbound_symbols();
+        if let Some(first) = symbols.first() {
+            Err(QmlError::UnboundParameter(first.clone()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl FromIterator<(String, ParamValue)> for Params {
+    fn from_iter<I: IntoIterator<Item = (String, ParamValue)>>(iter: I) -> Self {
+        Params {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untagged_round_trip_scalars() {
+        for (json, expected) in [
+            ("true", ParamValue::Bool(true)),
+            ("3", ParamValue::Int(3)),
+            ("0.5", ParamValue::Float(0.5)),
+            ("\"hello\"", ParamValue::Str("hello".into())),
+        ] {
+            let v: ParamValue = serde_json::from_str(json).unwrap();
+            assert_eq!(v, expected, "parsing {json}");
+        }
+    }
+
+    #[test]
+    fn symbol_round_trip() {
+        let v = ParamValue::symbol("gamma_0");
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, r#"{"$param":"gamma_0"}"#);
+        let back: ParamValue = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        assert!(back.has_symbol());
+    }
+
+    #[test]
+    fn plain_map_is_not_a_symbol() {
+        let json = r#"{"edges": [[0,1],[1,2]], "weight": 1.0}"#;
+        let v: ParamValue = serde_json::from_str(json).unwrap();
+        assert!(matches!(v, ParamValue::Map(_)));
+        assert!(!v.has_symbol());
+    }
+
+    #[test]
+    fn nested_symbol_detection_and_binding() {
+        let v = ParamValue::List(vec![
+            ParamValue::Int(1),
+            ParamValue::symbol("beta_0"),
+            ParamValue::Map(
+                [("angle".to_string(), ParamValue::symbol("gamma_0"))]
+                    .into_iter()
+                    .collect(),
+            ),
+        ]);
+        assert_eq!(v.symbols(), vec!["beta_0".to_string(), "gamma_0".to_string()]);
+
+        let mut bindings = BTreeMap::new();
+        bindings.insert("beta_0".to_string(), ParamValue::Float(0.3));
+        bindings.insert("gamma_0".to_string(), ParamValue::Float(0.7));
+        let bound = v.bind(&bindings);
+        assert!(!bound.has_symbol());
+    }
+
+    #[test]
+    fn partial_binding_leaves_unknown_symbols() {
+        let v = ParamValue::symbol("delta");
+        let bound = v.bind(&BTreeMap::new());
+        assert!(bound.has_symbol());
+    }
+
+    #[test]
+    fn params_builder_and_lookup() {
+        let p = Params::new()
+            .with("approx_degree", 0)
+            .with("do_swaps", true)
+            .with("inverse", false);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.require_u64("approx_degree").unwrap(), 0);
+        assert!(p.bool_or("do_swaps", false));
+        assert!(!p.bool_or("inverse", true));
+        assert!(p.require_f64("missing").is_err());
+    }
+
+    #[test]
+    fn params_unbound_symbol_is_an_error() {
+        let p = Params::new().with("gamma", ParamValue::symbol("gamma_0"));
+        assert_eq!(p.unbound_symbols(), vec!["gamma_0".to_string()]);
+        assert!(matches!(
+            p.require_f64("gamma"),
+            Err(QmlError::UnboundParameter(_))
+        ));
+        assert!(p.ensure_bound().is_err());
+
+        let mut bindings = BTreeMap::new();
+        bindings.insert("gamma_0".to_string(), ParamValue::Float(1.2));
+        let bound = p.bind(&bindings);
+        assert!(bound.ensure_bound().is_ok());
+        assert!((bound.require_f64("gamma").unwrap() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(ParamValue::Int(4).as_f64(), Some(4.0));
+        assert_eq!(ParamValue::Float(4.0).as_i64(), Some(4));
+        assert_eq!(ParamValue::Float(4.5).as_i64(), None);
+        assert_eq!(ParamValue::Int(-1).as_u64(), None);
+        assert_eq!(ParamValue::Bool(true).as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn params_transparent_serialization() {
+        let p = Params::new().with("samples", 4096).with("seed", 42);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, r#"{"samples":4096,"seed":42}"#);
+        let back: Params = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 2 reproduction: the Max-Cut QAOA gate path, including the classical
+//! outer loop that tunes the QAOA angles by re-binding late-bound parameters.
+//!
+//! Run with: `cargo run --release --example maxcut_qaoa`
+
+use std::collections::BTreeMap;
+
+use qml_core::backends::{Backend, GateBackend};
+use qml_core::graph::{cut_value_of_bitstring, cycle};
+use qml_core::prelude::*;
+use qml_core::types::ParamValue;
+
+fn main() -> Result<()> {
+    let graph = cycle(4);
+
+    // The intent is built once with *symbolic* angles: the classical
+    // optimization loop below only re-binds parameters, it never rebuilds or
+    // edits the descriptors (the paper's late-binding requirement).
+    let template = qaoa_maxcut_program(&graph, &QaoaSchedule::Symbolic { layers: 1 })?;
+    println!("symbolic parameters: {:?}", template.unbound_symbols());
+
+    let context = ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(4096)
+            .with_seed(42)
+            .with_target(Target::ring(4))
+            .with_optimization_level(2),
+    );
+    let backend = GateBackend::new();
+
+    // Classical outer loop: coarse grid search over (gamma, beta).
+    let steps = 24usize;
+    let mut best = (0.0f64, 0.0f64, f64::MIN);
+    for gi in 1..steps {
+        for bi in 1..steps {
+            let gamma = std::f64::consts::PI * gi as f64 / steps as f64;
+            let beta = std::f64::consts::FRAC_PI_2 * bi as f64 / steps as f64;
+            let mut bindings = BTreeMap::new();
+            bindings.insert("gamma_0".to_string(), ParamValue::Float(gamma));
+            bindings.insert("beta_0".to_string(), ParamValue::Float(beta));
+            let job = template.bind(&bindings).with_context(context.clone());
+            let result = backend.execute(&job)?;
+            let expected = result.expectation(|w| cut_value_of_bitstring(&graph, w));
+            if expected > best.2 {
+                best = (gamma, beta, expected);
+            }
+        }
+    }
+    println!(
+        "\nbest angles found: gamma = {:.3} rad, beta = {:.3} rad",
+        best.0, best.1
+    );
+    println!("best expected cut (p = 1): {:.3}", best.2);
+
+    // Final run at the best angles, reported like the paper's §5.
+    let mut bindings = BTreeMap::new();
+    bindings.insert("gamma_0".to_string(), ParamValue::Float(best.0));
+    bindings.insert("beta_0".to_string(), ParamValue::Float(best.1));
+    let job = template.bind(&bindings).with_context(context);
+    let result = backend.execute(&job)?;
+
+    println!("\nfinal run ({} shots on {}):", result.shots, result.engine);
+    if let Some(metrics) = &result.gate_metrics {
+        println!(
+            "  transpiled to basis [sx, rz, cx] on the 4-qubit ring: {} gates, {} two-qubit, depth {}",
+            metrics.total_gates, metrics.two_qubit_gates, metrics.depth
+        );
+    }
+    for (word, probability) in result.top_k(6) {
+        println!(
+            "  {word}  p = {probability:.3}  cut = {}",
+            cut_value_of_bitstring(&graph, &word)
+        );
+    }
+    let expected = result.expectation(|w| cut_value_of_bitstring(&graph, w));
+    let p_opt = result.probability("1010") + result.probability("0101");
+    println!("\nexpected cut over all samples : {expected:.2}  (paper reports ≈ 3.0–3.2)");
+    println!("probability of an optimal cut : {p_opt:.2}");
+    println!("optimal assignments           : 1010 and 0101 (cut = 4)");
+    Ok(())
+}

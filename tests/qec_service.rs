@@ -1,0 +1,106 @@
+//! Integration test E7: QEC as execution context — the same program runs
+//! unmodified with and without the `qec` block; only the resource estimate
+//! changes, and the executable repetition code shows the promised error
+//! suppression.
+
+use qml_core::backends::{Backend, GateBackend};
+use qml_core::graph::cycle;
+use qml_core::prelude::*;
+use qml_core::qec::{QecService, RepetitionCode, SurfaceCode};
+use qml_core::types::QecConfig;
+
+fn base_context() -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(2048)
+            .with_seed(42)
+            .with_target(Target::ring(4))
+            .with_optimization_level(2),
+    )
+}
+
+#[test]
+fn qec_context_changes_resources_not_semantics() {
+    let graph = cycle(4);
+    let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+    let backend = GateBackend::new();
+
+    let plain = backend.execute(&bundle.clone().with_context(base_context())).unwrap();
+    let protected = backend
+        .execute(&bundle.with_context(base_context().with_qec(QecConfig::surface(7))))
+        .unwrap();
+
+    assert_eq!(plain.counts, protected.counts, "QEC is policy, not semantics");
+    assert!(plain.qec_estimate.is_none());
+    let estimate = protected.qec_estimate.unwrap();
+    assert_eq!(estimate.logical_qubits, 4);
+    assert!(estimate.physical_qubits >= 4 * 97);
+    assert!(estimate.syndrome_rounds > 0);
+}
+
+#[test]
+fn resource_estimates_grow_with_distance_and_shrink_failure_probability() {
+    let graph = cycle(4);
+    let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+    let backend = GateBackend::new();
+    let mut previous: Option<qml_core::qec::ResourceEstimate> = None;
+    for distance in [3usize, 7, 11] {
+        let result = backend
+            .execute(
+                &bundle
+                    .clone()
+                    .with_context(base_context().with_qec(QecConfig::surface(distance))),
+            )
+            .unwrap();
+        let estimate = result.qec_estimate.unwrap();
+        if let Some(prev) = previous {
+            assert!(estimate.physical_qubits > prev.physical_qubits);
+            assert!(estimate.workload_failure_probability < prev.workload_failure_probability);
+        }
+        previous = Some(estimate);
+    }
+}
+
+#[test]
+fn listing5_gate_set_is_enforced_by_the_service() {
+    let service = QecService::from_config(&QecConfig::surface(7)).unwrap();
+    service.check_logical_gates(&["H", "S", "CNOT", "T", "MEASURE_Z"]).unwrap();
+    assert!(service.check_logical_gates(&["TOFFOLI"]).is_err());
+}
+
+#[test]
+fn unknown_code_families_fail_loudly_at_execution_time() {
+    let graph = cycle(4);
+    let mut qec = QecConfig::surface(7);
+    qec.code_family = "hypergraph-product".into();
+    let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+        .unwrap()
+        .with_context(base_context().with_qec(qec));
+    assert!(GateBackend::new().execute(&bundle).is_err());
+}
+
+#[test]
+fn repetition_code_monte_carlo_matches_analytics_and_suppresses_errors() {
+    let p = 0.06;
+    let mut previous = f64::INFINITY;
+    for distance in [1usize, 3, 5, 7] {
+        let code = RepetitionCode::new(distance);
+        let analytic = code.analytic_logical_error_rate(p);
+        let simulated = code.simulate_logical_error_rate(p, 100_000, 13);
+        assert!((analytic - simulated).abs() < 6e-3, "d={distance}: {analytic} vs {simulated}");
+        assert!(analytic < previous, "distance {distance} did not suppress errors");
+        previous = analytic;
+    }
+}
+
+#[test]
+fn surface_code_distance_selection_meets_error_budgets() {
+    // The service can answer "what distance do I need?" — the question a
+    // scheduler asks before placing a fault-tolerant workload.
+    let p = 1e-3;
+    for target in [1e-6, 1e-9, 1e-12] {
+        let d = SurfaceCode::required_distance(p, target).unwrap();
+        assert!(SurfaceCode::new(d, p).logical_error_rate() <= target);
+    }
+    assert!(SurfaceCode::required_distance(0.5, 1e-6).is_none());
+}
