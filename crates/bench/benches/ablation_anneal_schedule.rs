@@ -16,7 +16,8 @@ fn job(graph: &Graph, reads: u64, sweeps: u64) -> JobBundle {
 }
 
 fn bench(c: &mut Criterion) {
-    let instances: Vec<(&str, Graph)> = vec![("C4", cycle(4)), ("G(12,0.3)", random_gnp(12, 0.3, 9))];
+    let instances: Vec<(&str, Graph)> =
+        vec![("C4", cycle(4)), ("G(12,0.3)", random_gnp(12, 0.3, 9))];
     println!("[anneal] graph, reads, sweeps -> expected cut (optimum), ground-state probability");
     for (name, graph) in &instances {
         let optimum = brute_force(graph).value;

@@ -4,8 +4,8 @@
 //! 10-qubit QFT).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qml_core::prelude::*;
 use qml_core::backends::{Backend, GateBackend};
+use qml_core::prelude::*;
 
 fn run(width: usize, level: u8) -> (u64, u64, usize, usize) {
     let bundle = qft_program(width, QftParams::default()).unwrap();
@@ -39,7 +39,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_cost_hints");
     group.sample_size(10);
     for level in [0u8, 1, 2, 3] {
-        group.bench_function(format!("qft10_linear_O{level}"), |b| b.iter(|| run(10, level)));
+        group.bench_function(format!("qft10_linear_O{level}"), |b| {
+            b.iter(|| run(10, level))
+        });
     }
     group.finish();
 }

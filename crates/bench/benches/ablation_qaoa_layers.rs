@@ -27,7 +27,10 @@ fn bench(c: &mut Criterion) {
         let cuts: Vec<String> = (1..=3)
             .map(|p| format!("{:.2}", run_qaoa(graph, p, 1024)))
             .collect();
-        println!("[qaoa-layers]   {name:>9}: opt = {optimum:.1} | {}", cuts.join(", "));
+        println!(
+            "[qaoa-layers]   {name:>9}: opt = {optimum:.1} | {}",
+            cuts.join(", ")
+        );
     }
 
     let mut group = c.benchmark_group("ablation_qaoa_layers");

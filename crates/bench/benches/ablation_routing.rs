@@ -8,7 +8,10 @@ use qml_core::graph::cycle;
 use qml_core::prelude::*;
 
 fn exec(bundle: JobBundle, target: Option<Target>) -> (usize, usize, usize) {
-    let mut exec = ExecConfig::new("gate.aer_simulator").with_samples(128).with_seed(42).with_optimization_level(2);
+    let mut exec = ExecConfig::new("gate.aer_simulator")
+        .with_samples(128)
+        .with_seed(42)
+        .with_optimization_level(2);
     if let Some(t) = target {
         exec = exec.with_target(t);
     }
@@ -21,28 +24,39 @@ fn exec(bundle: JobBundle, target: Option<Target>) -> (usize, usize, usize) {
 
 fn bench(c: &mut Criterion) {
     let qft = || qft_program(10, QftParams::default()).unwrap();
-    let qaoa = || qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+    let qaoa =
+        || qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
     println!("[routing] workload, topology -> (twoq, depth, swaps)");
     for (name, target) in [
         ("all-to-all", None),
         ("linear", Some(Target::linear(10))),
         ("ring", Some(Target::ring(10))),
     ] {
-        println!("[routing]   QFT(10), {name:>10} -> {:?}", exec(qft(), target.clone()));
+        println!(
+            "[routing]   QFT(10), {name:>10} -> {:?}",
+            exec(qft(), target.clone())
+        );
     }
     for (name, target) in [
         ("all-to-all", None),
         ("linear", Some(Target::linear(4))),
         ("ring", Some(Target::ring(4))),
     ] {
-        println!("[routing]   QAOA(C4), {name:>10} -> {:?}", exec(qaoa(), target.clone()));
+        println!(
+            "[routing]   QAOA(C4), {name:>10} -> {:?}",
+            exec(qaoa(), target.clone())
+        );
     }
 
     let mut group = c.benchmark_group("ablation_routing");
     group.sample_size(10);
     group.bench_function("qft10_all_to_all", |b| b.iter(|| exec(qft(), None)));
-    group.bench_function("qft10_linear", |b| b.iter(|| exec(qft(), Some(Target::linear(10)))));
-    group.bench_function("qft10_ring", |b| b.iter(|| exec(qft(), Some(Target::ring(10)))));
+    group.bench_function("qft10_linear", |b| {
+        b.iter(|| exec(qft(), Some(Target::linear(10))))
+    });
+    group.bench_function("qft10_ring", |b| {
+        b.iter(|| exec(qft(), Some(Target::ring(10))))
+    });
     group.finish();
 }
 

@@ -6,23 +6,32 @@ use qml_core::prelude::*;
 use qml_core::types::QecConfig;
 
 fn bench(c: &mut Criterion) {
-    let bundle = qaoa_maxcut_program(&qml_core::graph::cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
-        .unwrap()
-        .with_context(
-            ContextDescriptor::for_gate(
-                ExecConfig::new("gate.aer_simulator")
-                    .with_samples(4096)
-                    .with_seed(42)
-                    .with_target(Target::ring(4))
-                    .with_optimization_level(2),
-            )
-            .with_qec(QecConfig::surface(7)),
-        );
+    let bundle = qaoa_maxcut_program(
+        &qml_core::graph::cycle(4),
+        &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]),
+    )
+    .unwrap()
+    .with_context(
+        ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(4096)
+                .with_seed(42)
+                .with_target(Target::ring(4))
+                .with_optimization_level(2),
+        )
+        .with_qec(QecConfig::surface(7)),
+    );
     let json = bundle.to_json().unwrap();
-    println!("[descriptors] job.json size = {} bytes, operators = {}", json.len(), bundle.operators.len());
+    println!(
+        "[descriptors] job.json size = {} bytes, operators = {}",
+        json.len(),
+        bundle.operators.len()
+    );
 
     let mut group = c.benchmark_group("descriptor_roundtrip");
-    group.bench_function("serialize_job_bundle", |b| b.iter(|| bundle.to_json().unwrap()));
+    group.bench_function("serialize_job_bundle", |b| {
+        b.iter(|| bundle.to_json().unwrap())
+    });
     group.bench_function("parse_and_validate_job_bundle", |b| {
         b.iter(|| JobBundle::from_json(&json).unwrap())
     });

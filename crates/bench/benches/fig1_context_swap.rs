@@ -18,7 +18,11 @@ fn run_both() -> (f64, f64) {
         )
         .unwrap();
     let anneal_id = runtime
-        .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_context(500)))
+        .submit(
+            maxcut_ising_program(&graph)
+                .unwrap()
+                .with_context(anneal_context(500)),
+        )
         .unwrap();
     runtime.run_all(2);
     (

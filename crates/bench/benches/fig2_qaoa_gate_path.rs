@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let graph = cycle(4);
     let job = fig2_job(4096);
     let result = run_gate(&job);
-    println!("[fig2] engine = {}, shots = {}", result.engine, result.shots);
+    println!(
+        "[fig2] engine = {}, shots = {}",
+        result.engine, result.shots
+    );
     println!(
         "[fig2] P(1010) = {:.3}, P(0101) = {:.3}, expected cut = {:.2} (paper: optimal cuts 1010/0101, expected cut ~3.0-3.2 with tuned angles)",
         result.probability("1010"),

@@ -1,0 +1,118 @@
+//! Service throughput: jobs/sec for a 64-job mixed gate+anneal sweep through
+//! `qml-service`, cold transpilation cache vs warm.
+//!
+//! The gate half is the Listing-1 QFT(10) on a linear-coupled target — a
+//! routing-heavy transpilation that the warm cache skips entirely. The anneal
+//! half is the Fig. 3 Max-Cut problem under varying read counts, whose BQM
+//! lowering is likewise cached. Run with:
+//! `cargo bench -p qml-bench --bench service_throughput`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_core::prelude::*;
+use qml_core::types::{AnnealConfig, ContextDescriptor, ExecConfig, Target};
+use qml_service::{QmlService, ServiceConfig, SweepRequest};
+
+const GATE_JOBS: u64 = 32;
+const ANNEAL_JOBS: u64 = 32;
+
+/// 32 *distinct* QFT(10) programs (approximation degree x swaps x inverse),
+/// each a separate transpilation on the linear target. A cold drain builds
+/// all 32 plans; re-submitting the sweep hits every one of them.
+fn gate_sweeps() -> Vec<SweepRequest> {
+    let mut sweeps = Vec::new();
+    let mut variant = 0u64;
+    for approx in 0..8usize {
+        for (do_swaps, inverse) in [(true, false), (false, false), (true, true), (false, true)] {
+            let params = QftParams {
+                approx_degree: approx,
+                do_swaps,
+                inverse,
+            };
+            let program = qft_program(10, params).expect("valid QFT bundle");
+            let sweep = SweepRequest::new(format!("qft10-v{variant}"), program).with_context(
+                ContextDescriptor::for_gate(
+                    ExecConfig::new("gate.aer_simulator")
+                        .with_samples(64)
+                        .with_seed(variant)
+                        .with_target(Target::linear(10))
+                        .with_optimization_level(2),
+                ),
+            );
+            sweeps.push(sweep);
+            variant += 1;
+        }
+    }
+    assert_eq!(sweeps.len() as u64, GATE_JOBS);
+    sweeps
+}
+
+fn anneal_sweep() -> SweepRequest {
+    let program = maxcut_ising_program(&qml_core::graph::cycle(4)).expect("valid Ising bundle");
+    let mut sweep = SweepRequest::new("maxcut-reads", program);
+    for i in 0..ANNEAL_JOBS {
+        let mut cfg = AnnealConfig::with_reads(100 + 10 * i);
+        cfg.seed = Some(i);
+        sweep = sweep.with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", cfg));
+    }
+    sweep
+}
+
+fn submit_and_drain(service: &QmlService) -> f64 {
+    for sweep in gate_sweeps() {
+        service
+            .submit_sweep("bench", sweep)
+            .expect("gate sweep accepted");
+    }
+    service
+        .submit_sweep("bench", anneal_sweep())
+        .expect("anneal sweep accepted");
+    let report = service.run_pending();
+    assert_eq!(report.jobs as u64, GATE_JOBS + ANNEAL_JOBS);
+    assert_eq!(report.failed, 0);
+    report.jobs_per_second
+}
+
+fn bench(c: &mut Criterion) {
+    let workers = ServiceConfig::default().workers;
+
+    // Headline numbers outside the harness: one cold drain, one warm drain.
+    let service = QmlService::new();
+    let cold_jps = submit_and_drain(&service);
+    let cold_misses = service.metrics().cache.misses;
+    let warm_jps = submit_and_drain(&service);
+    let warm = service.metrics();
+    println!(
+        "[service] {} jobs on {workers} workers | cold: {cold_jps:.0} jobs/s ({cold_misses} plans built) | warm: {warm_jps:.0} jobs/s ({} cache hits, hit rate {:.2})",
+        GATE_JOBS + ANNEAL_JOBS,
+        warm.cache.hits,
+        warm.cache.hit_rate(),
+    );
+    println!(
+        "[service] per-job: cold {:.3} ms vs warm {:.3} ms",
+        1e3 / cold_jps,
+        1e3 / warm_jps,
+    );
+    assert!(warm.cache.hits > 0, "warm sweep must hit the cache");
+    assert!(
+        warm_jps > cold_jps,
+        "warm-cache throughput must beat cold ({warm_jps:.0} vs {cold_jps:.0} jobs/s)"
+    );
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.bench_function("sweep64_cold_cache", |b| {
+        b.iter(|| {
+            let service = QmlService::new();
+            submit_and_drain(&service)
+        })
+    });
+    let warm_service = QmlService::new();
+    submit_and_drain(&warm_service); // prime the cache
+    group.bench_function("sweep64_warm_cache", |b| {
+        b.iter(|| submit_and_drain(&warm_service))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

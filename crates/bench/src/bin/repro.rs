@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release -p qml-bench --bin repro`
 
 use qml_bench::{
-    anneal_context, expected_cut, fig2_job, fig3_job, gate_context, listing1_job,
-    qaoa_grid_search, run_anneal, run_gate,
+    anneal_context, expected_cut, fig2_job, fig3_job, gate_context, listing1_job, qaoa_grid_search,
+    run_anneal, run_gate,
 };
 use qml_core::graph::{all_optimal_bitstrings, cycle};
 use qml_core::prelude::*;
@@ -93,7 +93,11 @@ fn main() {
         )
         .unwrap();
     let anneal_id = runtime
-        .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_context(1000)))
+        .submit(
+            maxcut_ising_program(&graph)
+                .unwrap()
+                .with_context(anneal_context(1000)),
+        )
         .unwrap();
     runtime.run_all(2);
     let g = runtime.result(gate_id).unwrap();

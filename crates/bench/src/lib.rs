@@ -69,7 +69,9 @@ pub fn qaoa_grid_search(graph: &Graph, steps: usize, samples: u64) -> (f64, f64,
     let template = qaoa_maxcut_program(graph, &QaoaSchedule::Symbolic { layers: 1 })
         .expect("valid symbolic QAOA bundle");
     let context = ContextDescriptor::for_gate(
-        ExecConfig::new("gate.aer_simulator").with_samples(samples).with_seed(42),
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(samples)
+            .with_seed(42),
     );
     let backend = GateBackend::new();
     let mut best = (0.0, 0.0, f64::MIN);

@@ -7,9 +7,7 @@
 //! corresponding typed operator descriptors with cost hints; backends that
 //! cannot realize them reject the bundle instead of silently guessing.
 
-use qml_types::{
-    EncodingKind, OperatorDescriptor, QuantumDataType, QmlError, RepKind, Result,
-};
+use qml_types::{EncodingKind, OperatorDescriptor, QmlError, QuantumDataType, RepKind, Result};
 
 use crate::cost::{adder_cost, modular_adder_cost};
 
@@ -157,9 +155,15 @@ mod tests {
         let op = modular_adder(&reg, 7, 21).unwrap();
         assert_eq!(op.rep_kind, RepKind::ModularAdderTemplate);
         assert_eq!(op.params.require_u64("modulus").unwrap(), 21);
-        assert!(modular_adder(&reg, 25, 21).is_err(), "constant must be reduced");
+        assert!(
+            modular_adder(&reg, 25, 21).is_err(),
+            "constant must be reduced"
+        );
         assert!(modular_adder(&reg, 1, 1).is_err(), "modulus ≥ 2");
-        assert!(modular_adder(&reg, 1, 64).is_err(), "modulus must fit the register");
+        assert!(
+            modular_adder(&reg, 1, 64).is_err(),
+            "modulus must fit the register"
+        );
     }
 
     #[test]
@@ -167,9 +171,7 @@ mod tests {
         let reg = int_reg("x", 8);
         let plain = constant_adder(&reg, 3).unwrap();
         let modular = modular_adder(&reg, 3, 200).unwrap();
-        assert!(
-            modular.cost_hint.unwrap().twoq.unwrap() > plain.cost_hint.unwrap().twoq.unwrap()
-        );
+        assert!(modular.cost_hint.unwrap().twoq.unwrap() > plain.cost_hint.unwrap().twoq.unwrap());
     }
 
     #[test]

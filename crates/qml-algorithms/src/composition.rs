@@ -9,7 +9,7 @@
 //! helpers the libraries use before packaging.
 
 use qml_types::{
-    OperatorDescriptor, ParamValue, QuantumDataType, QmlError, RepKind, Result, ResultSchema,
+    OperatorDescriptor, ParamValue, QmlError, QuantumDataType, RepKind, Result, ResultSchema,
 };
 
 /// Concatenate descriptor sequences (intent composition is just ordered
@@ -26,7 +26,11 @@ pub fn invert_operator(op: &OperatorDescriptor) -> Result<OperatorDescriptor> {
             let mut inverted = op.clone();
             let currently_inverse = op.params.bool_or("inverse", false);
             inverted.params.insert("inverse", !currently_inverse);
-            inverted.name = if currently_inverse { "QFT".into() } else { "IQFT".into() };
+            inverted.name = if currently_inverse {
+                "QFT".into()
+            } else {
+                "IQFT".into()
+            };
             Ok(inverted)
         }
         RepKind::IsingCostPhase | RepKind::MixerRx | RepKind::ControlledPhase => {
@@ -91,10 +95,7 @@ pub fn with_measurement(
 /// registers, and no operator may follow a measurement of the register it
 /// touches (the non-interference rule), mirroring bundle validation for
 /// not-yet-packaged sequences.
-pub fn validate_sequence(
-    registers: &[QuantumDataType],
-    ops: &[OperatorDescriptor],
-) -> Result<()> {
+pub fn validate_sequence(registers: &[QuantumDataType], ops: &[OperatorDescriptor]) -> Result<()> {
     let mut measured: Vec<&str> = Vec::new();
     for op in ops {
         op.validate()?;
@@ -125,7 +126,9 @@ pub fn validate_sequence(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::qaoa::{ising_register, mixer_rx, prep_uniform, qaoa_sequence, QaoaSchedule, RING_P1_ANGLES};
+    use crate::qaoa::{
+        ising_register, mixer_rx, prep_uniform, qaoa_sequence, QaoaSchedule, RING_P1_ANGLES,
+    };
     use crate::qft::{qft_operator, QftParams};
     use qml_graph::cycle;
     use qml_types::QuantumDataType;
@@ -207,7 +210,7 @@ mod tests {
         let reg = ising_register(4).unwrap();
         let graph = cycle(4);
         let good = qaoa_sequence(&reg, &graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
-        validate_sequence(&[reg.clone()], &good).unwrap();
+        validate_sequence(std::slice::from_ref(&reg), &good).unwrap();
 
         // Unknown register.
         let other = ising_register(4).unwrap();

@@ -35,7 +35,7 @@ pub fn qft_cost(width: usize, approx_degree: usize, do_swaps: bool) -> CostHint 
 /// couplings: each ZZ interaction lowers to 2 CX + 1 RZ.
 pub fn qaoa_cost_layer_cost(num_edges: usize) -> CostHint {
     let e = num_edges as u64;
-    CostHint::gates(2 * e, 3 * ((e + 1) / 2).max(1)).with_oneq(e)
+    CostHint::gates(2 * e, 3 * e.div_ceil(2).max(1)).with_oneq(e)
 }
 
 /// Cost hint for one QAOA mixer layer over `width` qubits: RX on every qubit,
@@ -53,7 +53,9 @@ pub fn prep_uniform_cost(width: usize) -> CostHint {
 /// (Cuccaro-style: ~2n CX + n Toffolis ≈ 6n CX equivalents each).
 pub fn adder_cost(width: usize) -> CostHint {
     let n = width as u64;
-    CostHint::gates(8 * n, 10 * n).with_oneq(12 * n).with_ancillas(1)
+    CostHint::gates(8 * n, 10 * n)
+        .with_oneq(12 * n)
+        .with_ancillas(1)
 }
 
 /// Cost hint for a modular adder (roughly five plain adders plus comparisons,
@@ -68,10 +70,12 @@ pub fn modular_adder_cost(width: usize) -> CostHint {
 /// Total cost of a descriptor sequence (element-wise sum of the hints that
 /// are present; absent hints make the corresponding field unknown).
 pub fn total_cost(hints: &[Option<CostHint>]) -> CostHint {
-    hints.iter().fold(CostHint::gates(0, 0).with_oneq(0), |acc, h| match h {
-        Some(h) => acc.saturating_add(h),
-        None => acc.saturating_add(&CostHint::unknown()),
-    })
+    hints
+        .iter()
+        .fold(CostHint::gates(0, 0).with_oneq(0), |acc, h| match h {
+            Some(h) => acc.saturating_add(h),
+            None => acc.saturating_add(&CostHint::unknown()),
+        })
 }
 
 #[cfg(test)]
@@ -129,7 +133,10 @@ mod tests {
         assert_eq!(total.oneq, Some(12));
 
         let with_unknown = total_cost(&[Some(prep_uniform_cost(4)), None]);
-        assert_eq!(with_unknown.twoq, None, "an unknown element makes the sum unknown");
+        assert_eq!(
+            with_unknown.twoq, None,
+            "an unknown element makes the sum unknown"
+        );
     }
 
     #[test]

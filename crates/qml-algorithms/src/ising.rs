@@ -9,7 +9,7 @@
 
 use qml_graph::{maxcut_to_ising, Graph, IsingProblem};
 use qml_types::{
-    EncodingKind, JobBundle, OperatorDescriptor, ParamValue, QuantumDataType, QmlError, RepKind,
+    EncodingKind, JobBundle, OperatorDescriptor, ParamValue, QmlError, QuantumDataType, RepKind,
     Result, ResultSchema,
 };
 
@@ -103,7 +103,9 @@ pub fn parse_ising_operator(op: &OperatorDescriptor, width: usize) -> Result<Isi
                     .as_list()
                     .ok_or_else(|| QmlError::Validation("malformed coupling entry".into()))?;
                 if triple.len() != 3 {
-                    return Err(QmlError::Validation("coupling entry must be [i, j, J]".into()));
+                    return Err(QmlError::Validation(
+                        "coupling entry must be [i, j, J]".into(),
+                    ));
                 }
                 let i = triple[0]
                     .as_u64()
@@ -152,7 +154,11 @@ mod tests {
     fn fig3_single_descriptor_with_h_zero_and_unit_couplings() {
         let graph = cycle(4);
         let bundle = maxcut_ising_program(&graph).unwrap();
-        assert_eq!(bundle.operators.len(), 1, "the annealing path emits a single descriptor");
+        assert_eq!(
+            bundle.operators.len(),
+            1,
+            "the annealing path emits a single descriptor"
+        );
         let op = &bundle.operators[0];
         assert_eq!(op.rep_kind, RepKind::IsingProblem);
         assert_eq!(op.domain_qdt, "ising_vars");
@@ -179,7 +185,8 @@ mod tests {
 
     #[test]
     fn operator_round_trips_through_parse() {
-        let graph = qml_graph::Graph::from_weighted_edges(5, &[(0, 1, 1.5), (2, 4, -0.5), (1, 3, 2.0)]);
+        let graph =
+            qml_graph::Graph::from_weighted_edges(5, &[(0, 1, 1.5), (2, 4, -0.5), (1, 3, 2.0)]);
         let register = ising_register(5).unwrap();
         let problem = maxcut_to_ising(&graph);
         let op = ising_problem_operator(&register, &problem).unwrap();
@@ -220,11 +227,14 @@ mod tests {
         let register = ising_register(4).unwrap();
         let problem = maxcut_to_ising(&cycle(4));
         let mut op = ising_problem_operator(&register, &problem).unwrap();
-        op.params.insert("j", ParamValue::List(vec![ParamValue::Int(3)]));
+        op.params
+            .insert("j", ParamValue::List(vec![ParamValue::Int(3)]));
         assert!(parse_ising_operator(&op, 4).is_err());
 
         let mut bad_h = ising_problem_operator(&register, &problem).unwrap();
-        bad_h.params.insert("h", ParamValue::List(vec![ParamValue::Float(0.0); 2]));
+        bad_h
+            .params
+            .insert("h", ParamValue::List(vec![ParamValue::Float(0.0); 2]));
         assert!(parse_ising_operator(&bad_h, 4).is_err());
     }
 

@@ -28,7 +28,9 @@ pub mod qft;
 pub mod stateprep;
 
 pub use arithmetic::{adder, comparator, constant_adder, modular_adder};
-pub use composition::{compose, invert_operator, invert_sequence, validate_sequence, with_measurement};
+pub use composition::{
+    compose, invert_operator, invert_sequence, validate_sequence, with_measurement,
+};
 pub use cost::{qaoa_cost_layer_cost, qaoa_mixer_cost, qft_cost, total_cost};
 pub use ising::{ising_problem_operator, maxcut_ising_program, parse_ising_operator};
 pub use qaoa::{

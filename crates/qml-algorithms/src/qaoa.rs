@@ -9,7 +9,7 @@
 
 use qml_graph::Graph;
 use qml_types::{
-    EncodingKind, JobBundle, OperatorDescriptor, ParamValue, QuantumDataType, QmlError, RepKind,
+    EncodingKind, JobBundle, OperatorDescriptor, ParamValue, QmlError, QuantumDataType, RepKind,
     Result, ResultSchema,
 };
 
@@ -69,7 +69,13 @@ fn edges_param(graph: &Graph) -> ParamValue {
 /// Edge weights of a graph as a descriptor parameter value `[w, ...]`
 /// (aligned with [`edges_param`]).
 fn weights_param(graph: &Graph) -> ParamValue {
-    ParamValue::List(graph.edges().iter().map(|&(_, _, w)| ParamValue::Float(w)).collect())
+    ParamValue::List(
+        graph
+            .edges()
+            .iter()
+            .map(|&(_, _, w)| ParamValue::Float(w))
+            .collect(),
+    )
 }
 
 /// The `PREP_UNIFORM` descriptor (Hadamard on every carrier).
@@ -111,10 +117,14 @@ pub fn mixer_rx(
     beta: impl Into<ParamValue>,
     layer: usize,
 ) -> Result<OperatorDescriptor> {
-    OperatorDescriptor::builder(format!("mixer_layer_{layer}"), RepKind::MixerRx, &register.id)
-        .param("beta", beta)
-        .cost_hint(qaoa_mixer_cost(register.width))
-        .build()
+    OperatorDescriptor::builder(
+        format!("mixer_layer_{layer}"),
+        RepKind::MixerRx,
+        &register.id,
+    )
+    .param("beta", beta)
+    .cost_hint(qaoa_mixer_cost(register.width))
+    .build()
 }
 
 /// The closing `MEASUREMENT` descriptor with an explicit result schema.
@@ -191,7 +201,8 @@ mod tests {
         // The paper's Fig. 2: PREP_UNIFORM, ISING_COST_PHASE(γ, edges,
         // weights), MIXER_RX(β), final MEASUREMENT with result schema.
         let graph = cycle(4);
-        let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let bundle =
+            qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
         let kinds: Vec<&RepKind> = bundle.operators.iter().map(|o| &o.rep_kind).collect();
         assert_eq!(
             kinds,
@@ -209,7 +220,10 @@ mod tests {
         assert_eq!(register.encoding_kind, EncodingKind::IsingSpin);
 
         let cost = &bundle.operators[1];
-        assert_eq!(cost.params.get("edges").unwrap().as_list().unwrap().len(), 4);
+        assert_eq!(
+            cost.params.get("edges").unwrap().as_list().unwrap().len(),
+            4
+        );
         assert!((cost.params.require_f64("gamma").unwrap() - RING_P1_ANGLES.gamma).abs() < 1e-12);
         let meas = bundle.operators.last().unwrap();
         assert!(meas.result_schema.is_some());
@@ -256,7 +270,12 @@ mod tests {
     fn wrong_register_kind_rejected() {
         let register = QuantumDataType::int_register("k", "k", 4).unwrap();
         let graph = cycle(4);
-        assert!(qaoa_sequence(&register, &graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).is_err());
+        assert!(qaoa_sequence(
+            &register,
+            &graph,
+            &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])
+        )
+        .is_err());
     }
 
     #[test]
@@ -268,7 +287,8 @@ mod tests {
     #[test]
     fn bundle_round_trips_through_json() {
         let graph = cycle(4);
-        let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let bundle =
+            qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
         let json = bundle.to_json().unwrap();
         let back = JobBundle::from_json(&json).unwrap();
         assert_eq!(back, bundle);
@@ -291,7 +311,8 @@ mod tests {
     #[test]
     fn cost_hints_cover_the_whole_stack() {
         let graph = cycle(4);
-        let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let bundle =
+            qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
         // Every unitary operator carries a hint; only the measurement is free.
         for op in &bundle.operators {
             if op.rep_kind != RepKind::Measurement {

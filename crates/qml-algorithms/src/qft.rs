@@ -7,7 +7,7 @@
 //! context later selects.
 
 use qml_types::{
-    EncodingKind, JobBundle, OperatorDescriptor, QuantumDataType, QmlError, RepKind, Result,
+    EncodingKind, JobBundle, OperatorDescriptor, QmlError, QuantumDataType, RepKind, Result,
     ResultSchema,
 };
 
@@ -64,7 +64,11 @@ pub fn qft_operator(register: &QuantumDataType, params: QftParams) -> Result<Ope
     .param("approx_degree", params.approx_degree)
     .param("do_swaps", params.do_swaps)
     .param("inverse", params.inverse)
-    .cost_hint(qft_cost(register.width, params.approx_degree, params.do_swaps))
+    .cost_hint(qft_cost(
+        register.width,
+        params.approx_degree,
+        params.do_swaps,
+    ))
     .result_schema(ResultSchema::for_register(register))
     .build()
 }
@@ -81,7 +85,10 @@ pub fn qft_measurement(register: &QuantumDataType) -> Result<OperatorDescriptor>
 /// explicit measurement — packaged as an (uncontextualized) job bundle.
 pub fn qft_program(width: usize, params: QftParams) -> Result<JobBundle> {
     let register = QuantumDataType::phase_register("reg_phase", "phase", width)?;
-    let ops = vec![qft_operator(&register, params)?, qft_measurement(&register)?];
+    let ops = vec![
+        qft_operator(&register, params)?,
+        qft_measurement(&register)?,
+    ];
     let bundle = JobBundle::new(format!("qft-{width}"), vec![register], ops)
         .with_metadata("library", "qml-algorithms::qft");
     bundle.validate()?;
@@ -149,7 +156,10 @@ mod tests {
     fn int_register_is_accepted() {
         let ints = QuantumDataType::int_register("k", "k", 6).unwrap();
         let qod = qft_operator(&ints, QftParams::default()).unwrap();
-        assert_eq!(qod.result_schema.unwrap().datatype, MeasurementSemantics::AsInt);
+        assert_eq!(
+            qod.result_schema.unwrap().datatype,
+            MeasurementSemantics::AsInt
+        );
     }
 
     #[test]

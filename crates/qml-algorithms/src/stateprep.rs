@@ -7,7 +7,7 @@
 //! is handed to a backend.
 
 use qml_types::{
-    CostHint, EncodingKind, OperatorDescriptor, ParamValue, QuantumDataType, QmlError, RepKind,
+    CostHint, EncodingKind, OperatorDescriptor, ParamValue, QmlError, QuantumDataType, RepKind,
     Result,
 };
 
@@ -115,8 +115,14 @@ mod tests {
     fn amplitude_cost_grows_exponentially() {
         let small = QuantumDataType::int_register("a", "a", 2).unwrap();
         let large = QuantumDataType::int_register("b", "b", 5).unwrap();
-        let c_small = amplitude_encoding(&small, &vec![1.0; 4]).unwrap().cost_hint.unwrap();
-        let c_large = amplitude_encoding(&large, &vec![1.0; 32]).unwrap().cost_hint.unwrap();
+        let c_small = amplitude_encoding(&small, &[1.0; 4])
+            .unwrap()
+            .cost_hint
+            .unwrap();
+        let c_large = amplitude_encoding(&large, &vec![1.0; 32])
+            .unwrap()
+            .cost_hint
+            .unwrap();
         assert!(c_large.twoq.unwrap() > 4 * c_small.twoq.unwrap());
     }
 }

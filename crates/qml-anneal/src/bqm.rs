@@ -127,11 +127,20 @@ impl BinaryQuadraticModel {
     /// Energy of a SPIN sample (entries ±1). The model is converted on the
     /// fly if it is BINARY.
     pub fn energy_spin(&self, spins: &[i8]) -> f64 {
-        assert_eq!(spins.len(), self.num_variables(), "sample has the wrong length");
+        assert_eq!(
+            spins.len(),
+            self.num_variables(),
+            "sample has the wrong length"
+        );
         match self.vartype {
-            Vartype::Spin => self.raw_energy(&spins.iter().map(|&s| f64::from(s)).collect::<Vec<_>>()),
+            Vartype::Spin => {
+                self.raw_energy(&spins.iter().map(|&s| f64::from(s)).collect::<Vec<_>>())
+            }
             Vartype::Binary => {
-                let bits: Vec<f64> = spins.iter().map(|&s| if s == 1 { 0.0 } else { 1.0 }).collect();
+                let bits: Vec<f64> = spins
+                    .iter()
+                    .map(|&s| if s == 1 { 0.0 } else { 1.0 })
+                    .collect();
                 self.raw_energy(&bits)
             }
         }
@@ -139,11 +148,18 @@ impl BinaryQuadraticModel {
 
     /// Energy of a BINARY sample (entries false/true ↦ 0/1).
     pub fn energy_binary(&self, bits: &[bool]) -> f64 {
-        assert_eq!(bits.len(), self.num_variables(), "sample has the wrong length");
+        assert_eq!(
+            bits.len(),
+            self.num_variables(),
+            "sample has the wrong length"
+        );
         match self.vartype {
-            Vartype::Binary => {
-                self.raw_energy(&bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect::<Vec<_>>())
-            }
+            Vartype::Binary => self.raw_energy(
+                &bits
+                    .iter()
+                    .map(|&b| if b { 1.0 } else { 0.0 })
+                    .collect::<Vec<_>>(),
+            ),
             Vartype::Spin => {
                 // x = 1 ⇒ s = −1 (the paper's readout convention).
                 let spins: Vec<f64> = bits.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect();
@@ -282,25 +298,31 @@ mod tests {
 
     #[test]
     fn spin_binary_round_trip_preserves_energies() {
-        let bqm = BinaryQuadraticModel::from_ising(
-            &[0.5, -1.0, 0.0],
-            &[(0, 1, 1.2), (1, 2, -0.7)],
-        );
+        let bqm = BinaryQuadraticModel::from_ising(&[0.5, -1.0, 0.0], &[(0, 1, 1.2), (1, 2, -0.7)]);
         let binary = bqm.to_binary();
         let back = binary.to_spin();
         for mask in 0u8..8 {
-            let spins: Vec<i8> = (0..3).map(|i| if (mask >> i) & 1 == 1 { -1 } else { 1 }).collect();
+            let spins: Vec<i8> = (0..3)
+                .map(|i| if (mask >> i) & 1 == 1 { -1 } else { 1 })
+                .collect();
             let bits: Vec<bool> = spins.iter().map(|&s| s == -1).collect();
             let e0 = bqm.energy_spin(&spins);
-            assert!((binary.energy_binary(&bits) - e0).abs() < 1e-9, "binary mask {mask}");
-            assert!((back.energy_spin(&spins) - e0).abs() < 1e-9, "round trip mask {mask}");
+            assert!(
+                (binary.energy_binary(&bits) - e0).abs() < 1e-9,
+                "binary mask {mask}"
+            );
+            assert!(
+                (back.energy_spin(&spins) - e0).abs() < 1e-9,
+                "round trip mask {mask}"
+            );
         }
     }
 
     #[test]
     fn qubo_construction_and_energy() {
         // Minimize x0 + x1 − 2 x0 x1 (ground states 00 and 11, energy 0).
-        let bqm = BinaryQuadraticModel::from_qubo(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -2.0)], 0.0);
+        let bqm =
+            BinaryQuadraticModel::from_qubo(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -2.0)], 0.0);
         assert_eq!(bqm.energy_binary(&[false, false]), 0.0);
         assert_eq!(bqm.energy_binary(&[true, true]), 0.0);
         assert_eq!(bqm.energy_binary(&[true, false]), 1.0);
@@ -357,6 +379,9 @@ mod tests {
         let mut bqm = c4_ising();
         bqm.add_offset(2.5);
         assert_eq!(bqm.energy_spin(&[1, -1, 1, -1]), -1.5);
-        assert_eq!(bqm.to_binary().energy_binary(&[true, false, true, false]), -1.5);
+        assert_eq!(
+            bqm.to_binary().energy_binary(&[true, false, true, false]),
+            -1.5
+        );
     }
 }

@@ -29,10 +29,8 @@ mod proptests {
             let h = proptest::collection::vec(-2.0f64..2.0, n);
             let j = proptest::collection::vec((0..n, 0..n, -2.0f64..2.0), 0..(n * 2));
             (h, j).prop_map(move |(h, j)| {
-                let j: Vec<(usize, usize, f64)> = j
-                    .into_iter()
-                    .filter(|&(a, b, _)| a != b)
-                    .collect();
+                let j: Vec<(usize, usize, f64)> =
+                    j.into_iter().filter(|&(a, b, _)| a != b).collect();
                 BinaryQuadraticModel::from_ising(&h, &j)
             })
         })

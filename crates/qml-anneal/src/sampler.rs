@@ -100,8 +100,12 @@ impl SimulatedAnnealer {
         let reads: Vec<(Vec<i8>, f64)> = (0..params.num_reads)
             .into_par_iter()
             .map(|read| {
-                let mut rng = StdRng::seed_from_u64(params.seed ^ (read.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(read));
-                let mut spins: Vec<i8> = (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect();
+                let mut rng = StdRng::seed_from_u64(
+                    params.seed ^ (read.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(read),
+                );
+                let mut spins: Vec<i8> = (0..n)
+                    .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                    .collect();
                 for &beta in &betas {
                     for i in 0..n {
                         // ΔE of flipping spin i: −2 s_i (h_i + Σ_j J_ij s_j).
@@ -154,13 +158,25 @@ mod tests {
         // return the optimal cut assignments 1010 and 0101.
         let set = SimulatedAnnealer::new().sample(
             &c4_ising(),
-            &AnnealParams::with_reads(1000).with_sweeps(100).with_seed(42),
+            &AnnealParams::with_reads(1000)
+                .with_sweeps(100)
+                .with_seed(42),
         );
         assert_eq!(set.total_reads(), 1000);
         assert_eq!(set.lowest().unwrap().energy, -4.0);
-        let ground: Vec<String> = set.ground_records(1e-9).iter().map(|r| r.bitstring()).collect();
-        assert!(ground.contains(&"1010".to_string()), "ground states: {ground:?}");
-        assert!(ground.contains(&"0101".to_string()), "ground states: {ground:?}");
+        let ground: Vec<String> = set
+            .ground_records(1e-9)
+            .iter()
+            .map(|r| r.bitstring())
+            .collect();
+        assert!(
+            ground.contains(&"1010".to_string()),
+            "ground states: {ground:?}"
+        );
+        assert!(
+            ground.contains(&"0101".to_string()),
+            "ground states: {ground:?}"
+        );
         // Simulated annealing on this tiny frustration-free instance should
         // almost always reach the ground state.
         assert!(set.ground_state_probability(1e-9) > 0.9);
@@ -189,7 +205,11 @@ mod tests {
             &AnnealParams::with_reads(200).with_sweeps(200).with_seed(3),
         );
         assert_eq!(set.lowest().unwrap().energy, -4.0);
-        let ground: Vec<String> = set.ground_records(1e-9).iter().map(|r| r.bitstring()).collect();
+        let ground: Vec<String> = set
+            .ground_records(1e-9)
+            .iter()
+            .map(|r| r.bitstring())
+            .collect();
         assert!(ground.contains(&"00000".to_string()) || ground.contains(&"11111".to_string()));
     }
 
@@ -208,7 +228,8 @@ mod tests {
     #[test]
     fn binary_vartype_models_are_handled() {
         // QUBO: minimize x0 + x1 − 3 x0 x1 → ground state 11 with energy −1.
-        let bqm = BinaryQuadraticModel::from_qubo(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -3.0)], 0.0);
+        let bqm =
+            BinaryQuadraticModel::from_qubo(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -3.0)], 0.0);
         let set = SimulatedAnnealer::new().sample(
             &bqm,
             &AnnealParams::with_reads(100).with_sweeps(100).with_seed(5),
@@ -257,9 +278,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "num_reads")]
     fn zero_reads_panics() {
-        SimulatedAnnealer::new().sample(&c4_ising(), &AnnealParams {
-            num_reads: 0,
-            ..AnnealParams::default()
-        });
+        SimulatedAnnealer::new().sample(
+            &c4_ising(),
+            &AnnealParams {
+                num_reads: 0,
+                ..AnnealParams::default()
+            },
+        );
     }
 }

@@ -23,7 +23,10 @@ impl SampleRecord {
     /// The assignment as a Boolean word using the paper's convention
     /// (spin +1 ↦ '0', spin −1 ↦ '1'), character i = variable i.
     pub fn bitstring(&self) -> String {
-        self.spins.iter().map(|&s| if s == 1 { '0' } else { '1' }).collect()
+        self.spins
+            .iter()
+            .map(|&s| if s == 1 { '0' } else { '1' })
+            .collect()
     }
 }
 
@@ -120,7 +123,11 @@ impl SampleSet {
         if total == 0 {
             return 0.0;
         }
-        let ground: u64 = self.ground_records(tol).iter().map(|r| r.num_occurrences).sum();
+        let ground: u64 = self
+            .ground_records(tol)
+            .iter()
+            .map(|r| r.num_occurrences)
+            .sum();
         ground as f64 / total as f64
     }
 
@@ -159,7 +166,11 @@ mod tests {
         assert_eq!(set.records[1].energy, -4.0);
         assert_eq!(set.records[3].energy, 4.0);
         // The duplicated read is aggregated.
-        let dup = set.records.iter().find(|r| r.spins == vec![-1, 1, -1, 1]).unwrap();
+        let dup = set
+            .records
+            .iter()
+            .find(|r| r.spins == vec![-1, 1, -1, 1])
+            .unwrap();
         assert_eq!(dup.num_occurrences, 2);
     }
 

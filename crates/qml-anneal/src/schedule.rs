@@ -31,7 +31,10 @@ pub struct Schedule {
 impl Schedule {
     /// A geometric schedule over the given β range.
     pub fn geometric(beta_min: f64, beta_max: f64, num_sweeps: usize) -> Self {
-        assert!(beta_min > 0.0 && beta_max > beta_min, "need 0 < beta_min < beta_max");
+        assert!(
+            beta_min > 0.0 && beta_max > beta_min,
+            "need 0 < beta_min < beta_max"
+        );
         assert!(num_sweeps > 0, "need at least one sweep");
         Schedule {
             beta_min,
@@ -69,9 +72,7 @@ impl Schedule {
         let t = i as f64 / (self.num_sweeps - 1) as f64;
         match self.kind {
             ScheduleKind::Linear => self.beta_min + t * (self.beta_max - self.beta_min),
-            ScheduleKind::Geometric => {
-                self.beta_min * (self.beta_max / self.beta_min).powf(t)
-            }
+            ScheduleKind::Geometric => self.beta_min * (self.beta_max / self.beta_min).powf(t),
         }
     }
 
@@ -113,7 +114,10 @@ mod tests {
         let strong = BinaryQuadraticModel::from_ising(&[0.0, 0.0], &[(0, 1, 50.0)]);
         let sw = Schedule::default_for(&weak, 10);
         let ss = Schedule::default_for(&strong, 10);
-        assert!(ss.beta_min < sw.beta_min, "stronger couplings need a hotter start");
+        assert!(
+            ss.beta_min < sw.beta_min,
+            "stronger couplings need a hotter start"
+        );
         assert!(sw.beta_max > sw.beta_min);
         assert!(ss.beta_max > ss.beta_min);
     }

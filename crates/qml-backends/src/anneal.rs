@@ -10,6 +10,7 @@
 use qml_anneal::{AnnealParams, SimulatedAnnealer};
 use qml_types::{AnnealConfig, DecodedCounts, ExecConfig, JobBundle, QmlError, Result};
 
+use crate::cache::{AnnealPlan, TranspileCache};
 use crate::lowering::lower_to_bqm;
 use crate::results::{EnergyStats, ExecutionResult};
 use crate::traits::Backend;
@@ -30,15 +31,82 @@ impl AnnealBackend {
         AnnealBackend
     }
 
+    /// Validate the bundle and its annealing policy; returns the exec block.
+    fn prepare(&self, bundle: &JobBundle) -> Result<Option<ExecConfig>> {
+        bundle.validate()?;
+        let context = bundle.context.clone().unwrap_or_default();
+        let exec = context.exec.clone();
+        if let Some(exec) = &exec {
+            if !self.supports_engine(&exec.engine) {
+                return Err(QmlError::Unsupported(format!(
+                    "annealing backend cannot serve engine `{}`",
+                    exec.engine
+                )));
+            }
+            exec.validate()?;
+        }
+        if let Some(anneal) = &context.anneal {
+            anneal.validate()?;
+        }
+        Ok(exec)
+    }
+
+    /// Sample a lowered plan under the bundle's annealer policy and decode.
+    fn run_plan(
+        &self,
+        bundle: &JobBundle,
+        exec: Option<ExecConfig>,
+        plan: &AnnealPlan,
+    ) -> Result<ExecutionResult> {
+        let context = bundle.context.clone().unwrap_or_default();
+        let params = Self::params(exec.as_ref(), context.anneal.as_ref());
+        let sample_set = SimulatedAnnealer::new().sample(&plan.bqm, &params);
+
+        // The sample set's bitstrings are in variable order; permute them
+        // into the schema's classical-bit order first.
+        let indices = plan.schema.wire_indices(&plan.register)?;
+        let counts: std::collections::BTreeMap<String, u64> = sample_set
+            .records
+            .iter()
+            .map(|record| {
+                let full = record.bitstring();
+                let word: String = indices
+                    .iter()
+                    .map(|&i| full.as_bytes()[i] as char)
+                    .collect();
+                (word, record.num_occurrences)
+            })
+            .collect();
+        let decoded = DecodedCounts::decode(&counts, &plan.schema, &plan.register)?;
+
+        let energy_stats = sample_set.lowest().map(|best| EnergyStats {
+            min_energy: best.energy,
+            mean_energy: sample_set.mean_energy(),
+            ground_state_probability: sample_set.ground_state_probability(1e-9),
+        });
+
+        Ok(ExecutionResult {
+            backend: self.name().to_string(),
+            engine: exec
+                .map(|e| e.engine)
+                .unwrap_or_else(|| DEFAULT_ANNEAL_ENGINE.to_string()),
+            register: plan.register.id.clone(),
+            shots: params.num_reads,
+            counts,
+            decoded,
+            gate_metrics: None,
+            energy_stats,
+            qec_estimate: None,
+        })
+    }
+
     /// Derive sampler parameters from the context blocks.
     fn params(exec: Option<&ExecConfig>, anneal: Option<&AnnealConfig>) -> AnnealParams {
         let num_reads = anneal
             .map(|a| a.num_reads)
             .or_else(|| exec.map(|e| e.samples))
             .unwrap_or(1000);
-        let num_sweeps = anneal
-            .and_then(|a| a.num_sweeps)
-            .unwrap_or(DEFAULT_SWEEPS) as usize;
+        let num_sweeps = anneal.and_then(|a| a.num_sweeps).unwrap_or(DEFAULT_SWEEPS) as usize;
         let seed = anneal
             .and_then(|a| a.seed)
             .or_else(|| exec.and_then(|e| e.seed))
@@ -67,66 +135,31 @@ impl Backend for AnnealBackend {
     }
 
     fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult> {
-        bundle.validate()?;
-        let context = bundle.context.clone().unwrap_or_default();
-        let exec = context.exec.clone();
-        if let Some(exec) = &exec {
-            if !self.supports_engine(&exec.engine) {
-                return Err(QmlError::Unsupported(format!(
-                    "annealing backend cannot serve engine `{}`",
-                    exec.engine
-                )));
-            }
-            exec.validate()?;
-        }
-        if let Some(anneal) = &context.anneal {
-            anneal.validate()?;
-        }
-
-        // 1. Late realization of the intent as a BQM.
+        let exec = self.prepare(bundle)?;
         let lowered = lower_to_bqm(bundle)?;
+        let plan = AnnealPlan {
+            bqm: lowered.bqm,
+            register: lowered.register,
+            schema: lowered.schema,
+        };
+        self.run_plan(bundle, exec, &plan)
+    }
 
-        // 2. Sample with the context's annealer policy.
-        let params = Self::params(exec.as_ref(), context.anneal.as_ref());
-        let sample_set = SimulatedAnnealer::new().sample(&lowered.bqm, &params);
-
-        // 3. Decode through the explicit result schema. The sample set's
-        //    bitstrings are in variable order; permute them into the schema's
-        //    classical-bit order first.
-        let indices = lowered.schema.wire_indices(&lowered.register)?;
-        let counts: std::collections::BTreeMap<String, u64> = sample_set
-            .records
-            .iter()
-            .map(|record| {
-                let full = record.bitstring();
-                let word: String = indices
-                    .iter()
-                    .map(|&i| full.as_bytes()[i] as char)
-                    .collect();
-                (word, record.num_occurrences)
+    fn execute_cached(
+        &self,
+        bundle: &JobBundle,
+        cache: &TranspileCache,
+    ) -> Result<ExecutionResult> {
+        let exec = self.prepare(bundle)?;
+        let plan = cache.anneal_plan(bundle.program_hash(), || {
+            let lowered = lower_to_bqm(bundle)?;
+            Ok(AnnealPlan {
+                bqm: lowered.bqm,
+                register: lowered.register,
+                schema: lowered.schema,
             })
-            .collect();
-        let decoded = DecodedCounts::decode(&counts, &lowered.schema, &lowered.register)?;
-
-        let energy_stats = sample_set.lowest().map(|best| EnergyStats {
-            min_energy: best.energy,
-            mean_energy: sample_set.mean_energy(),
-            ground_state_probability: sample_set.ground_state_probability(1e-9),
-        });
-
-        Ok(ExecutionResult {
-            backend: self.name().to_string(),
-            engine: exec
-                .map(|e| e.engine)
-                .unwrap_or_else(|| DEFAULT_ANNEAL_ENGINE.to_string()),
-            register: lowered.register.id.clone(),
-            shots: params.num_reads,
-            counts,
-            decoded,
-            gate_metrics: None,
-            energy_stats,
-            qec_estimate: None,
-        })
+        })?;
+        self.run_plan(bundle, exec, &plan)
     }
 }
 
@@ -145,7 +178,9 @@ mod tests {
     fn fig3_anneal_path_end_to_end() {
         // The paper's Fig. 3 workflow: single ISING_PROBLEM + anneal context
         // with num_reads = 1000.
-        let bundle = maxcut_ising_program(&cycle(4)).unwrap().with_context(fig3_context());
+        let bundle = maxcut_ising_program(&cycle(4))
+            .unwrap()
+            .with_context(fig3_context());
         let result = AnnealBackend::new().execute(&bundle).unwrap();
         assert_eq!(result.shots, 1000);
         assert_eq!(result.counts.values().sum::<u64>(), 1000);
@@ -176,9 +211,13 @@ mod tests {
     fn reproducible_per_seed() {
         let mut anneal = AnnealConfig::with_reads(200);
         anneal.seed = Some(7);
-        let bundle = maxcut_ising_program(&cycle(4))
-            .unwrap()
-            .with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", anneal));
+        let bundle =
+            maxcut_ising_program(&cycle(4))
+                .unwrap()
+                .with_context(ContextDescriptor::for_anneal(
+                    "anneal.neal_simulator",
+                    anneal,
+                ));
         let backend = AnnealBackend::new();
         assert_eq!(
             backend.execute(&bundle).unwrap().counts,
@@ -188,9 +227,12 @@ mod tests {
 
     #[test]
     fn gate_engine_rejected() {
-        let bundle = maxcut_ising_program(&cycle(4))
-            .unwrap()
-            .with_context(ContextDescriptor::for_gate(ExecConfig::new("gate.aer_simulator")));
+        let bundle =
+            maxcut_ising_program(&cycle(4))
+                .unwrap()
+                .with_context(ContextDescriptor::for_gate(ExecConfig::new(
+                    "gate.aer_simulator",
+                )));
         assert!(matches!(
             AnnealBackend::new().execute(&bundle),
             Err(QmlError::Unsupported(_))
@@ -214,9 +256,13 @@ mod tests {
         anneal.num_sweeps = Some(20);
         anneal.beta_range = Some((0.05, 8.0));
         anneal.seed = Some(3);
-        let bundle = maxcut_ising_program(&cycle(4))
-            .unwrap()
-            .with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", anneal));
+        let bundle =
+            maxcut_ising_program(&cycle(4))
+                .unwrap()
+                .with_context(ContextDescriptor::for_anneal(
+                    "anneal.neal_simulator",
+                    anneal,
+                ));
         let result = AnnealBackend::new().execute(&bundle).unwrap();
         assert_eq!(result.shots, 50);
     }

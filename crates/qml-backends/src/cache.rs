@@ -1,0 +1,288 @@
+//! The transpilation/lowering cache shared by cache-aware backends.
+//!
+//! Realizing a job bundle has two phases: an expensive, *deterministic* one
+//! (lowering descriptors and transpiling against the target) and a cheap,
+//! policy-dependent one (sampling with the requested shots/seed and decoding).
+//! The paper's context-descriptor split makes the first phase a pure function
+//! of `(program intent, device target)` — exactly what parameter sweeps and
+//! multi-tenant traffic repeat over and over. [`TranspileCache`] memoizes that
+//! phase, keyed by [`qml_types::JobBundle::program_hash`] plus
+//! [`qml_transpile::TranspileTarget::fingerprint`] (and the optimization
+//! level), so repeated contexts skip `qml-transpile` entirely.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use qml_anneal::BinaryQuadraticModel;
+use qml_sim::Circuit;
+use qml_transpile::CircuitMetrics;
+use qml_types::{QuantumDataType, Result, ResultSchema};
+
+/// Cache key of a gate-path realization: program intent hash, device target
+/// fingerprint, and transpiler optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GatePlanKey {
+    /// [`qml_types::JobBundle::program_hash`] of the submitted intent.
+    pub program: u64,
+    /// [`qml_transpile::TranspileTarget::fingerprint`] of the device target.
+    pub target: u64,
+    /// Transpiler optimization level (0–3).
+    pub optimization_level: u8,
+}
+
+/// A fully realized gate-path plan: everything execution needs except the
+/// sampling policy (shots/seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatePlan {
+    /// The transpiled circuit, ready for the simulator.
+    pub circuit: Circuit,
+    /// Cost metrics of the transpiled circuit.
+    pub metrics: CircuitMetrics,
+    /// The register the measurement reads out.
+    pub register: QuantumDataType,
+    /// The explicit result schema attached to the measurement descriptor.
+    pub schema: ResultSchema,
+}
+
+/// A realized annealing-path plan: the lowered quadratic model plus decoding
+/// information, independent of the read/sweep policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealPlan {
+    /// The binary quadratic model to sample.
+    pub bqm: BinaryQuadraticModel,
+    /// The register the samples refer to.
+    pub register: QuantumDataType,
+    /// The explicit result schema.
+    pub schema: ResultSchema,
+}
+
+/// Hit/miss/entry counters of one cache plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to realize the plan.
+    pub misses: u64,
+    /// Plans currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0.0 when the cache is untouched.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A single-flight slot: empty until its plan is first realized.
+type PlanSlot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// One single-flight cache plane: per-key slots so concurrent misses of the
+/// *same* plan serialize on their slot (exactly one build — no thundering
+/// herd) while different keys stay fully concurrent.
+#[derive(Debug)]
+struct CachePlane<K, V> {
+    slots: RwLock<HashMap<K, PlanSlot<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Slots holding a realized plan — kept separately so a stats snapshot
+    /// never has to take the per-slot locks (which may be held across an
+    /// in-flight build).
+    entries: AtomicUsize,
+}
+
+impl<K, V> Default for CachePlane<K, V> {
+    fn default() -> Self {
+        CachePlane {
+            slots: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            entries: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> Result<V>) -> Result<Arc<V>> {
+        // Bind the fast-path lookup to its own statement so the read guard
+        // drops before the write path runs (an `if let` over the guard would
+        // hold it through the `else` and self-deadlock).
+        let existing = self.slots.read().get(&key).cloned();
+        let slot = match existing {
+            Some(slot) => slot,
+            None => self.slots.write().entry(key.clone()).or_default().clone(),
+        };
+        let mut guard = slot.lock();
+        if let Some(plan) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        // Failed realizations leave the slot empty so the next submission
+        // retries, mirroring how transpilation errors surface per job.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build()?);
+        *guard = Some(plan.clone());
+        // Count the entry only while its slot is still reachable, under the
+        // map's read lock: a concurrent clear() (write lock) either ran
+        // before this check (slot orphaned, not counted) or runs after and
+        // resets the counter while holding the same lock — so the counter
+        // can never outlive the plans it counts.
+        let slots = self.slots.read();
+        if slots.get(&key).is_some_and(|live| Arc::ptr_eq(live, &slot)) {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(plan)
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn clear(&self) {
+        let mut slots = self.slots.write();
+        slots.clear();
+        // Reset while still holding the write lock so no in-flight build can
+        // interleave its reachability check with the reset.
+        self.entries.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Thread-safe transpilation/lowering cache with hit/miss counters.
+///
+/// Entries are stored behind `Arc` so concurrent executions of the same plan
+/// share one realization without cloning circuits, and lookups are
+/// single-flight per key: when N workers miss the same plan at once, one
+/// builds and the rest wait for its result. The cache is unbounded: plans are
+/// small relative to execution state, and the service layer exposes
+/// [`TranspileCache::clear`] for long-running deployments.
+#[derive(Debug, Default)]
+pub struct TranspileCache {
+    gate: CachePlane<GatePlanKey, GatePlan>,
+    anneal: CachePlane<u64, AnnealPlan>,
+}
+
+impl TranspileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TranspileCache::default()
+    }
+
+    /// Fetch the gate plan for `key`, realizing and storing it with `build`
+    /// on a miss.
+    pub fn gate_plan(
+        &self,
+        key: GatePlanKey,
+        build: impl FnOnce() -> Result<GatePlan>,
+    ) -> Result<Arc<GatePlan>> {
+        self.gate.get_or_build(key, build)
+    }
+
+    /// Fetch the annealing plan for a program hash, realizing it on a miss.
+    pub fn anneal_plan(
+        &self,
+        program: u64,
+        build: impl FnOnce() -> Result<AnnealPlan>,
+    ) -> Result<Arc<AnnealPlan>> {
+        self.anneal.get_or_build(program, build)
+    }
+
+    /// Counters of the gate-path plane.
+    pub fn gate_stats(&self) -> CacheStats {
+        self.gate.stats()
+    }
+
+    /// Counters of the annealing-path plane.
+    pub fn anneal_stats(&self) -> CacheStats {
+        self.anneal.stats()
+    }
+
+    /// Combined counters across both planes.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.gate_stats();
+        let a = self.anneal_stats();
+        CacheStats {
+            hits: g.hits + a.hits,
+            misses: g.misses + a.misses,
+            entries: g.entries + a.entries,
+        }
+    }
+
+    /// Drop every cached plan (counters are kept).
+    pub fn clear(&self) {
+        self.gate.clear();
+        self.anneal.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_types::QmlError;
+
+    fn dummy_plan() -> GatePlan {
+        let qdt = QuantumDataType::ising_spins("r", "s", 2).unwrap();
+        GatePlan {
+            circuit: Circuit::new(2),
+            metrics: CircuitMetrics::of(&Circuit::new(2), 0),
+            schema: ResultSchema::for_register(&qdt),
+            register: qdt,
+        }
+    }
+
+    fn key(program: u64) -> GatePlanKey {
+        GatePlanKey {
+            program,
+            target: 1,
+            optimization_level: 2,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = TranspileCache::new();
+        cache.gate_plan(key(1), || Ok(dummy_plan())).unwrap();
+        cache
+            .gate_plan(key(1), || panic!("must not rebuild"))
+            .unwrap();
+        cache.gate_plan(key(2), || Ok(dummy_plan())).unwrap();
+        let stats = cache.gate_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = TranspileCache::new();
+        let attempt = cache.gate_plan(key(9), || Err(QmlError::Unsupported("nope".into())));
+        assert!(attempt.is_err());
+        assert_eq!(cache.gate_stats().entries, 0);
+        // A later, successful build fills the slot.
+        cache.gate_plan(key(9), || Ok(dummy_plan())).unwrap();
+        assert_eq!(cache.gate_stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = TranspileCache::new();
+        cache.gate_plan(key(1), || Ok(dummy_plan())).unwrap();
+        cache.clear();
+        let stats = cache.gate_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+}

@@ -16,6 +16,7 @@ use qml_types::{
     ContextDescriptor, CostHint, DecodedCounts, ExecConfig, JobBundle, QmlError, Result, Target,
 };
 
+use crate::cache::{GatePlan, GatePlanKey, TranspileCache};
 use crate::lowering::lower_to_circuit;
 use crate::results::ExecutionResult;
 use crate::traits::Backend;
@@ -50,6 +51,89 @@ impl GateBackend {
     pub fn new() -> Self {
         GateBackend
     }
+
+    /// Validate the bundle and extract its (defaulted) context and exec
+    /// policy.
+    fn prepare(&self, bundle: &JobBundle) -> Result<(ContextDescriptor, ExecConfig)> {
+        bundle.validate()?;
+        let context = bundle.context.clone().unwrap_or_default();
+        let exec = context.exec.clone().unwrap_or_else(default_exec);
+        if !self.supports_engine(&exec.engine) {
+            return Err(QmlError::Unsupported(format!(
+                "gate backend cannot serve engine `{}`",
+                exec.engine
+            )));
+        }
+        exec.validate()?;
+        Ok((context, exec))
+    }
+
+    /// The device target the exec policy resolves to.
+    fn transpile_target(bundle: &JobBundle, exec: &ExecConfig) -> TranspileTarget {
+        exec.target
+            .as_ref()
+            .map(|t| to_transpile_target(t, bundle.total_width()))
+            .unwrap_or_else(TranspileTarget::ideal)
+    }
+
+    /// The deterministic realization phase: lower the intent to a circuit and
+    /// transpile it against the target. Pure in `(intent, target, level)`, so
+    /// its output is what the [`TranspileCache`] memoizes.
+    fn build_plan(bundle: &JobBundle, exec: &ExecConfig) -> Result<GatePlan> {
+        let lowered = lower_to_circuit(bundle)?;
+        let target = Self::transpile_target(bundle, exec);
+        let transpiled = transpile(&lowered.circuit, &target, exec.options.optimization_level)
+            .map_err(|e| QmlError::Unsupported(format!("transpilation failed: {e}")))?;
+        Ok(GatePlan {
+            circuit: transpiled.circuit,
+            metrics: transpiled.metrics,
+            register: lowered.register,
+            schema: lowered.schema,
+        })
+    }
+
+    /// The policy-dependent phase: sample the realized circuit and decode the
+    /// counts through the plan's explicit result schema.
+    fn run_plan(
+        &self,
+        bundle: &JobBundle,
+        context: &ContextDescriptor,
+        exec: &ExecConfig,
+        plan: &GatePlan,
+    ) -> Result<ExecutionResult> {
+        let seed = exec.seed.unwrap_or(0);
+        let sim = Simulator::new();
+        let run = sim.run(&plan.circuit, exec.samples, seed);
+        let decoded = DecodedCounts::decode(&run.counts, &plan.schema, &plan.register)?;
+
+        // Orthogonal QEC service (advisory resource estimate only).
+        let qec_estimate = context
+            .qec
+            .as_ref()
+            .map(|config| {
+                QecService::from_config(config).map(|service| {
+                    let realized_cost = CostHint::gates(
+                        plan.metrics.two_qubit_gates as u64,
+                        plan.metrics.depth as u64,
+                    )
+                    .with_oneq(plan.metrics.single_qubit_gates as u64);
+                    service.estimate(bundle.total_width(), Some(&realized_cost))
+                })
+            })
+            .transpose()?;
+
+        Ok(ExecutionResult {
+            backend: self.name().to_string(),
+            engine: exec.engine.clone(),
+            register: plan.register.id.clone(),
+            shots: exec.samples,
+            counts: run.counts,
+            decoded,
+            gate_metrics: Some(plan.metrics),
+            energy_stats: None,
+            qec_estimate,
+        })
+    }
 }
 
 impl Backend for GateBackend {
@@ -66,68 +150,24 @@ impl Backend for GateBackend {
     }
 
     fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult> {
-        bundle.validate()?;
-        let context = bundle.context.clone().unwrap_or_default();
-        let exec = context.exec.clone().unwrap_or_else(default_exec);
-        if !self.supports_engine(&exec.engine) {
-            return Err(QmlError::Unsupported(format!(
-                "gate backend cannot serve engine `{}`",
-                exec.engine
-            )));
-        }
-        exec.validate()?;
+        let (context, exec) = self.prepare(bundle)?;
+        let plan = Self::build_plan(bundle, &exec)?;
+        self.run_plan(bundle, &context, &exec, &plan)
+    }
 
-        // 1. Late realization of the intent as a circuit.
-        let lowered = lower_to_circuit(bundle)?;
-
-        // 2. Honour the execution policy's target constraints.
-        let transpile_target = exec
-            .target
-            .as_ref()
-            .map(|t| to_transpile_target(t, lowered.circuit.num_qubits()))
-            .unwrap_or_else(TranspileTarget::ideal);
-        let transpiled = transpile(
-            &lowered.circuit,
-            &transpile_target,
-            exec.options.optimization_level,
-        )
-        .map_err(|e| QmlError::Unsupported(format!("transpilation failed: {e}")))?;
-
-        // 3. Sample.
-        let seed = exec.seed.unwrap_or(0);
-        let sim = Simulator::new();
-        let run = sim.run(&transpiled.circuit, exec.samples, seed);
-
-        // 4. Decode through the explicit result schema.
-        let decoded = DecodedCounts::decode(&run.counts, &lowered.schema, &lowered.register)?;
-
-        // 5. Orthogonal QEC service (advisory resource estimate only).
-        let qec_estimate = context
-            .qec
-            .as_ref()
-            .map(|config| {
-                QecService::from_config(config).map(|service| {
-                    let realized_cost = CostHint::gates(
-                        transpiled.metrics.two_qubit_gates as u64,
-                        transpiled.metrics.depth as u64,
-                    )
-                    .with_oneq(transpiled.metrics.single_qubit_gates as u64);
-                    service.estimate(bundle.total_width(), Some(&realized_cost))
-                })
-            })
-            .transpose()?;
-
-        Ok(ExecutionResult {
-            backend: self.name().to_string(),
-            engine: exec.engine.clone(),
-            register: lowered.register.id.clone(),
-            shots: exec.samples,
-            counts: run.counts,
-            decoded,
-            gate_metrics: Some(transpiled.metrics),
-            energy_stats: None,
-            qec_estimate,
-        })
+    fn execute_cached(
+        &self,
+        bundle: &JobBundle,
+        cache: &TranspileCache,
+    ) -> Result<ExecutionResult> {
+        let (context, exec) = self.prepare(bundle)?;
+        let key = GatePlanKey {
+            program: bundle.program_hash(),
+            target: Self::transpile_target(bundle, &exec).fingerprint(),
+            optimization_level: exec.options.optimization_level,
+        };
+        let plan = cache.gate_plan(key, || Self::build_plan(bundle, &exec))?;
+        self.run_plan(bundle, &context, &exec, &plan)
     }
 }
 
@@ -147,6 +187,7 @@ pub fn listing4_context(target: Target) -> ContextDescriptor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::TranspileCache;
     use qml_algorithms::{
         qaoa_maxcut_program, qft_program, QaoaSchedule, QftParams, RING_P1_ANGLES,
     };
@@ -172,7 +213,10 @@ mod tests {
         // The optimal cuts are the two most likely outcomes among cut values.
         let graph = cycle(4);
         let expected_cut = result.expectation(|word| cut_value_of_bitstring(&graph, word));
-        assert!(expected_cut > 2.0, "QAOA must beat the random baseline of 2.0, got {expected_cut}");
+        assert!(
+            expected_cut > 2.0,
+            "QAOA must beat the random baseline of 2.0, got {expected_cut}"
+        );
     }
 
     #[test]
@@ -242,5 +286,77 @@ mod tests {
     #[test]
     fn estimate_cost_positive_for_qaoa() {
         assert!(GateBackend::new().estimate_cost(&qaoa_bundle()) > 0.0);
+    }
+
+    #[test]
+    fn cached_execution_matches_uncached_and_counts_hits() {
+        let bundle = qaoa_bundle().with_context(listing4_context(Target::ring(4)));
+        let backend = GateBackend::new();
+        let cache = TranspileCache::new();
+
+        let direct = backend.execute(&bundle).unwrap();
+        let cold = backend.execute_cached(&bundle, &cache).unwrap();
+        let warm = backend.execute_cached(&bundle, &cache).unwrap();
+        assert_eq!(
+            direct.counts, cold.counts,
+            "cache must not change semantics"
+        );
+        assert_eq!(cold, warm, "warm run must reproduce the cold run exactly");
+
+        let stats = cache.gate_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_targets_and_levels() {
+        let backend = GateBackend::new();
+        let cache = TranspileCache::new();
+        let ring = qaoa_bundle().with_context(listing4_context(Target::ring(4)));
+        let line = qaoa_bundle().with_context(listing4_context(Target::linear(4)));
+        backend.execute_cached(&ring, &cache).unwrap();
+        backend.execute_cached(&line, &cache).unwrap();
+        assert_eq!(
+            cache.gate_stats().entries,
+            2,
+            "different targets, different plans"
+        );
+
+        let level0 = qaoa_bundle().with_context(ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(64)
+                .with_seed(1)
+                .with_target(Target::ring(4))
+                .with_optimization_level(0),
+        ));
+        backend.execute_cached(&level0, &cache).unwrap();
+        assert_eq!(
+            cache.gate_stats().entries,
+            3,
+            "optimization level is part of the key"
+        );
+    }
+
+    #[test]
+    fn cache_shared_across_shots_and_seeds() {
+        // A parameter sweep re-submits the same intent with varying sampling
+        // policy: only the first submission may transpile.
+        let backend = GateBackend::new();
+        let cache = TranspileCache::new();
+        for (samples, seed) in [(64, 0u64), (128, 1), (256, 2), (512, 3)] {
+            let bundle = qaoa_bundle().with_context(ContextDescriptor::for_gate(
+                ExecConfig::new("gate.aer_simulator")
+                    .with_samples(samples)
+                    .with_seed(seed)
+                    .with_target(Target::ring(4))
+                    .with_optimization_level(2),
+            ));
+            let result = backend.execute_cached(&bundle, &cache).unwrap();
+            assert_eq!(result.shots, samples);
+        }
+        let stats = cache.gate_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
     }
 }

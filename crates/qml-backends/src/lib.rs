@@ -12,12 +12,14 @@
 #![forbid(unsafe_code)]
 
 pub mod anneal;
+pub mod cache;
 pub mod gate;
 pub mod lowering;
 pub mod results;
 pub mod traits;
 
 pub use anneal::{AnnealBackend, DEFAULT_ANNEAL_ENGINE, DEFAULT_SWEEPS};
+pub use cache::{AnnealPlan, CacheStats, GatePlan, GatePlanKey, TranspileCache};
 pub use gate::{listing4_context, GateBackend, DEFAULT_GATE_ENGINE};
 pub use lowering::{lower_to_bqm, lower_to_circuit, LoweredBqm, LoweredCircuit};
 pub use results::{EnergyStats, ExecutionResult};

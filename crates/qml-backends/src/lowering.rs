@@ -64,10 +64,12 @@ fn parse_edges(op: &OperatorDescriptor, width: usize) -> Result<Vec<(usize, usiz
             }
             let u = pair[0]
                 .as_u64()
-                .ok_or_else(|| QmlError::Validation("bad edge index".into()))? as usize;
+                .ok_or_else(|| QmlError::Validation("bad edge index".into()))?
+                as usize;
             let v = pair[1]
                 .as_u64()
-                .ok_or_else(|| QmlError::Validation("bad edge index".into()))? as usize;
+                .ok_or_else(|| QmlError::Validation("bad edge index".into()))?
+                as usize;
             if u >= width || v >= width || u == v {
                 return Err(QmlError::Validation(format!(
                     "edge ({u},{v}) is invalid for a width-{width} register"
@@ -144,15 +146,15 @@ pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
                 }
             }
             RepKind::Measurement => {
-                let schema = op
-                    .result_schema
-                    .clone()
-                    .ok_or_else(|| QmlError::Validation("measurement without result schema".into()))?;
+                let schema = op.result_schema.clone().ok_or_else(|| {
+                    QmlError::Validation("measurement without result schema".into())
+                })?;
                 let codomain = bundle
                     .find_qdt(&op.codomain_qdt)
                     .ok_or_else(|| QmlError::UnknownRegister(op.codomain_qdt.clone()))?;
                 let indices = schema.wire_indices(codomain)?;
-                let qubits: Vec<usize> = indices.iter().map(|&i| offsets[&codomain.id] + i).collect();
+                let qubits: Vec<usize> =
+                    indices.iter().map(|&i| offsets[&codomain.id] + i).collect();
                 circuit.measure(&qubits);
                 readout = Some((codomain.clone(), schema));
             }
@@ -197,7 +199,8 @@ pub fn lower_to_bqm(bundle: &JobBundle) -> Result<LoweredBqm> {
     }
     if bundle.operators.len() != 1 {
         return Err(QmlError::Unsupported(
-            "the annealing backend cannot realize additional operators alongside ISING_PROBLEM".into(),
+            "the annealing backend cannot realize additional operators alongside ISING_PROBLEM"
+                .into(),
         ));
     }
     let op = problems[0];
@@ -231,7 +234,8 @@ mod tests {
 
     #[test]
     fn qaoa_bundle_lowers_to_expected_gates() {
-        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let bundle =
+            qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
         let lowered = lower_to_circuit(&bundle).unwrap();
         let counts = lowered.circuit.gate_counts();
         assert_eq!(counts["h"], 4, "PREP_UNIFORM = one H per qubit");
@@ -311,8 +315,12 @@ mod tests {
 
     #[test]
     fn qaoa_bundle_rejected_by_anneal_lowering() {
-        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
-        assert!(matches!(lower_to_bqm(&bundle), Err(QmlError::Unsupported(_))));
+        let bundle =
+            qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        assert!(matches!(
+            lower_to_bqm(&bundle),
+            Err(QmlError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -327,8 +335,10 @@ mod tests {
     #[test]
     fn malformed_edges_rejected() {
         let register = qml_algorithms::ising_register(4).unwrap();
-        let mut cost = qml_algorithms::qaoa::ising_cost_phase(&register, &cycle(4), 0.3, 0).unwrap();
-        cost.params.insert("edges", ParamValue::List(vec![ParamValue::Int(1)]));
+        let mut cost =
+            qml_algorithms::qaoa::ising_cost_phase(&register, &cycle(4), 0.3, 0).unwrap();
+        cost.params
+            .insert("edges", ParamValue::List(vec![ParamValue::Int(1)]));
         let ops = qml_algorithms::with_measurement(vec![cost], &register).unwrap();
         let bundle = JobBundle::new("bad-edges", vec![register], ops);
         assert!(lower_to_circuit(&bundle).is_err());

@@ -9,6 +9,7 @@
 
 use qml_types::{JobBundle, Result};
 
+use crate::cache::TranspileCache;
 use crate::results::ExecutionResult;
 
 /// A backend able to realize and execute middle-layer job bundles.
@@ -26,6 +27,38 @@ pub trait Backend: Send + Sync {
 
     /// Execute a job bundle and return its decoded result.
     fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult>;
+
+    /// Execute a job bundle, reusing (and populating) the given
+    /// transpilation/lowering cache where this backend supports it.
+    ///
+    /// The default implementation ignores the cache, so existing third-party
+    /// backends keep working unchanged; the built-in gate and annealing
+    /// backends override it to skip lowering/transpilation on repeated
+    /// `(program, target)` submissions.
+    fn execute_cached(
+        &self,
+        bundle: &JobBundle,
+        cache: &TranspileCache,
+    ) -> Result<ExecutionResult> {
+        let _ = cache;
+        self.execute(bundle)
+    }
+
+    /// Execute a batch of bundles against this backend, sharing one cache.
+    ///
+    /// Backends with device-level batching (circuit merging, shared calibration
+    /// windows) can override this; the default executes sequentially through
+    /// [`Backend::execute_cached`] and returns per-bundle outcomes in order.
+    fn execute_batch(
+        &self,
+        bundles: &[JobBundle],
+        cache: &TranspileCache,
+    ) -> Vec<Result<ExecutionResult>> {
+        bundles
+            .iter()
+            .map(|bundle| self.execute_cached(bundle, cache))
+            .collect()
+    }
 
     /// A rough, device-independent score for how expensive this bundle would
     /// be on this backend — consumed by the runtime's cost-hint scheduler.
@@ -66,10 +99,14 @@ mod tests {
 
     #[test]
     fn default_cost_estimate_sums_hints() {
-        let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        let bundle =
+            qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
         let backend = DummyBackend;
         let cost = backend.estimate_cost(&bundle);
-        assert!(cost > 0.0, "QAOA descriptors carry cost hints, so the estimate is positive");
+        assert!(
+            cost > 0.0,
+            "QAOA descriptors carry cost hints, so the estimate is positive"
+        );
     }
 
     #[test]

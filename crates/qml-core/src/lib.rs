@@ -16,6 +16,7 @@
 //! | QEC context service | [`qec`] | §4.3.2 |
 //! | Gate + annealing backends | [`backends`] | §5 |
 //! | Registry, scheduler, job runtime, context services | [`runtime`] | §2, §4.3.1 |
+//! | Batch service: sweeps, work stealing, transpile cache | [`service`] | §2 |
 //!
 //! ## Quickstart
 //!
@@ -42,24 +43,26 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-/// Typed descriptors: quantum data types, operators, contexts, job bundles.
-pub use qml_types as types;
 /// Algorithmic libraries emitting operator descriptor sequences.
 pub use qml_algorithms as algorithms;
+/// Binary quadratic models and the simulated annealer (the Ocean substitute).
+pub use qml_anneal as anneal;
+/// Gate-model and annealing backends.
+pub use qml_backends as backends;
 /// Graphs, Max-Cut, and classical baselines.
 pub use qml_graph as graph;
+/// Error correction as an orthogonal context service.
+pub use qml_qec as qec;
+/// Backend registry, scheduler, job runtime, and context services.
+pub use qml_runtime as runtime;
+/// Multi-tenant batch-execution service: sweeps, work-stealing pool, caches.
+pub use qml_service as service;
 /// Dense state-vector simulator (the Qiskit Aer substitute).
 pub use qml_sim as sim;
 /// Basis translation, routing, and optimization passes.
 pub use qml_transpile as transpile;
-/// Binary quadratic models and the simulated annealer (the Ocean substitute).
-pub use qml_anneal as anneal;
-/// Error correction as an orthogonal context service.
-pub use qml_qec as qec;
-/// Gate-model and annealing backends.
-pub use qml_backends as backends;
-/// Backend registry, scheduler, job runtime, and context services.
-pub use qml_runtime as runtime;
+/// Typed descriptors: quantum data types, operators, contexts, job bundles.
+pub use qml_types as types;
 
 /// One-stop prelude for applications.
 pub mod prelude {
@@ -69,6 +72,7 @@ pub mod prelude {
     };
     pub use qml_backends::{AnnealBackend, Backend, ExecutionResult, GateBackend};
     pub use qml_runtime::{BackendRegistry, Runtime, Scheduler};
+    pub use qml_service::{QmlService, SweepRequest};
     pub use qml_types::prelude::*;
 }
 
@@ -83,9 +87,13 @@ mod tests {
             qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
         let runtime = Runtime::with_default_backends();
         let id = runtime
-            .submit(bundle.with_context(ContextDescriptor::for_gate(
-                ExecConfig::new("gate.aer_simulator").with_samples(256).with_seed(7),
-            )))
+            .submit(
+                bundle.with_context(ContextDescriptor::for_gate(
+                    ExecConfig::new("gate.aer_simulator")
+                        .with_samples(256)
+                        .with_seed(7),
+                )),
+            )
             .unwrap();
         let result = runtime.run_job(id).unwrap();
         assert_eq!(result.shots, 256);

@@ -52,7 +52,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 
 /// Erdős–Rényi G(n, p) with uniform weight 1 and a deterministic seed.
 pub fn random_gnp(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must lie in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must lie in [0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     for u in 0..n {

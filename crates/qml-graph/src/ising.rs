@@ -34,7 +34,11 @@ impl IsingProblem {
 
     /// Ising energy of a spin assignment (each entry ±1).
     pub fn energy(&self, spins: &[i8]) -> f64 {
-        assert_eq!(spins.len(), self.h.len(), "spin vector has the wrong length");
+        assert_eq!(
+            spins.len(),
+            self.h.len(),
+            "spin vector has the wrong length"
+        );
         let linear: f64 = self
             .h
             .iter()

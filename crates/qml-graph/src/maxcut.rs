@@ -22,7 +22,13 @@ pub fn cut_value(graph: &Graph, assignment: &[bool]) -> f64 {
     graph
         .edges()
         .iter()
-        .map(|&(u, v, w)| if assignment[u] != assignment[v] { w } else { 0.0 })
+        .map(|&(u, v, w)| {
+            if assignment[u] != assignment[v] {
+                w
+            } else {
+                0.0
+            }
+        })
         .sum()
 }
 
@@ -44,7 +50,10 @@ pub struct CutSolution {
 impl CutSolution {
     /// The assignment as a bitstring (character i = vertex i).
     pub fn bitstring(&self) -> String {
-        self.assignment.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.assignment
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -81,7 +90,12 @@ pub fn all_optimal_bitstrings(graph: &Graph) -> (f64, Vec<String>) {
             winners.clear();
         }
         if (value - best).abs() <= 1e-12 {
-            winners.push(assignment.iter().map(|&b| if b { '1' } else { '0' }).collect());
+            winners.push(
+                assignment
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect(),
+            );
         }
     }
     (best, winners)
@@ -110,7 +124,13 @@ fn cut_value_prefix(graph: &Graph, assignment: &[bool], placed: usize) -> f64 {
         .edges()
         .iter()
         .filter(|&&(u, v, _)| u < placed && v < placed)
-        .map(|&(u, v, w)| if assignment[u] != assignment[v] { w } else { 0.0 })
+        .map(|&(u, v, w)| {
+            if assignment[u] != assignment[v] {
+                w
+            } else {
+                0.0
+            }
+        })
         .sum()
 }
 
@@ -225,9 +245,12 @@ mod tests {
 
     #[test]
     fn local_search_reaches_optimum_on_c4() {
+        // Single-flip local search can legitimately stall on C4's zero-gain
+        // plateaus (e.g. 0011), so assert the multi-start guarantee instead
+        // of betting on any one random start.
         let g = cycle(4);
         for seed in 0..5 {
-            assert_eq!(local_search(&g, seed).value, 4.0);
+            assert_eq!(multi_start_local_search(&g, 8, seed).value, 4.0);
         }
     }
 
@@ -240,7 +263,10 @@ mod tests {
             assert!(heuristic <= exact + 1e-9);
             // Multi-start local search is strong on 10 nodes; expect ≥ 90 %.
             if exact > 0.0 {
-                assert!(heuristic >= 0.9 * exact, "seed {seed}: {heuristic} vs {exact}");
+                assert!(
+                    heuristic >= 0.9 * exact,
+                    "seed {seed}: {heuristic} vs {exact}"
+                );
             }
         }
     }

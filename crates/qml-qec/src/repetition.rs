@@ -22,7 +22,10 @@ pub struct RepetitionCode {
 impl RepetitionCode {
     /// Create a repetition code of odd distance `d`.
     pub fn new(distance: usize) -> Self {
-        assert!(distance >= 1 && distance % 2 == 1, "distance must be odd and ≥ 1");
+        assert!(
+            distance >= 1 && distance % 2 == 1,
+            "distance must be odd and ≥ 1"
+        );
         RepetitionCode { distance }
     }
 
@@ -115,8 +118,14 @@ mod tests {
         for flip in 0..3 {
             let mut word = code.encode(true);
             word[flip] = !word[flip];
-            assert!(code.decode(&word), "single flip at {flip} must be corrected");
-            assert!(code.syndrome(&word).iter().any(|&s| s), "error must be detected");
+            assert!(
+                code.decode(&word),
+                "single flip at {flip} must be corrected"
+            );
+            assert!(
+                code.syndrome(&word).iter().any(|&s| s),
+                "error must be detected"
+            );
         }
     }
 

@@ -59,7 +59,9 @@ impl QecService {
         Ok(QecService {
             family,
             distance: config.distance,
-            physical_error_rate: config.physical_error_rate.unwrap_or(DEFAULT_PHYSICAL_ERROR_RATE),
+            physical_error_rate: config
+                .physical_error_rate
+                .unwrap_or(DEFAULT_PHYSICAL_ERROR_RATE),
             logical_gate_set: config
                 .logical_gate_set
                 .iter()
@@ -94,9 +96,8 @@ impl QecService {
     /// Physical qubits required per logical qubit under this policy.
     pub fn physical_qubits_per_logical(&self) -> usize {
         match self.family {
-            CodeFamily::Surface => {
-                SurfaceCode::new(self.distance, self.physical_error_rate).physical_qubits_per_logical()
-            }
+            CodeFamily::Surface => SurfaceCode::new(self.distance, self.physical_error_rate)
+                .physical_qubits_per_logical(),
             CodeFamily::Repetition => self.distance,
         }
     }
@@ -107,9 +108,8 @@ impl QecService {
             CodeFamily::Surface => {
                 SurfaceCode::new(self.distance, self.physical_error_rate).logical_error_rate()
             }
-            CodeFamily::Repetition => {
-                RepetitionCode::new(self.distance).analytic_logical_error_rate(self.physical_error_rate)
-            }
+            CodeFamily::Repetition => RepetitionCode::new(self.distance)
+                .analytic_logical_error_rate(self.physical_error_rate),
         }
     }
 
@@ -157,7 +157,9 @@ mod tests {
         assert!(service.allows_logical_gate("H"));
         assert!(service.allows_logical_gate("cnot"));
         assert!(!service.allows_logical_gate("SQRT_ISWAP"));
-        service.check_logical_gates(&["H", "CNOT", "T", "MEASURE_Z"]).unwrap();
+        service
+            .check_logical_gates(&["H", "CNOT", "T", "MEASURE_Z"])
+            .unwrap();
         assert!(service.check_logical_gates(&["H", "CCZ"]).is_err());
     }
 
@@ -186,7 +188,10 @@ mod tests {
         let service = QecService::from_config(&config).unwrap();
         assert_eq!(service.family, CodeFamily::Repetition);
         assert_eq!(service.physical_qubits_per_logical(), 5);
-        assert!(service.allows_logical_gate("ANYTHING"), "empty gate set is unconstrained");
+        assert!(
+            service.allows_logical_gate("ANYTHING"),
+            "empty gate set is unconstrained"
+        );
     }
 
     #[test]
@@ -194,8 +199,12 @@ mod tests {
         // The composability claim: swapping only the QEC context changes the
         // resource estimate, nothing else is touched.
         let cost = CostHint::gates(45, 100);
-        let small = QecService::from_config(&QecConfig::surface(3)).unwrap().estimate(10, Some(&cost));
-        let large = QecService::from_config(&QecConfig::surface(11)).unwrap().estimate(10, Some(&cost));
+        let small = QecService::from_config(&QecConfig::surface(3))
+            .unwrap()
+            .estimate(10, Some(&cost));
+        let large = QecService::from_config(&QecConfig::surface(11))
+            .unwrap()
+            .estimate(10, Some(&cost));
         assert_eq!(small.logical_qubits, large.logical_qubits);
         assert!(large.physical_qubits > small.physical_qubits);
         assert!(large.syndrome_rounds > small.syndrome_rounds);

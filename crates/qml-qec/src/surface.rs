@@ -29,7 +29,10 @@ impl SurfaceCode {
     /// A surface code of distance `d` at the given physical error rate, using
     /// the standard threshold.
     pub fn new(distance: usize, physical_error_rate: f64) -> Self {
-        assert!(distance >= 1 && distance % 2 == 1, "distance must be odd and ≥ 1");
+        assert!(
+            distance >= 1 && distance % 2 == 1,
+            "distance must be odd and ≥ 1"
+        );
         assert!(
             (0.0..1.0).contains(&physical_error_rate),
             "physical error rate must lie in [0, 1)"
@@ -194,7 +197,9 @@ mod tests {
         assert_eq!(small.syndrome_rounds, 700);
         assert!(large.physical_qubits > small.physical_qubits);
         assert!(large.workload_failure_probability > small.workload_failure_probability);
-        assert!(small.workload_failure_probability > 0.0 && small.workload_failure_probability < 1.0);
+        assert!(
+            small.workload_failure_probability > 0.0 && small.workload_failure_probability < 1.0
+        );
     }
 
     #[test]

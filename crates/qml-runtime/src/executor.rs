@@ -2,19 +2,25 @@
 //!
 //! The runtime accepts packaged job bundles (`job.json` artifacts in the
 //! paper's workflow), schedules each onto a backend, and executes queued jobs
-//! concurrently on crossbeam scoped threads. Job state is shared behind a
-//! `parking_lot` mutex so callers can poll status from other threads.
+//! on a **work-stealing worker pool**: queued jobs are ranked by descriptor
+//! cost hints (longest first, the classic LPT heuristic), dealt round-robin
+//! onto per-worker deques, and idle workers steal from the back of busy
+//! workers' deques — so one slow job never stalls the rest of its batch the
+//! way the old fixed-chunk barrier did. Job state is shared behind a
+//! `parking_lot` mutex so callers can poll status from other threads, and all
+//! executions share the runtime's transpilation/lowering cache.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use qml_backends::ExecutionResult;
+use qml_backends::{ExecutionResult, TranspileCache};
 use qml_types::{JobBundle, QmlError, Result};
 
-use crate::registry::Scheduler;
+use crate::registry::{Placement, Scheduler};
 
 /// Identifier of a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -46,21 +52,53 @@ pub struct Job {
     pub result: Option<ExecutionResult>,
 }
 
-/// The middle-layer runtime: a scheduler plus a job store.
+/// Everything the work-stealing pool records about one executed job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Identifier of the job.
+    pub id: JobId,
+    /// The execution result or the error that failed the job.
+    pub result: Result<ExecutionResult>,
+    /// Name of the backend the job was placed on (present for failed
+    /// executions too; `None` only when placement itself failed).
+    pub backend: Option<String>,
+    /// Wall-clock execution time of this job.
+    pub duration: Duration,
+    /// Index of the pool worker that executed the job.
+    pub worker: usize,
+    /// True if the job was stolen from another worker's deque.
+    pub stolen: bool,
+}
+
+/// The middle-layer runtime: a scheduler, a job store, and a shared
+/// transpilation/lowering cache.
 pub struct Runtime {
     scheduler: Scheduler,
     jobs: Arc<Mutex<BTreeMap<JobId, Job>>>,
     next_id: Arc<Mutex<u64>>,
+    cache: Arc<TranspileCache>,
 }
 
 impl Runtime {
-    /// A runtime over the given scheduler.
+    /// A runtime over the given scheduler, with a fresh cache.
     pub fn new(scheduler: Scheduler) -> Self {
+        Runtime::with_cache(scheduler, Arc::new(TranspileCache::new()))
+    }
+
+    /// A runtime sharing an existing transpilation/lowering cache (e.g. one
+    /// owned by a service spanning several runtimes).
+    pub fn with_cache(scheduler: Scheduler, cache: Arc<TranspileCache>) -> Self {
         Runtime {
             scheduler,
             jobs: Arc::new(Mutex::new(BTreeMap::new())),
             next_id: Arc::new(Mutex::new(0)),
+            cache,
         }
+    }
+
+    /// The transpilation/lowering cache shared by this runtime's executions.
+    pub fn cache(&self) -> &Arc<TranspileCache> {
+        &self.cache
     }
 
     /// A runtime with the built-in gate and annealing backends.
@@ -110,24 +148,60 @@ impl Runtime {
         self.jobs.lock().keys().copied().collect()
     }
 
+    /// Number of jobs still waiting to execute.
+    pub fn queue_depth(&self) -> usize {
+        self.jobs
+            .lock()
+            .values()
+            .filter(|j| j.status == JobStatus::Queued)
+            .count()
+    }
+
     /// Execute one queued job synchronously.
     pub fn run_job(&self, id: JobId) -> Result<ExecutionResult> {
-        let bundle = {
-            let mut jobs = self.jobs.lock();
-            let job = jobs
-                .get_mut(&id)
-                .ok_or_else(|| QmlError::Validation(format!("unknown job id {id:?}")))?;
-            if job.status != JobStatus::Queued {
-                return Err(QmlError::Validation(format!(
-                    "job {id:?} is not queued (status {:?})",
-                    job.status
-                )));
-            }
-            job.status = JobStatus::Running;
-            job.bundle.clone()
-        };
+        self.run_job_placed(id, None)
+    }
 
-        let outcome = self.scheduler.execute(&bundle);
+    /// Atomically claim a queued job for execution (Queued → Running),
+    /// returning its bundle. `Err` if the id is unknown, `Ok(None)` if the
+    /// job was already claimed — the signal concurrent drains use to skip a
+    /// job another drain owns rather than report a phantom failure.
+    fn claim(&self, id: JobId) -> Result<Option<JobBundle>> {
+        let mut jobs = self.jobs.lock();
+        let job = jobs
+            .get_mut(&id)
+            .ok_or_else(|| QmlError::Validation(format!("unknown job id {id:?}")))?;
+        if job.status != JobStatus::Queued {
+            return Ok(None);
+        }
+        job.status = JobStatus::Running;
+        Ok(Some(job.bundle.clone()))
+    }
+
+    /// Execute one queued job, reusing an already-computed placement when the
+    /// caller has one.
+    fn run_job_placed(&self, id: JobId, placement: Option<&Placement>) -> Result<ExecutionResult> {
+        let Some(bundle) = self.claim(id)? else {
+            return Err(QmlError::Validation(format!(
+                "job {id:?} is not queued (status {:?})",
+                self.status(id).expect("job exists")
+            )));
+        };
+        self.execute_claimed(id, bundle, placement)
+    }
+
+    /// Execute a job already claimed (Running) by the caller and record its
+    /// terminal state.
+    fn execute_claimed(
+        &self,
+        id: JobId,
+        bundle: JobBundle,
+        placement: Option<&Placement>,
+    ) -> Result<ExecutionResult> {
+        let outcome = match placement {
+            Some(placement) => placement.backend.execute_cached(&bundle, &self.cache),
+            None => self.scheduler.execute_cached(&bundle, &self.cache),
+        };
         let mut jobs = self.jobs.lock();
         let job = jobs.get_mut(&id).expect("job disappeared while running");
         match &outcome {
@@ -142,45 +216,145 @@ impl Runtime {
         outcome
     }
 
-    /// Execute every queued job, distributing them over crossbeam scoped
-    /// threads (at most `max_parallel` at a time). Returns the per-job
-    /// outcomes in submission order.
+    /// Execute every queued job on the work-stealing pool with at most
+    /// `max_parallel` workers. Returns the per-job outcomes in submission
+    /// order. Kept as a thin wrapper over [`Runtime::run_all_detailed`] for
+    /// backward compatibility.
     pub fn run_all(&self, max_parallel: usize) -> Vec<(JobId, Result<ExecutionResult>)> {
-        let queued: Vec<JobId> = {
+        let mut outcomes: Vec<(JobId, Result<ExecutionResult>)> = self
+            .run_all_detailed(max_parallel)
+            .into_iter()
+            .map(|o| (o.id, o.result))
+            .collect();
+        outcomes.sort_by_key(|(id, _)| *id);
+        outcomes
+    }
+
+    /// Execute every queued job on a work-stealing pool of `num_workers`
+    /// threads and report detailed per-job outcomes (in completion order).
+    ///
+    /// Scheduling policy:
+    ///
+    /// 1. Queued jobs are ranked by the scheduler's cost estimate for their
+    ///    placement (descriptor cost hints — the paper's HPC-scheduler
+    ///    analogy), longest first, which minimizes makespan under the LPT
+    ///    heuristic.
+    /// 2. Ranked jobs are dealt round-robin onto one deque per worker.
+    /// 3. Each worker drains its own deque from the front; an idle worker
+    ///    steals from the **back** of the busiest other deque, so a single
+    ///    slow job delays only the worker executing it.
+    pub fn run_all_detailed(&self, num_workers: usize) -> Vec<JobOutcome> {
+        // Snapshot queued bundles under the lock, then run the placement /
+        // cost-ranking pass outside it so status()/submit() callers never
+        // block behind an O(batch) scheduler scan.
+        let queued: Vec<(JobId, JobBundle)> = {
             let jobs = self.jobs.lock();
             jobs.values()
                 .filter(|j| j.status == JobStatus::Queued)
-                .map(|j| j.id)
+                .map(|j| (j.id, j.bundle.clone()))
                 .collect()
         };
-        let max_parallel = max_parallel.max(1);
-        let outcomes: Mutex<Vec<(JobId, Result<ExecutionResult>)>> = Mutex::new(Vec::new());
-
-        let outcomes_ref = &outcomes;
-        for chunk in queued.chunks(max_parallel) {
-            crossbeam::scope(|scope| {
-                for &id in chunk {
-                    scope.spawn(move |_| {
-                        let outcome = self.run_job(id);
-                        outcomes_ref.lock().push((id, outcome));
-                    });
-                }
+        // One placement pass serves both the cost ranking and execution: the
+        // chosen backend is carried to the worker so jobs are not re-placed
+        // on the hot path. Jobs whose placement fails are still dealt out;
+        // they fail (and record their error) at execution time.
+        let mut placements: HashMap<JobId, Placement> = HashMap::new();
+        let mut ranked: Vec<(JobId, f64)> = queued
+            .into_iter()
+            .map(|(id, bundle)| {
+                let cost = match self.scheduler.place(&bundle) {
+                    Ok(placement) => {
+                        let cost = placement.estimated_cost;
+                        placements.insert(id, placement);
+                        cost
+                    }
+                    Err(_) => 0.0,
+                };
+                (id, cost)
             })
-            .expect("job execution thread panicked");
+            .collect();
+        if ranked.is_empty() {
+            return Vec::new();
+        }
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let num_workers = num_workers.max(1).min(ranked.len());
+        let deques: Vec<Mutex<VecDeque<JobId>>> = (0..num_workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        for (slot, (id, _cost)) in ranked.iter().enumerate() {
+            deques[slot % num_workers].lock().push_back(*id);
         }
 
-        let mut results = outcomes.into_inner();
-        results.sort_by_key(|(id, _)| *id);
-        results
+        let outcomes: Mutex<Vec<JobOutcome>> = Mutex::new(Vec::with_capacity(ranked.len()));
+        let deques_ref = &deques;
+        let outcomes_ref = &outcomes;
+        let placements_ref = &placements;
+        crossbeam::scope(|scope| {
+            for worker in 0..num_workers {
+                scope.spawn(move |_| loop {
+                    // Own deque first (front); when empty, try to steal from
+                    // the back of *every* other deque, deepest first. Only
+                    // when all deques are seen empty may the worker exit —
+                    // jobs are never re-queued during a drain, so "all empty"
+                    // is a stable termination condition (a victim draining
+                    // between the scan and the steal just moves us to the
+                    // next victim, not to termination).
+                    let mut claimed: Option<(JobId, bool)> =
+                        deques_ref[worker].lock().pop_front().map(|id| (id, false));
+                    if claimed.is_none() {
+                        let mut victims: Vec<(usize, usize)> = (0..deques_ref.len())
+                            .filter(|&v| v != worker)
+                            .map(|v| (deques_ref[v].lock().len(), v))
+                            .collect();
+                        victims.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
+                        for (_depth, v) in victims {
+                            if let Some(id) = deques_ref[v].lock().pop_back() {
+                                claimed = Some((id, true));
+                                break;
+                            }
+                        }
+                    }
+                    let Some((id, stolen)) = claimed else {
+                        break;
+                    };
+                    // A concurrent drain may have raced us to this job; a
+                    // lost claim is silently skipped, not a phantom failure.
+                    let Ok(Some(bundle)) = self.claim(id) else {
+                        continue;
+                    };
+                    let placement = placements_ref.get(&id);
+                    let started = Instant::now();
+                    let result = self.execute_claimed(id, bundle, placement);
+                    let duration = started.elapsed();
+                    // Attribute the job to its placed backend even when the
+                    // execution itself failed.
+                    let backend = result
+                        .as_ref()
+                        .ok()
+                        .map(|r| r.backend.clone())
+                        .or_else(|| placement.map(|p| p.backend.name().to_string()));
+                    outcomes_ref.lock().push(JobOutcome {
+                        id,
+                        result,
+                        backend,
+                        duration,
+                        worker,
+                        stolen,
+                    });
+                });
+            }
+        })
+        .expect("job execution thread panicked");
+
+        outcomes.into_inner()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qml_algorithms::{
-        maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES,
-    };
+    use qml_algorithms::{maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
     use qml_graph::cycle;
     use qml_types::{AnnealConfig, ContextDescriptor, ExecConfig, JobBundle};
 
@@ -188,14 +362,19 @@ mod tests {
         qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
             .unwrap()
             .with_context(ContextDescriptor::for_gate(
-                ExecConfig::new("gate.aer_simulator").with_samples(samples).with_seed(1),
+                ExecConfig::new("gate.aer_simulator")
+                    .with_samples(samples)
+                    .with_seed(1),
             ))
     }
 
     fn anneal_bundle(reads: u64) -> JobBundle {
-        maxcut_ising_program(&cycle(4)).unwrap().with_context(
-            ContextDescriptor::for_anneal("anneal.neal_simulator", AnnealConfig::with_reads(reads)),
-        )
+        maxcut_ising_program(&cycle(4))
+            .unwrap()
+            .with_context(ContextDescriptor::for_anneal(
+                "anneal.neal_simulator",
+                AnnealConfig::with_reads(reads),
+            ))
     }
 
     #[test]
@@ -246,7 +425,7 @@ mod tests {
     #[test]
     fn run_all_executes_mixed_workloads_in_parallel() {
         let runtime = Runtime::with_default_backends();
-        let ids = vec![
+        let ids = [
             runtime.submit(gate_bundle(64)).unwrap(),
             runtime.submit(anneal_bundle(64)).unwrap(),
             runtime.submit(gate_bundle(32)).unwrap(),
@@ -259,8 +438,14 @@ mod tests {
             assert_eq!(runtime.status(*id), Some(JobStatus::Completed));
         }
         // Gate jobs went to the gate backend, anneal jobs to the annealer.
-        assert_eq!(runtime.result(ids[0]).unwrap().backend, "qml-gate-simulator");
-        assert_eq!(runtime.result(ids[1]).unwrap().backend, "qml-simulated-annealer");
+        assert_eq!(
+            runtime.result(ids[0]).unwrap().backend,
+            "qml-gate-simulator"
+        );
+        assert_eq!(
+            runtime.result(ids[1]).unwrap().backend,
+            "qml-simulated-annealer"
+        );
     }
 
     #[test]
@@ -270,5 +455,119 @@ mod tests {
         runtime.submit(anneal_bundle(16)).unwrap();
         let outcomes = runtime.run_all(1);
         assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+    }
+
+    #[test]
+    fn work_stealing_pool_drains_every_job() {
+        // More jobs than workers: everything must complete exactly once, and
+        // the detailed outcomes must cover every submitted id.
+        let runtime = Runtime::with_default_backends();
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            let bundle = if i % 2 == 0 {
+                gate_bundle(32)
+            } else {
+                anneal_bundle(32)
+            };
+            ids.push(runtime.submit(bundle).unwrap());
+        }
+        let outcomes = runtime.run_all_detailed(3);
+        assert_eq!(outcomes.len(), 12);
+        let mut seen: Vec<JobId> = outcomes.iter().map(|o| o.id).collect();
+        seen.sort();
+        assert_eq!(seen, ids);
+        for outcome in &outcomes {
+            assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+            assert!(outcome.worker < 3);
+            assert!(outcome.backend.is_some());
+        }
+        assert!(runtime
+            .job_ids()
+            .iter()
+            .all(|id| runtime.status(*id) == Some(JobStatus::Completed)));
+    }
+
+    #[test]
+    fn repeated_intents_hit_the_runtime_cache() {
+        let runtime = Runtime::with_default_backends();
+        for _ in 0..4 {
+            runtime.submit(gate_bundle(32)).unwrap();
+        }
+        let outcomes = runtime.run_all(4);
+        assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
+        let stats = runtime.cache().gate_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "one transpilation for four identical intents"
+        );
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn failed_job_does_not_poison_the_batch() {
+        let runtime = Runtime::with_default_backends();
+        let good = runtime.submit(gate_bundle(16)).unwrap();
+        // A QAOA bundle forced onto the annealing engine fails at run time.
+        let bad_bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(ContextDescriptor::for_anneal(
+                "anneal.neal_simulator",
+                AnnealConfig::with_reads(10),
+            ));
+        let bad = runtime.submit(bad_bundle).unwrap();
+        let good2 = runtime.submit(anneal_bundle(16)).unwrap();
+
+        let outcomes = runtime.run_all(2);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(runtime.status(good), Some(JobStatus::Completed));
+        assert_eq!(runtime.status(good2), Some(JobStatus::Completed));
+        assert!(matches!(runtime.status(bad), Some(JobStatus::Failed(_))));
+    }
+
+    #[test]
+    fn concurrent_drains_never_double_run_or_phantom_fail() {
+        // Two simultaneous drains over one queue: every job executes exactly
+        // once, the combined outcome count equals the job count, and no job
+        // ends Failed from a lost claim race.
+        let runtime = Runtime::with_default_backends();
+        for i in 0..10 {
+            let bundle = if i % 2 == 0 {
+                gate_bundle(16)
+            } else {
+                anneal_bundle(16)
+            };
+            runtime.submit(bundle).unwrap();
+        }
+        let (a, b) = crossbeam::scope(|scope| {
+            let h1 = scope.spawn(|_| runtime.run_all_detailed(2));
+            let h2 = scope.spawn(|_| runtime.run_all_detailed(2));
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+        .unwrap();
+        assert_eq!(a.len() + b.len(), 10, "each job reported exactly once");
+        let mut seen: Vec<JobId> = a.iter().chain(b.iter()).map(|o| o.id).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 10);
+        for outcome in a.iter().chain(b.iter()) {
+            assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+        }
+        assert!(runtime
+            .job_ids()
+            .iter()
+            .all(|id| runtime.status(*id) == Some(JobStatus::Completed)));
+    }
+
+    #[test]
+    fn run_all_reports_submission_order() {
+        let runtime = Runtime::with_default_backends();
+        let ids = vec![
+            runtime.submit(gate_bundle(16)).unwrap(),
+            runtime.submit(anneal_bundle(16)).unwrap(),
+            runtime.submit(gate_bundle(8)).unwrap(),
+        ];
+        let outcomes = runtime.run_all(2);
+        let reported: Vec<JobId> = outcomes.iter().map(|(id, _)| *id).collect();
+        assert_eq!(reported, ids);
     }
 }

@@ -8,7 +8,8 @@
 //!   otherwise ranks family-compatible backends by descriptor cost hints —
 //!   the paper's HPC-scheduler analogy (§2).
 //! * [`Runtime`] — job submission, status tracking, and parallel execution of
-//!   queued jobs on crossbeam scoped threads.
+//!   queued jobs on a cost-ranked, work-stealing worker pool that shares one
+//!   transpilation/lowering cache across all executions.
 //! * [`services`] — orthogonal context services (§4.3.1): the QEC service and
 //!   a communication estimator for partitioned (multi-QPU) execution.
 
@@ -19,6 +20,8 @@ pub mod executor;
 pub mod registry;
 pub mod services;
 
-pub use executor::{Job, JobId, JobStatus, Runtime};
+pub use executor::{Job, JobId, JobOutcome, JobStatus, Runtime};
 pub use registry::{BackendRegistry, Placement, Scheduler};
-pub use services::{estimate_communication, with_communication, CommunicationEstimate, ContextServices};
+pub use services::{
+    estimate_communication, with_communication, CommunicationEstimate, ContextServices,
+};

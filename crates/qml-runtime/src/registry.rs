@@ -173,14 +173,24 @@ impl Scheduler {
         let placement = self.place(bundle)?;
         placement.backend.execute(bundle)
     }
+
+    /// Place and execute a bundle through a shared transpilation/lowering
+    /// cache: repeated `(program, target)` submissions skip realization on
+    /// cache-aware backends.
+    pub fn execute_cached(
+        &self,
+        bundle: &JobBundle,
+        cache: &qml_backends::TranspileCache,
+    ) -> Result<qml_backends::ExecutionResult> {
+        let placement = self.place(bundle)?;
+        placement.backend.execute_cached(bundle, cache)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qml_algorithms::{
-        maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES,
-    };
+    use qml_algorithms::{maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
     use qml_graph::cycle;
     use qml_types::{AnnealConfig, ContextDescriptor, ExecConfig};
 
@@ -202,7 +212,9 @@ mod tests {
         let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
             .unwrap()
             .with_context(ContextDescriptor::for_gate(
-                ExecConfig::new("gate.aer_simulator").with_samples(128).with_seed(1),
+                ExecConfig::new("gate.aer_simulator")
+                    .with_samples(128)
+                    .with_seed(1),
             ));
         let placement = scheduler().place(&bundle).unwrap();
         assert_eq!(placement.engine, "gate.aer_simulator");
@@ -238,9 +250,13 @@ mod tests {
 
     #[test]
     fn execute_via_scheduler_round_trips() {
-        let bundle = maxcut_ising_program(&cycle(4)).unwrap().with_context(
-            ContextDescriptor::for_anneal("anneal.neal_simulator", AnnealConfig::with_reads(100)),
-        );
+        let bundle =
+            maxcut_ising_program(&cycle(4))
+                .unwrap()
+                .with_context(ContextDescriptor::for_anneal(
+                    "anneal.neal_simulator",
+                    AnnealConfig::with_reads(100),
+                ));
         let result = scheduler().execute(&bundle).unwrap();
         assert_eq!(result.shots, 100);
         assert_eq!(result.backend, "qml-simulated-annealer");

@@ -37,7 +37,11 @@ impl ContextServices {
     /// Derive services from a context descriptor. Unknown policies are
     /// reported as errors rather than silently ignored.
     pub fn from_context(context: &ContextDescriptor) -> Result<Self> {
-        let qec = context.qec.as_ref().map(QecService::from_config).transpose()?;
+        let qec = context
+            .qec
+            .as_ref()
+            .map(QecService::from_config)
+            .transpose()?;
         Ok(ContextServices { qec })
     }
 
@@ -60,7 +64,10 @@ impl ContextServices {
 /// `0..partition_size`, device B the rest). Cross-partition entangling
 /// operations are counted from the descriptors' cost hints when edge
 /// information is available, falling back to a conservative estimate.
-pub fn estimate_communication(bundle: &JobBundle, partition_size: usize) -> Result<CommunicationEstimate> {
+pub fn estimate_communication(
+    bundle: &JobBundle,
+    partition_size: usize,
+) -> Result<CommunicationEstimate> {
     let total = bundle.total_width();
     if partition_size == 0 || partition_size >= total {
         return Err(QmlError::Validation(format!(

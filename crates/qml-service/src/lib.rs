@@ -1,0 +1,61 @@
+//! # qml-service — multi-tenant batch-execution service for the middle layer
+//!
+//! The paper's middle layer hands validated job bundles to an HPC-style
+//! scheduler (§2). This crate is the serving tier above [`qml_runtime`]: the
+//! piece that amortizes descriptor validation, lowering, and transpilation
+//! across the repeated submissions a production quantum cloud actually sees.
+//!
+//! * [`SweepRequest`] — **parameter sweeps**: one intent bundle plus N
+//!   binding sets and/or N contexts, expanded into jobs server-side, so a
+//!   variational optimizer ships its circuit once per iteration batch instead
+//!   of once per point.
+//! * [`QmlService`] — the submission queue: per-tenant accounting, batch
+//!   tracking, and a `run_pending` drain that executes everything on the
+//!   runtime's cost-ranked **work-stealing worker pool**.
+//! * The runtime's shared **transpilation/lowering cache** (see
+//!   [`qml_backends::TranspileCache`]) makes repeated `(program, target)`
+//!   submissions skip `qml-transpile` entirely; hit/miss counters surface in
+//!   the service metrics.
+//! * [`ServiceMetrics`] — a snapshot of throughput, queue depth, cache hit
+//!   rates, and per-backend/per-tenant utilization.
+//!
+//! ## Example
+//!
+//! ```
+//! use qml_service::{QmlService, SweepRequest};
+//! use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+//! use qml_graph::cycle;
+//! use qml_types::{ContextDescriptor, ExecConfig, Target};
+//!
+//! // One intent, four seeded restarts: a 4-job sweep that transpiles once.
+//! let program =
+//!     qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))?;
+//! let mut sweep = SweepRequest::new("qaoa-restarts", program);
+//! for seed in 0..4 {
+//!     sweep = sweep.with_context(ContextDescriptor::for_gate(
+//!         ExecConfig::new("gate.aer_simulator")
+//!             .with_samples(256)
+//!             .with_seed(seed)
+//!             .with_target(Target::ring(4)),
+//!     ));
+//! }
+//!
+//! let service = QmlService::new();
+//! let batch = service.submit_sweep("tenant-a", sweep)?;
+//! let report = service.run_pending();
+//! assert_eq!(report.completed, 4);
+//! assert_eq!(service.metrics().cache.hits, 3, "one transpilation, three reuses");
+//! assert_eq!(service.batch_jobs(batch).len(), 4);
+//! # Ok::<(), qml_types::QmlError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod service;
+pub mod sweep;
+
+pub use metrics::{BackendUtilization, CacheStats, RunSummary, ServiceMetrics, TenantStats};
+pub use service::{BatchId, QmlService, ServiceConfig};
+pub use sweep::SweepRequest;

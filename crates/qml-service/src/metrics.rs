@@ -1,0 +1,92 @@
+//! Service observability: throughput, queue depth, cache efficiency, and
+//! per-backend / per-tenant utilization.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+pub use qml_backends::CacheStats;
+
+/// Execution totals attributed to one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BackendUtilization {
+    /// Jobs this backend completed (including failed executions it owned).
+    pub jobs: u64,
+    /// Total busy wall-clock seconds across all pool workers.
+    pub busy_seconds: f64,
+}
+
+/// Submission/completion totals attributed to one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Jobs the tenant has submitted (directly or via sweeps).
+    pub submitted: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+}
+
+/// Summary of one `run_pending` drain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Jobs executed in this drain.
+    pub jobs: usize,
+    /// Jobs that completed successfully.
+    pub completed: usize,
+    /// Jobs that finished with an error.
+    pub failed: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs an idle worker stole from a busy worker's deque.
+    pub stolen: usize,
+    /// Wall-clock duration of the drain, in seconds.
+    pub wall_seconds: f64,
+    /// Throughput of the drain: jobs per wall-clock second.
+    pub jobs_per_second: f64,
+}
+
+/// A point-in-time snapshot of service health.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceMetrics {
+    /// Jobs accepted since the service started.
+    pub jobs_submitted: u64,
+    /// Jobs completed successfully since the service started.
+    pub jobs_completed: u64,
+    /// Jobs that finished with an error since the service started.
+    pub jobs_failed: u64,
+    /// Jobs currently waiting to execute.
+    pub queue_depth: usize,
+    /// Combined transpilation/lowering cache counters.
+    pub cache: CacheStats,
+    /// Gate-path (transpilation) cache counters.
+    pub gate_cache: CacheStats,
+    /// Annealing-path (lowering) cache counters.
+    pub anneal_cache: CacheStats,
+    /// Execution totals per backend name.
+    pub per_backend: BTreeMap<String, BackendUtilization>,
+    /// Submission totals per tenant.
+    pub per_tenant: BTreeMap<String, TenantStats>,
+    /// Summary of the most recent `run_pending` drain.
+    pub last_run: Option<RunSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_serialize() {
+        let mut metrics = ServiceMetrics::default();
+        metrics.per_backend.insert(
+            "qml-gate-simulator".into(),
+            BackendUtilization {
+                jobs: 4,
+                busy_seconds: 0.25,
+            },
+        );
+        let json = serde_json::to_string(&metrics).unwrap();
+        let back: ServiceMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+    }
+}

@@ -1,0 +1,344 @@
+//! The submission queue and batch executor.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use qml_backends::ExecutionResult;
+use qml_runtime::{JobId, JobStatus, Runtime};
+use qml_types::{JobBundle, Result};
+
+use crate::metrics::{BackendUtilization, RunSummary, ServiceMetrics, TenantStats};
+use crate::sweep::SweepRequest;
+
+/// Identifier of a submitted batch (single bundles get one too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BatchId(pub u64);
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads used by `run_pending` drains.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+        }
+    }
+}
+
+/// One tracked batch: its jobs and owner.
+#[derive(Debug, Clone)]
+struct BatchRecord {
+    tenant: String,
+    job_ids: Vec<JobId>,
+}
+
+#[derive(Default)]
+struct ServiceState {
+    next_batch: u64,
+    batches: BTreeMap<BatchId, BatchRecord>,
+    job_tenant: BTreeMap<JobId, String>,
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    jobs_failed: u64,
+    per_backend: BTreeMap<String, BackendUtilization>,
+    per_tenant: BTreeMap<String, TenantStats>,
+    last_run: Option<RunSummary>,
+}
+
+/// The multi-tenant batch-execution service.
+///
+/// Submissions (single bundles or [`SweepRequest`]s) are validated and
+/// expanded eagerly, queued on the underlying [`Runtime`], and executed by
+/// [`QmlService::run_pending`] on the runtime's cost-ranked work-stealing
+/// pool, sharing its transpilation/lowering cache across all tenants.
+pub struct QmlService {
+    runtime: Runtime,
+    config: ServiceConfig,
+    state: Mutex<ServiceState>,
+}
+
+impl Default for QmlService {
+    fn default() -> Self {
+        QmlService::new()
+    }
+}
+
+impl QmlService {
+    /// A service over the built-in backends with default worker count.
+    pub fn new() -> Self {
+        QmlService::with_config(ServiceConfig::default())
+    }
+
+    /// A service over the built-in backends with explicit configuration.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        QmlService::with_runtime(Runtime::with_default_backends(), config)
+    }
+
+    /// A service over a caller-provided runtime (custom backends, shared
+    /// cache, ...).
+    pub fn with_runtime(runtime: Runtime, config: ServiceConfig) -> Self {
+        QmlService {
+            runtime,
+            config,
+            state: Mutex::new(ServiceState::default()),
+        }
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Submit one bundle for a tenant. Returns the batch (of size one) and
+    /// the job id.
+    pub fn submit(&self, tenant: &str, bundle: JobBundle) -> Result<(BatchId, JobId)> {
+        let batch = self.submit_jobs(tenant, vec![bundle])?;
+        let job = self.state.lock().batches[&batch].job_ids[0];
+        Ok((batch, job))
+    }
+
+    /// Expand and submit a parameter sweep for a tenant. The whole sweep is
+    /// validated before any job is queued: a malformed sweep is rejected
+    /// atomically.
+    pub fn submit_sweep(&self, tenant: &str, sweep: SweepRequest) -> Result<BatchId> {
+        let jobs = sweep.expand()?;
+        self.submit_jobs(tenant, jobs)
+    }
+
+    fn submit_jobs(&self, tenant: &str, bundles: Vec<JobBundle>) -> Result<BatchId> {
+        // Validate everything up front so a batch is admitted all-or-nothing.
+        for bundle in &bundles {
+            bundle.validate()?;
+        }
+        let mut job_ids = Vec::with_capacity(bundles.len());
+        for bundle in bundles {
+            job_ids.push(self.runtime.submit(bundle)?);
+        }
+        let mut state = self.state.lock();
+        let id = BatchId(state.next_batch);
+        state.next_batch += 1;
+        state.jobs_submitted += job_ids.len() as u64;
+        let tenant_stats = state.per_tenant.entry(tenant.to_string()).or_default();
+        tenant_stats.submitted += job_ids.len() as u64;
+        for job in &job_ids {
+            state.job_tenant.insert(*job, tenant.to_string());
+        }
+        state.batches.insert(
+            id,
+            BatchRecord {
+                tenant: tenant.to_string(),
+                job_ids,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Jobs of a batch, in expansion order (empty for unknown batches).
+    pub fn batch_jobs(&self, batch: BatchId) -> Vec<JobId> {
+        self.state
+            .lock()
+            .batches
+            .get(&batch)
+            .map(|b| b.job_ids.clone())
+            .unwrap_or_default()
+    }
+
+    /// Status of a job.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.runtime.status(id)
+    }
+
+    /// Result of a completed job.
+    pub fn result(&self, id: JobId) -> Option<ExecutionResult> {
+        self.runtime.result(id)
+    }
+
+    /// Execute every queued job on the work-stealing pool and fold the
+    /// outcomes into the service metrics. Returns the drain summary.
+    pub fn run_pending(&self) -> RunSummary {
+        let started = Instant::now();
+        let outcomes = self.runtime.run_all_detailed(self.config.workers);
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        let mut state = self.state.lock();
+        let mut completed = 0usize;
+        let mut failed = 0usize;
+        let mut stolen = 0usize;
+        for outcome in &outcomes {
+            let tenant = state.job_tenant.get(&outcome.id).cloned();
+            // Backend attribution covers failed executions too: the pool
+            // reports the placed backend even when the run errored.
+            if let Some(backend) = &outcome.backend {
+                let util = state.per_backend.entry(backend.clone()).or_default();
+                util.jobs += 1;
+                util.busy_seconds += outcome.duration.as_secs_f64();
+            }
+            match &outcome.result {
+                Ok(_) => {
+                    completed += 1;
+                    state.jobs_completed += 1;
+                    if let Some(tenant) = tenant {
+                        state.per_tenant.entry(tenant).or_default().completed += 1;
+                    }
+                }
+                Err(_) => {
+                    failed += 1;
+                    state.jobs_failed += 1;
+                    if let Some(tenant) = tenant {
+                        state.per_tenant.entry(tenant).or_default().failed += 1;
+                    }
+                }
+            }
+            stolen += usize::from(outcome.stolen);
+        }
+        let summary = RunSummary {
+            jobs: outcomes.len(),
+            completed,
+            failed,
+            workers: self.config.workers,
+            stolen,
+            wall_seconds,
+            jobs_per_second: if wall_seconds > 0.0 {
+                outcomes.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        };
+        state.last_run = Some(summary);
+        summary
+    }
+
+    /// A point-in-time snapshot of service health.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let cache = self.runtime.cache();
+        let state = self.state.lock();
+        ServiceMetrics {
+            jobs_submitted: state.jobs_submitted,
+            jobs_completed: state.jobs_completed,
+            jobs_failed: state.jobs_failed,
+            queue_depth: self.runtime.queue_depth(),
+            cache: cache.stats(),
+            gate_cache: cache.gate_stats(),
+            anneal_cache: cache.anneal_stats(),
+            per_backend: state.per_backend.clone(),
+            per_tenant: state.per_tenant.clone(),
+            last_run: state.last_run,
+        }
+    }
+
+    /// Tenant that submitted a job (if known).
+    pub fn tenant_of(&self, id: JobId) -> Option<String> {
+        self.state.lock().job_tenant.get(&id).cloned()
+    }
+
+    /// Tenant that owns a batch (if known).
+    pub fn batch_tenant(&self, batch: BatchId) -> Option<String> {
+        self.state
+            .lock()
+            .batches
+            .get(&batch)
+            .map(|b| b.tenant.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{maxcut_ising_program, qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+    use qml_graph::cycle;
+    use qml_types::{AnnealConfig, ContextDescriptor, ExecConfig, Target};
+
+    fn gate_program() -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap()
+    }
+
+    fn gate_context(seed: u64) -> ContextDescriptor {
+        ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(64)
+                .with_seed(seed)
+                .with_target(Target::ring(4)),
+        )
+    }
+
+    #[test]
+    fn single_submission_round_trip() {
+        let service = QmlService::with_config(ServiceConfig { workers: 2 });
+        let (batch, job) = service
+            .submit("alice", gate_program().with_context(gate_context(1)))
+            .unwrap();
+        assert_eq!(service.status(job), Some(JobStatus::Queued));
+        assert_eq!(service.metrics().queue_depth, 1);
+        let report = service.run_pending();
+        assert_eq!(report.completed, 1);
+        assert_eq!(service.result(job).unwrap().shots, 64);
+        assert_eq!(service.batch_jobs(batch), vec![job]);
+        assert_eq!(service.tenant_of(job).as_deref(), Some("alice"));
+        assert_eq!(service.metrics().queue_depth, 0);
+    }
+
+    #[test]
+    fn per_tenant_and_per_backend_accounting() {
+        let service = QmlService::with_config(ServiceConfig { workers: 2 });
+        service
+            .submit("alice", gate_program().with_context(gate_context(1)))
+            .unwrap();
+        service
+            .submit(
+                "bob",
+                maxcut_ising_program(&cycle(4)).unwrap().with_context(
+                    ContextDescriptor::for_anneal(
+                        "anneal.neal_simulator",
+                        AnnealConfig::with_reads(50),
+                    ),
+                ),
+            )
+            .unwrap();
+        service.run_pending();
+        let metrics = service.metrics();
+        assert_eq!(metrics.per_tenant["alice"].completed, 1);
+        assert_eq!(metrics.per_tenant["bob"].completed, 1);
+        assert_eq!(metrics.per_backend["qml-gate-simulator"].jobs, 1);
+        assert_eq!(metrics.per_backend["qml-simulated-annealer"].jobs, 1);
+        assert!(metrics.per_backend["qml-gate-simulator"].busy_seconds > 0.0);
+    }
+
+    #[test]
+    fn invalid_sweep_is_rejected_atomically() {
+        let service = QmlService::with_config(ServiceConfig { workers: 1 });
+        let sweep = SweepRequest::new(
+            "bad",
+            qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 }).unwrap(),
+        );
+        assert!(service.submit_sweep("alice", sweep).is_err());
+        assert_eq!(service.metrics().jobs_submitted, 0);
+        assert_eq!(service.metrics().queue_depth, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_last_run() {
+        let service = QmlService::with_config(ServiceConfig { workers: 2 });
+        let mut sweep = SweepRequest::new("seeds", gate_program());
+        for seed in 0..6 {
+            sweep = sweep.with_context(gate_context(seed));
+        }
+        service.submit_sweep("alice", sweep).unwrap();
+        let report = service.run_pending();
+        assert_eq!(report.jobs, 6);
+        assert!(report.jobs_per_second > 0.0);
+        let metrics = service.metrics();
+        assert_eq!(metrics.last_run, Some(report));
+        assert_eq!(metrics.gate_cache.misses, 1);
+        assert_eq!(metrics.gate_cache.hits, 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Parameter sweeps: one intent, many jobs — expanded server-side.
+//!
+//! A variational workflow (QAOA angle scans, seed restarts, shot-count
+//! ladders) re-submits one program under many bindings and execution
+//! policies. Shipping the full bundle once per point wastes validation and
+//! transfer; a [`SweepRequest`] carries the intent **once** plus the
+//! dimensions to vary, and the service expands it into concrete jobs. The
+//! split mirrors the paper's separation of intent (operators) from policy
+//! (context): bindings vary the intent's late-bound parameters, contexts vary
+//! the execution policy.
+
+use std::collections::BTreeMap;
+
+use qml_types::{ContextDescriptor, JobBundle, ParamValue, QmlError, Result};
+
+/// A sweep: one base bundle, N binding sets × M contexts.
+///
+/// Expansion is the cross product of binding sets and contexts, each
+/// dimension defaulting to a single neutral element when empty (no bindings /
+/// the base bundle's own context). Typical sweeps vary one dimension and
+/// leave the other singular.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Human-readable sweep name; expanded jobs are named `{name}#{index}`.
+    pub name: String,
+    /// The intent bundle (may carry unbound symbols and a default context).
+    pub base: JobBundle,
+    /// Parameter binding sets; empty means "bind nothing".
+    pub binding_sets: Vec<BTreeMap<String, ParamValue>>,
+    /// Execution contexts; empty means "keep the base bundle's context".
+    pub contexts: Vec<ContextDescriptor>,
+}
+
+impl SweepRequest {
+    /// A sweep over the given base bundle with no dimensions yet (expands to
+    /// exactly one job).
+    pub fn new(name: impl Into<String>, base: JobBundle) -> Self {
+        SweepRequest {
+            name: name.into(),
+            base,
+            binding_sets: Vec::new(),
+            contexts: Vec::new(),
+        }
+    }
+
+    /// Add one parameter binding set, builder-style.
+    pub fn with_binding_set(mut self, bindings: BTreeMap<String, ParamValue>) -> Self {
+        self.binding_sets.push(bindings);
+        self
+    }
+
+    /// Add one execution context, builder-style.
+    pub fn with_context(mut self, context: ContextDescriptor) -> Self {
+        self.contexts.push(context);
+        self
+    }
+
+    /// Number of jobs this sweep expands to.
+    pub fn job_count(&self) -> usize {
+        self.binding_sets.len().max(1) * self.contexts.len().max(1)
+    }
+
+    /// Expand into concrete, validated job bundles.
+    ///
+    /// Every expanded job must be fully bound and pass cross-descriptor
+    /// validation; the first violation rejects the whole sweep at submission
+    /// time (jobs never fail on validation mid-batch).
+    pub fn expand(&self) -> Result<Vec<JobBundle>> {
+        if self.name.trim().is_empty() {
+            return Err(QmlError::Validation("sweep name must be non-empty".into()));
+        }
+        let neutral_binding = BTreeMap::new();
+        let bindings: Vec<&BTreeMap<String, ParamValue>> = if self.binding_sets.is_empty() {
+            vec![&neutral_binding]
+        } else {
+            self.binding_sets.iter().collect()
+        };
+        let contexts: Vec<Option<&ContextDescriptor>> = if self.contexts.is_empty() {
+            vec![None]
+        } else {
+            self.contexts.iter().map(Some).collect()
+        };
+
+        let mut jobs = Vec::with_capacity(bindings.len() * contexts.len());
+        let mut index = 0usize;
+        for binding in &bindings {
+            let bound = if binding.is_empty() {
+                self.base.clone()
+            } else {
+                self.base.bind(binding)
+            };
+            for context in &contexts {
+                let mut job = match context {
+                    Some(ctx) => bound.clone().with_context((*ctx).clone()),
+                    None => bound.clone(),
+                };
+                job.name = format!("{}#{}", self.name, index);
+                let job = job
+                    .with_metadata("sweep", self.name.clone())
+                    .with_metadata("sweep_index", index as i64);
+                job.validate()?;
+                job.ensure_bound().map_err(|e| {
+                    QmlError::Validation(format!(
+                        "sweep `{}` job {index} still has unbound symbols: {e}",
+                        self.name
+                    ))
+                })?;
+                jobs.push(job);
+                index += 1;
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+    use qml_graph::cycle;
+    use qml_types::{AnnealConfig, ExecConfig, Target};
+
+    fn fixed_program() -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap()
+    }
+
+    fn symbolic_program() -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 }).unwrap()
+    }
+
+    fn gate_context(seed: u64) -> ContextDescriptor {
+        ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(64)
+                .with_seed(seed)
+                .with_target(Target::ring(4)),
+        )
+    }
+
+    fn angle_binding(gamma: f64) -> BTreeMap<String, ParamValue> {
+        let mut b = BTreeMap::new();
+        b.insert("gamma_0".to_string(), ParamValue::Float(gamma));
+        b.insert("beta_0".to_string(), ParamValue::Float(0.3));
+        b
+    }
+
+    #[test]
+    fn bare_sweep_expands_to_one_job() {
+        let sweep = SweepRequest::new("single", fixed_program());
+        let jobs = sweep.expand().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].name, "single#0");
+        assert_eq!(sweep.job_count(), 1);
+    }
+
+    #[test]
+    fn context_sweep_preserves_intent() {
+        let mut sweep = SweepRequest::new("seeds", fixed_program());
+        for seed in 0..3 {
+            sweep = sweep.with_context(gate_context(seed));
+        }
+        let jobs = sweep.expand().unwrap();
+        assert_eq!(jobs.len(), 3);
+        let hash = jobs[0].program_hash();
+        assert!(jobs.iter().all(|j| j.program_hash() == hash));
+        assert!(jobs.iter().all(|j| j.metadata.contains_key("sweep")));
+    }
+
+    #[test]
+    fn binding_cross_context_expansion() {
+        let sweep = SweepRequest::new("grid", symbolic_program())
+            .with_binding_set(angle_binding(0.2))
+            .with_binding_set(angle_binding(0.4))
+            .with_context(gate_context(0))
+            .with_context(gate_context(1))
+            .with_context(gate_context(2));
+        assert_eq!(sweep.job_count(), 6);
+        let jobs = sweep.expand().unwrap();
+        assert_eq!(jobs.len(), 6);
+        // Two distinct programs (one per binding), three contexts each.
+        let distinct: std::collections::BTreeSet<u64> =
+            jobs.iter().map(|j| j.program_hash()).collect();
+        assert_eq!(distinct.len(), 2);
+        // Names enumerate in expansion order.
+        assert_eq!(jobs[5].name, "grid#5");
+    }
+
+    #[test]
+    fn unbound_sweep_rejected_at_expansion() {
+        let sweep = SweepRequest::new("oops", symbolic_program()).with_context(gate_context(0));
+        let err = sweep.expand().unwrap_err();
+        assert!(err.to_string().contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn anneal_context_sweep_expands() {
+        let bundle = qml_algorithms::maxcut_ising_program(&cycle(4)).unwrap();
+        let sweep = SweepRequest::new("reads", bundle)
+            .with_context(ContextDescriptor::for_anneal(
+                "anneal.neal_simulator",
+                AnnealConfig::with_reads(50),
+            ))
+            .with_context(ContextDescriptor::for_anneal(
+                "anneal.neal_simulator",
+                AnnealConfig::with_reads(100),
+            ));
+        assert_eq!(sweep.expand().unwrap().len(), 2);
+    }
+}

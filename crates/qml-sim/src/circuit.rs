@@ -142,13 +142,7 @@ impl Circuit {
         let mut per_qubit = vec![0usize; self.num_qubits];
         let mut depth = 0usize;
         for g in &self.gates {
-            let level = g
-                .qubits()
-                .iter()
-                .map(|&q| per_qubit[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let level = g.qubits().iter().map(|&q| per_qubit[q]).max().unwrap_or(0) + 1;
             for q in g.qubits() {
                 per_qubit[q] = level;
             }
@@ -171,7 +165,11 @@ impl Circuit {
     /// Remap every gate and measurement through `map` (old index → new
     /// index) onto a circuit of `new_width` qubits.
     pub fn remap(&self, map: &[usize], new_width: usize) -> Circuit {
-        assert_eq!(map.len(), self.num_qubits, "layout map must cover every qubit");
+        assert_eq!(
+            map.len(),
+            self.num_qubits,
+            "layout map must cover every qubit"
+        );
         let mut out = Circuit::new(new_width);
         for g in &self.gates {
             out.push(g.remap(map));
@@ -183,7 +181,9 @@ impl Circuit {
     /// Does the circuit only use gates whose names appear in `basis`?
     /// (Measurements are always allowed.)
     pub fn uses_only(&self, basis: &[String]) -> bool {
-        self.gates.iter().all(|g| basis.iter().any(|b| b == g.name()))
+        self.gates
+            .iter()
+            .all(|g| basis.iter().any(|b| b == g.name()))
     }
 }
 

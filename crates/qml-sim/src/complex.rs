@@ -198,8 +198,14 @@ mod tests {
 
     #[test]
     fn display_formats_sign() {
-        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1.000000-2.000000i");
-        assert_eq!(format!("{}", Complex64::new(0.0, 1.0)), "0.000000+1.000000i");
+        assert_eq!(
+            format!("{}", Complex64::new(1.0, -2.0)),
+            "1.000000-2.000000i"
+        );
+        assert_eq!(
+            format!("{}", Complex64::new(0.0, 1.0)),
+            "0.000000+1.000000i"
+        );
     }
 
     #[test]

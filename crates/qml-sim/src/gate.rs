@@ -99,7 +99,11 @@ impl Gate {
             | Gate::Rz(q, _)
             | Gate::Phase(q, _)
             | Gate::U(q, _, _, _) => vec![q],
-            Gate::Cx(c, t) | Gate::Cz(c, t) | Gate::Cp(c, t, _) | Gate::Swap(c, t) | Gate::Rzz(c, t, _) => {
+            Gate::Cx(c, t)
+            | Gate::Cz(c, t)
+            | Gate::Cp(c, t, _)
+            | Gate::Swap(c, t)
+            | Gate::Rzz(c, t, _) => {
                 vec![c, t]
             }
         }
@@ -323,7 +327,12 @@ mod tests {
 
     #[test]
     fn two_qubit_gates_have_no_single_matrix() {
-        for gate in [Gate::Cx(0, 1), Gate::Cz(0, 1), Gate::Swap(0, 1), Gate::Rzz(0, 1, 0.3)] {
+        for gate in [
+            Gate::Cx(0, 1),
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Rzz(0, 1, 0.3),
+        ] {
             assert!(gate.single_qubit_matrix().is_none());
             assert!(gate.is_two_qubit());
         }

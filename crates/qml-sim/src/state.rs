@@ -25,7 +25,10 @@ pub struct StateVector {
 impl StateVector {
     /// The all-zeros computational basis state |0...0⟩.
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "state vector limited to 26 qubits (1 GiB)");
+        assert!(
+            num_qubits <= 26,
+            "state vector limited to 26 qubits (1 GiB)"
+        );
         let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
         amps[0] = Complex64::ONE;
         StateVector { num_qubits, amps }
@@ -128,7 +131,11 @@ impl StateVector {
     /// Apply a gate in place.
     pub fn apply(&mut self, gate: &Gate) {
         for &q in &gate.qubits() {
-            assert!(q < self.num_qubits, "gate {} on qubit {q} out of range", gate.name());
+            assert!(
+                q < self.num_qubits,
+                "gate {} on qubit {q} out of range",
+                gate.name()
+            );
         }
         match *gate {
             Gate::Cx(c, t) => self.apply_cx(c, t),
@@ -216,9 +223,7 @@ impl StateVector {
         assert_ne!(a, b, "swap qubits must differ");
         let (ma, mb) = (1usize << a, 1usize << b);
         let dim = self.amps.len();
-        let indices: Vec<usize> = (0..dim)
-            .filter(|i| i & ma != 0 && i & mb == 0)
-            .collect();
+        let indices: Vec<usize> = (0..dim).filter(|i| i & ma != 0 && i & mb == 0).collect();
         for i in indices {
             let j = (i & !ma) | mb;
             self.amps.swap(i, j);
@@ -281,7 +286,10 @@ impl StateVector {
 
     /// Exact outcome distribution of the listed qubits (marginalized over the
     /// rest), keyed by the same bitstring convention as [`sample_counts`].
-    pub fn marginal_probabilities(&self, qubits: &[usize]) -> std::collections::BTreeMap<String, f64> {
+    pub fn marginal_probabilities(
+        &self,
+        qubits: &[usize],
+    ) -> std::collections::BTreeMap<String, f64> {
         let mut out = std::collections::BTreeMap::new();
         for (idx, amp) in self.amps.iter().enumerate() {
             let p = amp.norm_sqr();

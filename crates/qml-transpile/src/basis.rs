@@ -80,7 +80,10 @@ pub fn decompose_2q_to_cx(gate: &Gate) -> Vec<Gate> {
         ],
         Gate::Swap(a, b) => vec![Gate::Cx(a, b), Gate::Cx(b, a), Gate::Cx(a, b)],
         Gate::Rzz(a, b, t) => vec![Gate::Cx(a, b), Gate::Rz(b, t), Gate::Cx(a, b)],
-        _ => panic!("decompose_2q_to_cx called on non-two-qubit gate {}", gate.name()),
+        _ => panic!(
+            "decompose_2q_to_cx called on non-two-qubit gate {}",
+            gate.name()
+        ),
     }
 }
 
@@ -189,7 +192,9 @@ mod tests {
         for gate in all_1q_gates() {
             let m = gate.single_qubit_matrix().unwrap();
             let (theta, phi, lambda) = u_angles_from_matrix(&m);
-            let rebuilt = Gate::U(0, theta, phi, lambda).single_qubit_matrix().unwrap();
+            let rebuilt = Gate::U(0, theta, phi, lambda)
+                .single_qubit_matrix()
+                .unwrap();
             assert!(
                 matrices_equal_up_to_phase(&m, &rebuilt, EPS),
                 "angle extraction failed for {}",
@@ -207,13 +212,21 @@ mod tests {
                 "ZXZXZ decomposition failed for {}",
                 gate.name()
             );
-            assert!(seq.iter().all(|g| matches!(g, Gate::Rz(_, _) | Gate::Sx(_))));
+            assert!(seq
+                .iter()
+                .all(|g| matches!(g, Gate::Rz(_, _) | Gate::Sx(_))));
         }
     }
 
     #[test]
     fn diagonal_gates_become_single_rz() {
-        for gate in [Gate::Z(0), Gate::S(0), Gate::T(0), Gate::Phase(0, 0.3), Gate::Rz(0, 1.0)] {
+        for gate in [
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::Phase(0, 0.3),
+            Gate::Rz(0, 1.0),
+        ] {
             let seq = decompose_1q_to_zsx(&gate);
             assert_eq!(seq.len(), 1, "{} should lower to one rz", gate.name());
         }
@@ -285,9 +298,15 @@ mod tests {
     #[test]
     fn gates_already_in_basis_pass_through() {
         let target = TranspileTarget::hardware_all_to_all();
-        assert_eq!(decompose_gate(&Gate::Cx(0, 1), &target), vec![Gate::Cx(0, 1)]);
+        assert_eq!(
+            decompose_gate(&Gate::Cx(0, 1), &target),
+            vec![Gate::Cx(0, 1)]
+        );
         assert_eq!(decompose_gate(&Gate::Sx(2), &target), vec![Gate::Sx(2)]);
-        assert_eq!(decompose_gate(&Gate::Rz(1, 0.5), &target), vec![Gate::Rz(1, 0.5)]);
+        assert_eq!(
+            decompose_gate(&Gate::Rz(1, 0.5), &target),
+            vec![Gate::Rz(1, 0.5)]
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ mod tests {
         }
         .to_string()
         .contains("5"));
-        assert!(TranspileError::Disconnected(1, 4).to_string().contains("not connected"));
+        assert!(TranspileError::Disconnected(1, 4)
+            .to_string()
+            .contains("not connected"));
         assert!(TranspileError::UnsupportedBasis("no cx".into())
             .to_string()
             .contains("no cx"));

@@ -30,7 +30,9 @@ pub fn drop_identity_rotations(circuit: &Circuit) -> Circuit {
     let mut out = Circuit::new(circuit.num_qubits());
     for gate in circuit.gates() {
         let trivial = match *gate {
-            Gate::Rz(_, t) | Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Phase(_, t) => is_trivial_angle(t),
+            Gate::Rz(_, t) | Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Phase(_, t) => {
+                is_trivial_angle(t)
+            }
             Gate::Cp(_, _, t) | Gate::Rzz(_, _, t) => is_trivial_angle(t),
             _ => false,
         };
@@ -116,7 +118,9 @@ pub fn merge_rotations(circuit: &Circuit) -> Circuit {
                 (Gate::Cp(c, t, a), Gate::Cp(_, _, b)) if gates[idx].qubits() == gate.qubits() => {
                     Some(Gate::Cp(*c, *t, a + b))
                 }
-                (Gate::Rzz(c, t, a), Gate::Rzz(_, _, b)) if gates[idx].qubits() == gate.qubits() => {
+                (Gate::Rzz(c, t, a), Gate::Rzz(_, _, b))
+                    if gates[idx].qubits() == gate.qubits() =>
+                {
                     Some(Gate::Rzz(*c, *t, a + b))
                 }
                 _ => None,
@@ -176,8 +180,8 @@ pub fn resynthesize_1q_runs(circuit: &Circuit) -> Circuit {
             out_gates.push(*gate);
         }
     }
-    for q in 0..n {
-        flush(&mut pending[q], &mut out_gates);
+    for queue in pending.iter_mut().take(n) {
+        flush(queue, &mut out_gates);
     }
 
     let mut out = Circuit::new(n);
@@ -224,7 +228,10 @@ mod tests {
         let db = sim.exact_distribution(b);
         for (word, p) in &da {
             let q = db.get(word).copied().unwrap_or(0.0);
-            assert!((p - q).abs() < 1e-9, "distribution differs at {word}: {p} vs {q}");
+            assert!(
+                (p - q).abs() < 1e-9,
+                "distribution differs at {word}: {p} vs {q}"
+            );
         }
     }
 
@@ -332,7 +339,11 @@ mod tests {
         ]);
         qc.measure_all();
         let out = resynthesize_1q_runs(&qc);
-        assert!(out.len() <= 5, "run of 7 gates should compress to ≤ 5, got {}", out.len());
+        assert!(
+            out.len() <= 5,
+            "run of 7 gates should compress to ≤ 5, got {}",
+            out.len()
+        );
         assert_same_distribution(&qc, &out);
         let basis: Vec<String> = ["sx", "rz"].iter().map(|s| s.to_string()).collect();
         assert!(out.uses_only(&basis));

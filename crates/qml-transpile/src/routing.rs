@@ -107,10 +107,16 @@ mod tests {
         let b = sim.exact_distribution(routed);
         for (word, p) in &a {
             let q = b.get(word).copied().unwrap_or(0.0);
-            assert!((p - q).abs() < 1e-9, "distribution differs at {word}: {p} vs {q}");
+            assert!(
+                (p - q).abs() < 1e-9,
+                "distribution differs at {word}: {p} vs {q}"
+            );
         }
         for (word, q) in &b {
-            assert!(a.contains_key(word) || *q < 1e-9, "unexpected outcome {word}");
+            assert!(
+                a.contains_key(word) || *q < 1e-9,
+                "unexpected outcome {word}"
+            );
         }
     }
 

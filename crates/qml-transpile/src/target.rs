@@ -152,6 +152,40 @@ impl TranspileTarget {
     pub fn allows(&self, name: &str) -> bool {
         self.any_basis() || self.basis_gates.iter().any(|b| b == name)
     }
+
+    /// Stable 64-bit fingerprint of the target constraints (basis gates and
+    /// coupling map, both in canonical order).
+    ///
+    /// Together with an `optimization_level` this is the device half of a
+    /// transpilation cache key: equal fingerprints guarantee that transpiling
+    /// the same logical circuit yields the same physical circuit, so repeated
+    /// submissions against the same device can skip transpilation entirely.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        // `basis_gates` order matters to neither transpilation nor the paper's
+        // descriptors; canonicalize so permutations fingerprint identically.
+        let mut basis = self.basis_gates.clone();
+        basis.sort();
+        for gate in &basis {
+            fold(gate.as_bytes());
+            fold(b"\x1f");
+        }
+        fold(b"\x1e");
+        if let Some(cm) = &self.coupling_map {
+            fold(&cm.num_qubits().to_le_bytes());
+            for (a, b) in cm.edges() {
+                fold(&a.to_le_bytes());
+                fold(&b.to_le_bytes());
+            }
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -221,5 +255,26 @@ mod tests {
     fn min_qubits_respected() {
         let cm = CouplingMap::new(&[(0, 1)], 6);
         assert_eq!(cm.num_qubits(), 6);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_canonical() {
+        let a = TranspileTarget::hardware(CouplingMap::ring(5));
+        let b = TranspileTarget {
+            basis_gates: vec!["cx".into(), "rz".into(), "sx".into()], // permuted
+            coupling_map: Some(CouplingMap::ring(5)),
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_targets() {
+        let ring = TranspileTarget::hardware(CouplingMap::ring(5));
+        let line = TranspileTarget::hardware(CouplingMap::linear(5));
+        let ideal = TranspileTarget::ideal();
+        assert_ne!(ring.fingerprint(), line.fingerprint());
+        assert_ne!(ring.fingerprint(), ideal.fingerprint());
+        assert_ne!(line.fingerprint(), ideal.fingerprint());
     }
 }

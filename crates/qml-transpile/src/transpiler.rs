@@ -81,7 +81,12 @@ pub fn transpile(
     let (routed, initial_layout, final_layout, swaps) = match &target.coupling_map {
         Some(cm) => {
             let r = route(circuit, cm)?;
-            (r.circuit, r.initial_layout, r.final_layout, r.swaps_inserted)
+            (
+                r.circuit,
+                r.initial_layout,
+                r.final_layout,
+                r.swaps_inserted,
+            )
         }
         None => {
             let layout: Vec<usize> = (0..circuit.num_qubits()).collect();
@@ -116,7 +121,10 @@ mod tests {
         let db = sim.exact_distribution(b);
         for (word, p) in &da {
             let q = db.get(word).copied().unwrap_or(0.0);
-            assert!((p - q).abs() < 1e-9, "distribution differs at {word}: {p} vs {q}");
+            assert!(
+                (p - q).abs() < 1e-9,
+                "distribution differs at {word}: {p} vs {q}"
+            );
         }
     }
 
@@ -142,8 +150,14 @@ mod tests {
                 assert!(cm.are_adjacent(q[0], q[1]), "{:?} not adjacent", q);
             }
         }
-        assert!(result.metrics.swaps_inserted > 0, "linear QFT needs routing");
-        assert!(result.metrics.two_qubit_gates >= 45, "exact QFT(10) has ≥ 45 2q gates");
+        assert!(
+            result.metrics.swaps_inserted > 0,
+            "linear QFT needs routing"
+        );
+        assert!(
+            result.metrics.two_qubit_gates >= 45,
+            "exact QFT(10) has ≥ 45 2q gates"
+        );
     }
 
     #[test]
@@ -226,7 +240,10 @@ mod tests {
         qc.measure_all();
         let result = transpile(&qc, &target, 2).unwrap();
         assert_eq!(result.metrics.depth, result.circuit.depth());
-        assert_eq!(result.metrics.two_qubit_gates, result.circuit.count_two_qubit());
+        assert_eq!(
+            result.metrics.two_qubit_gates,
+            result.circuit.count_two_qubit()
+        );
         assert_eq!(result.metrics.total_gates, result.circuit.len());
         // QAOA cost layer on a ring: 4 RZZ → 8 CX, no swaps needed.
         assert_eq!(result.metrics.swaps_inserted, 0);

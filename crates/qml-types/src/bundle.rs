@@ -45,6 +45,20 @@ fn default_job_schema() -> String {
     JOB_SCHEMA.to_string()
 }
 
+/// FNV-1a 64-bit offset basis.
+pub(crate) fn fnv1a64_init() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+/// Fold bytes into an FNV-1a 64-bit hash.
+pub(crate) fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 impl JobBundle {
     /// Create a bundle from intent artifacts, without a context.
     pub fn new(
@@ -195,6 +209,32 @@ impl JobBundle {
             ctx.validate()?;
         }
         Ok(())
+    }
+
+    /// Stable 64-bit hash of the bundle's **intent** — the declared data
+    /// types and operator sequence — excluding the execution context and
+    /// free-form metadata.
+    ///
+    /// Two bundles with equal `program_hash` lower to identical circuits /
+    /// quadratic models, so the hash is the program half of the transpilation
+    /// cache key: re-submitting the same intent under a different context (or
+    /// under the same context in a parameter sweep) can reuse the lowered
+    /// artifact. The hash is computed over the canonical JSON encoding, so it
+    /// is stable across processes and runs.
+    pub fn program_hash(&self) -> u64 {
+        let mut hash = fnv1a64_init();
+        for qdt in &self.data_types {
+            let json = serde_json::to_string(qdt).unwrap_or_default();
+            hash = fnv1a64_update(hash, json.as_bytes());
+            hash = fnv1a64_update(hash, b"\x1f");
+        }
+        hash = fnv1a64_update(hash, b"\x1e");
+        for op in &self.operators {
+            let json = serde_json::to_string(op).unwrap_or_default();
+            hash = fnv1a64_update(hash, json.as_bytes());
+            hash = fnv1a64_update(hash, b"\x1f");
+        }
+        hash
     }
 
     /// Serialize to the `job.json` interchange form (pretty-printed).
@@ -357,6 +397,39 @@ mod tests {
     fn malformed_json_rejected() {
         assert!(JobBundle::from_json("{ not json").is_err());
         assert!(JobBundle::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn program_hash_ignores_context_and_metadata() {
+        let bundle = simple_bundle();
+        let with_ctx = bundle.clone().with_context(ContextDescriptor::for_anneal(
+            "anneal.neal_simulator",
+            AnnealConfig::with_reads(100),
+        ));
+        let with_meta = bundle.clone().with_metadata("workflow", "w");
+        assert_eq!(bundle.program_hash(), with_ctx.program_hash());
+        assert_eq!(bundle.program_hash(), with_meta.program_hash());
+    }
+
+    #[test]
+    fn program_hash_sees_intent_changes() {
+        let base = simple_bundle();
+        let qdt = ising_qdt();
+        let reordered = JobBundle::new("maxcut", vec![qdt.clone()], vec![measure(&qdt)]);
+        assert_ne!(base.program_hash(), reordered.program_hash());
+
+        // Binding a symbol changes the realized program, so it changes the hash.
+        let cost = OperatorDescriptor::builder("cost", RepKind::IsingCostPhase, "ising_vars")
+            .param("gamma", ParamValue::symbol("g"))
+            .build()
+            .unwrap();
+        let symbolic = JobBundle::new("qaoa", vec![ising_qdt()], vec![cost]);
+        let mut bindings = BTreeMap::new();
+        bindings.insert("g".to_string(), ParamValue::Float(0.4));
+        assert_ne!(
+            symbolic.program_hash(),
+            symbolic.bind(&bindings).program_hash()
+        );
     }
 
     #[test]

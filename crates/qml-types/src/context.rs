@@ -268,12 +268,14 @@ impl QecConfig {
     /// Validate the policy (odd positive distance, known allocator).
     pub fn validate(&self) -> Result<()> {
         if self.code_family.trim().is_empty() {
-            return Err(QmlError::Validation("qec.code_family must be non-empty".into()));
+            return Err(QmlError::Validation(
+                "qec.code_family must be non-empty".into(),
+            ));
         }
         if self.distance == 0 {
             return Err(QmlError::Validation("qec.distance must be positive".into()));
         }
-        if self.distance % 2 == 0 {
+        if self.distance.is_multiple_of(2) {
             return Err(QmlError::Validation(format!(
                 "qec.distance {} must be odd so majority decoding is well defined",
                 self.distance
@@ -335,7 +337,9 @@ impl AnnealConfig {
     /// Validate the policy.
     pub fn validate(&self) -> Result<()> {
         if self.num_reads == 0 {
-            return Err(QmlError::Validation("anneal.num_reads must be positive".into()));
+            return Err(QmlError::Validation(
+                "anneal.num_reads must be positive".into(),
+            ));
         }
         if let Some((lo, hi)) = self.beta_range {
             if !(lo > 0.0 && hi > lo) {
@@ -345,7 +349,9 @@ impl AnnealConfig {
             }
         }
         if let Some(0) = self.num_sweeps {
-            return Err(QmlError::Validation("anneal.num_sweeps must be positive".into()));
+            return Err(QmlError::Validation(
+                "anneal.num_sweeps must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -604,9 +610,12 @@ mod tests {
         // Portability claim at the type level: a context is a free-standing
         // artifact; building the anneal context never requires the gate one.
         let gate = ContextDescriptor::for_gate(
-            ExecConfig::new("gate.aer_simulator").with_samples(4096).with_seed(42),
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(4096)
+                .with_seed(42),
         );
-        let anneal = ContextDescriptor::for_anneal("anneal.neal_simulator", AnnealConfig::with_reads(1000));
+        let anneal =
+            ContextDescriptor::for_anneal("anneal.neal_simulator", AnnealConfig::with_reads(1000));
         assert_ne!(gate, anneal);
         gate.validate().unwrap();
         anneal.validate().unwrap();

@@ -104,7 +104,11 @@ fn word_to_index(bits: &[bool], order: BitOrder) -> u64 {
 
 /// Decode a single measured word according to a result schema and the data
 /// type of the register it reads out.
-pub fn decode_word(word: &str, schema: &ResultSchema, qdt: &QuantumDataType) -> Result<DecodedValue> {
+pub fn decode_word(
+    word: &str,
+    schema: &ResultSchema,
+    qdt: &QuantumDataType,
+) -> Result<DecodedValue> {
     let bits = parse_bits(word)?;
     if bits.len() != schema.num_clbits() {
         return Err(QmlError::Decode(format!(
@@ -264,7 +268,10 @@ mod tests {
             DecodedValue::Bool(vec![true, false, true, false]),
             "ISING_SPIN registers read out AS_BOOL per the paper's PoC"
         );
-        assert_eq!(bools_to_spins(&[true, false, true, false]), vec![-1, 1, -1, 1]);
+        assert_eq!(
+            bools_to_spins(&[true, false, true, false]),
+            vec![-1, 1, -1, 1]
+        );
 
         let mut spin_schema = schema.clone();
         spin_schema.datatype = MeasurementSemantics::AsSpin;
@@ -321,9 +328,8 @@ mod tests {
         assert_eq!(decoded.probability("1111"), 0.0);
 
         // Count the number of 1-labels as a toy objective.
-        let avg_ones = decoded.expectation(|word, _| {
-            word.chars().filter(|&c| c == '1').count() as f64
-        });
+        let avg_ones =
+            decoded.expectation(|word, _| word.chars().filter(|&c| c == '1').count() as f64);
         assert!((avg_ones - (0.6 * 2.0 + 0.3 * 2.0 + 0.1 * 0.0)).abs() < 1e-12);
     }
 

@@ -210,10 +210,9 @@ impl PhaseScale {
     pub fn parse(text: &str) -> Result<Self> {
         let text = text.trim();
         if let Some((num, den)) = text.split_once('/') {
-            let num: u64 = num
-                .trim()
-                .parse()
-                .map_err(|_| QmlError::Validation(format!("bad phase_scale numerator in `{text}`")))?;
+            let num: u64 = num.trim().parse().map_err(|_| {
+                QmlError::Validation(format!("bad phase_scale numerator in `{text}`"))
+            })?;
             let den: u64 = den.trim().parse().map_err(|_| {
                 QmlError::Validation(format!("bad phase_scale denominator in `{text}`"))
             })?;
@@ -234,7 +233,10 @@ impl fmt::Display for PhaseScale {
 }
 
 impl Serialize for PhaseScale {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         serializer.serialize_str(&format!("{}/{}", self.num, self.den))
     }
 }

@@ -81,7 +81,10 @@ impl ParamValue {
     /// Symbols without a binding are left in place.
     pub fn bind(&self, bindings: &BTreeMap<String, ParamValue>) -> ParamValue {
         match self {
-            ParamValue::Symbol(s) => bindings.get(&s.name).cloned().unwrap_or_else(|| self.clone()),
+            ParamValue::Symbol(s) => bindings
+                .get(&s.name)
+                .cloned()
+                .unwrap_or_else(|| self.clone()),
             ParamValue::List(items) => {
                 ParamValue::List(items.iter().map(|v| v.bind(bindings)).collect())
             }
@@ -257,17 +260,23 @@ impl Params {
 
     /// Optional `bool` parameter with a default.
     pub fn bool_or(&self, key: &str, default: bool) -> bool {
-        self.get(key).and_then(ParamValue::as_bool).unwrap_or(default)
+        self.get(key)
+            .and_then(ParamValue::as_bool)
+            .unwrap_or(default)
     }
 
     /// Optional `u64` parameter with a default.
     pub fn u64_or(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(ParamValue::as_u64).unwrap_or(default)
+        self.get(key)
+            .and_then(ParamValue::as_u64)
+            .unwrap_or(default)
     }
 
     /// Optional `f64` parameter with a default.
     pub fn f64_or(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(ParamValue::as_f64).unwrap_or(default)
+        self.get(key)
+            .and_then(ParamValue::as_f64)
+            .unwrap_or(default)
     }
 
     /// Number of entries.
@@ -282,11 +291,7 @@ impl Params {
 
     /// Names of every unbound symbol across all entries.
     pub fn unbound_symbols(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .entries
-            .values()
-            .flat_map(|v| v.symbols())
-            .collect();
+        let mut out: Vec<String> = self.entries.values().flat_map(|v| v.symbols()).collect();
         out.sort();
         out.dedup();
         out
@@ -368,7 +373,10 @@ mod tests {
                     .collect(),
             ),
         ]);
-        assert_eq!(v.symbols(), vec!["beta_0".to_string(), "gamma_0".to_string()]);
+        assert_eq!(
+            v.symbols(),
+            vec!["beta_0".to_string(), "gamma_0".to_string()]
+        );
 
         let mut bindings = BTreeMap::new();
         bindings.insert("beta_0".to_string(), ParamValue::Float(0.3));

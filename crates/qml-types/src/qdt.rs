@@ -58,7 +58,11 @@ impl QuantumDataType {
 
     /// The paper's Listing 2 register: a 10-carrier fixed-point phase
     /// accumulator with resolution 1/1024, LSB-first, measured `AS_PHASE`.
-    pub fn phase_register(id: impl Into<String>, name: impl Into<String>, width: usize) -> Result<Self> {
+    pub fn phase_register(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        width: usize,
+    ) -> Result<Self> {
         QdtBuilder::new(id, width)
             .name(name)
             .encoding(EncodingKind::PhaseRegister)
@@ -69,7 +73,11 @@ impl QuantumDataType {
 
     /// The paper's §5 register: `width` Ising decision variables measured as
     /// Boolean labels (`ising_vars` / `s` in the Max-Cut proof of concept).
-    pub fn ising_spins(id: impl Into<String>, name: impl Into<String>, width: usize) -> Result<Self> {
+    pub fn ising_spins(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        width: usize,
+    ) -> Result<Self> {
         QdtBuilder::new(id, width)
             .name(name)
             .encoding(EncodingKind::IsingSpin)
@@ -78,7 +86,11 @@ impl QuantumDataType {
     }
 
     /// An unsigned integer register decoded `AS_INT`.
-    pub fn int_register(id: impl Into<String>, name: impl Into<String>, width: usize) -> Result<Self> {
+    pub fn int_register(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        width: usize,
+    ) -> Result<Self> {
         QdtBuilder::new(id, width)
             .name(name)
             .encoding(EncodingKind::IntRegister)
@@ -87,7 +99,11 @@ impl QuantumDataType {
     }
 
     /// A Boolean register decoded `AS_BOOL`.
-    pub fn bool_register(id: impl Into<String>, name: impl Into<String>, width: usize) -> Result<Self> {
+    pub fn bool_register(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        width: usize,
+    ) -> Result<Self> {
         QdtBuilder::new(id, width)
             .name(name)
             .encoding(EncodingKind::BoolRegister)
@@ -103,7 +119,9 @@ impl QuantumDataType {
     /// * non-phase registers must not claim `AS_PHASE` semantics.
     pub fn validate(&self) -> Result<()> {
         if self.id.trim().is_empty() {
-            return Err(QmlError::Validation("quantum data type id must be non-empty".into()));
+            return Err(QmlError::Validation(
+                "quantum data type id must be non-empty".into(),
+            ));
         }
         if self.name.trim().is_empty() {
             return Err(QmlError::Validation(format!(
@@ -144,7 +162,9 @@ impl QuantumDataType {
     /// `reg_phase[0]`, `reg_phase[1]`, ... — the form used by the
     /// `clbit_order` array in result schemas.
     pub fn wire_labels(&self) -> Vec<String> {
-        (0..self.width).map(|i| format!("{}[{i}]", self.id)).collect()
+        (0..self.width)
+            .map(|i| format!("{}[{i}]", self.id))
+            .collect()
     }
 }
 
@@ -316,7 +336,12 @@ mod tests {
         let qdt = QuantumDataType::ising_spins("ising_vars", "s", 4).unwrap();
         assert_eq!(
             qdt.wire_labels(),
-            vec!["ising_vars[0]", "ising_vars[1]", "ising_vars[2]", "ising_vars[3]"]
+            vec![
+                "ising_vars[0]",
+                "ising_vars[1]",
+                "ising_vars[2]",
+                "ising_vars[3]"
+            ]
         );
     }
 

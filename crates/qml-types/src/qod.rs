@@ -201,7 +201,9 @@ impl OperatorDescriptor {
     /// Structural validation independent of the surrounding bundle.
     pub fn validate(&self) -> Result<()> {
         if self.name.trim().is_empty() {
-            return Err(QmlError::Validation("operator name must be non-empty".into()));
+            return Err(QmlError::Validation(
+                "operator name must be non-empty".into(),
+            ));
         }
         if self.domain_qdt.trim().is_empty() || self.codomain_qdt.trim().is_empty() {
             return Err(QmlError::Validation(format!(
@@ -226,7 +228,11 @@ impl OperatorDescriptor {
     }
 
     /// Validate this descriptor against the register it references.
-    pub fn validate_against(&self, domain: &QuantumDataType, codomain: &QuantumDataType) -> Result<()> {
+    pub fn validate_against(
+        &self,
+        domain: &QuantumDataType,
+        codomain: &QuantumDataType,
+    ) -> Result<()> {
         self.validate()?;
         if domain.id != self.domain_qdt {
             return Err(QmlError::UnknownRegister(self.domain_qdt.clone()));
@@ -427,7 +433,10 @@ mod tests {
     #[test]
     fn measurement_without_result_schema_rejected() {
         let qod = OperatorDescriptor::builder("readout", RepKind::Measurement, "reg").build();
-        assert!(qod.is_err(), "implicit measurement interpretation is forbidden");
+        assert!(
+            qod.is_err(),
+            "implicit measurement interpretation is forbidden"
+        );
     }
 
     #[test]

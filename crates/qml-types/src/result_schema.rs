@@ -117,7 +117,7 @@ impl ResultSchema {
                 let close = label.find(']').ok_or_else(|| {
                     QmlError::Validation(format!("malformed wire label `{label}`"))
                 })?;
-                if &label[..open] != qdt.id {
+                if label[..open] != qdt.id {
                     return Err(QmlError::Validation(format!(
                         "wire label `{label}` does not belong to register `{}`",
                         qdt.id

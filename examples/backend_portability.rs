@@ -15,9 +15,15 @@ fn main() -> Result<()> {
     // --- shared typed problem ------------------------------------------------
     let qaoa = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))?;
     let ising = maxcut_ising_program(&graph)?;
-    assert_eq!(qaoa.data_types, ising.data_types, "the quantum data type is shared verbatim");
+    assert_eq!(
+        qaoa.data_types, ising.data_types,
+        "the quantum data type is shared verbatim"
+    );
     println!("shared quantum data type:");
-    println!("{}", serde_json::to_string_pretty(&qaoa.data_types[0]).unwrap());
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&qaoa.data_types[0]).unwrap()
+    );
 
     // --- two contexts ---------------------------------------------------------
     let gate_ctx = ContextDescriptor::for_gate(
@@ -41,7 +47,10 @@ fn main() -> Result<()> {
     let gate = runtime.result(gate_id).unwrap();
     let anneal = runtime.result(anneal_id).unwrap();
 
-    println!("\n{:<28} {:>18} {:>22}", "", "gate path (QAOA)", "anneal path (Ising)");
+    println!(
+        "\n{:<28} {:>18} {:>22}",
+        "", "gate path (QAOA)", "anneal path (Ising)"
+    );
     println!(
         "{:<28} {:>18} {:>22}",
         "backend", gate.backend, anneal.backend

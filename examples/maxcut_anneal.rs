@@ -20,7 +20,10 @@ fn main() -> Result<()> {
     // Policy: the annealer context of the paper's Fig. 3 — num_reads = 1000.
     let mut anneal = AnnealConfig::with_reads(1000);
     anneal.seed = Some(42);
-    let job = bundle.with_context(ContextDescriptor::for_anneal("anneal.neal_simulator", anneal));
+    let job = bundle.with_context(ContextDescriptor::for_anneal(
+        "anneal.neal_simulator",
+        anneal,
+    ));
 
     let runtime = Runtime::with_default_backends();
     let id = runtime.submit(job)?;

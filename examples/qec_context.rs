@@ -26,9 +26,7 @@ fn main() -> Result<()> {
 
     let runtime = Runtime::with_default_backends();
     let plain_id = runtime.submit(bundle.clone().with_context(base_ctx.clone()))?;
-    let qec_id = runtime.submit(
-        bundle.with_context(base_ctx.with_qec(QecConfig::surface(7))),
-    )?;
+    let qec_id = runtime.submit(bundle.with_context(base_ctx.with_qec(QecConfig::surface(7))))?;
     runtime.run_all(2);
     let plain = runtime.result(plain_id).unwrap();
     let protected = runtime.result(qec_id).unwrap();
@@ -36,21 +34,37 @@ fn main() -> Result<()> {
     println!("semantics are untouched by the QEC context:");
     println!(
         "  identical counts: {}",
-        if plain.counts == protected.counts { "yes" } else { "NO" }
+        if plain.counts == protected.counts {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 
     println!("\nListing 5 policy (surface code, distance 7):");
     let estimate = protected.qec_estimate.unwrap();
-    println!("  logical qubits               : {}", estimate.logical_qubits);
-    println!("  physical qubits (with routing): {}", estimate.physical_qubits);
-    println!("  syndrome rounds               : {}", estimate.syndrome_rounds);
+    println!(
+        "  logical qubits               : {}",
+        estimate.logical_qubits
+    );
+    println!(
+        "  physical qubits (with routing): {}",
+        estimate.physical_qubits
+    );
+    println!(
+        "  syndrome rounds               : {}",
+        estimate.syndrome_rounds
+    );
     println!(
         "  workload failure probability  : {:.2e}",
         estimate.workload_failure_probability
     );
 
     println!("\nsurface-code scaling at p = 1e-3 (threshold 1e-2):");
-    println!("  {:>8} {:>18} {:>22}", "distance", "physical/logical", "logical error rate");
+    println!(
+        "  {:>8} {:>18} {:>22}",
+        "distance", "physical/logical", "logical error rate"
+    );
     for d in [3usize, 5, 7, 9, 11] {
         let code = SurfaceCode::new(d, 1e-3);
         println!(
@@ -62,7 +76,10 @@ fn main() -> Result<()> {
     }
 
     println!("\nexecutable repetition-code demonstrator (bit-flip noise p = 0.05):");
-    println!("  {:>8} {:>14} {:>14}", "distance", "analytic", "monte carlo");
+    println!(
+        "  {:>8} {:>14} {:>14}",
+        "distance", "analytic", "monte carlo"
+    );
     for d in [1usize, 3, 5, 7, 9] {
         let code = RepetitionCode::new(d);
         println!(
@@ -77,7 +94,9 @@ fn main() -> Result<()> {
     let service = QecService::from_config(&QecConfig::surface(7))?;
     println!(
         "\nlogical gate set check: H,S,CNOT,T,MEASURE_Z allowed = {}, CCZ allowed = {}",
-        service.check_logical_gates(&["H", "S", "CNOT", "T", "MEASURE_Z"]).is_ok(),
+        service
+            .check_logical_gates(&["H", "S", "CNOT", "T", "MEASURE_Z"])
+            .is_ok(),
         service.allows_logical_gate("CCZ")
     );
     Ok(())

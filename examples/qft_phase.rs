@@ -15,9 +15,15 @@ fn main() -> Result<()> {
     // Intent (Listings 2 + 3): a 10-carrier phase register plus QFT + measure.
     let bundle = qft_program(10, QftParams::default())?;
     println!("--- quantum data type (Listing 2) ---");
-    println!("{}", serde_json::to_string_pretty(&bundle.data_types[0]).unwrap());
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&bundle.data_types[0]).unwrap()
+    );
     println!("\n--- QFT operator descriptor (Listing 3) ---");
-    println!("{}", serde_json::to_string_pretty(&bundle.operators[0]).unwrap());
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&bundle.operators[0]).unwrap()
+    );
 
     let descriptor_hint = bundle.operators[0].cost_hint.unwrap();
 
@@ -36,7 +42,10 @@ fn main() -> Result<()> {
     let id = runtime.submit(job)?;
     let result = runtime.run_job(id)?;
 
-    println!("\n--- execution ({} shots on {}) ---", result.shots, result.engine);
+    println!(
+        "\n--- execution ({} shots on {}) ---",
+        result.shots, result.engine
+    );
     let metrics = result.gate_metrics.unwrap();
     println!(
         "descriptor cost hint : twoq = {:?}, depth = {:?}",
@@ -49,20 +58,19 @@ fn main() -> Result<()> {
 
     // The QFT of |0…0⟩ is the uniform distribution over all 1024 phases: the
     // decoded phases should cover the full circle roughly evenly.
-    println!("\ndistinct outcomes observed: {} of 1024", result.counts.len());
+    println!(
+        "\ndistinct outcomes observed: {} of 1024",
+        result.counts.len()
+    );
     println!("a few decoded phase readouts (AS_PHASE, phase_scale = 1/1024):");
     for (word, _) in result.top_k(5) {
-        if let Some(decoded) = result.decoded.decoded.get(&word) {
-            if let qml_core::types::DecodedValue::Phase { index, fraction } = decoded {
-                println!("  {word}  ->  index {index:4}  phase {:.4} turns", fraction);
-            }
+        if let Some(qml_core::types::DecodedValue::Phase { index, fraction }) =
+            result.decoded.decoded.get(&word)
+        {
+            println!("  {word}  ->  index {index:4}  phase {:.4} turns", fraction);
         }
     }
-    let max_p = result
-        .top_k(1)
-        .first()
-        .map(|(_, p)| *p)
-        .unwrap_or_default();
+    let max_p = result.top_k(1).first().map(|(_, p)| *p).unwrap_or_default();
     println!("\nmost likely single outcome has p = {max_p:.4} (uniform would be ~0.001)");
     Ok(())
 }

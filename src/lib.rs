@@ -1,0 +1,10 @@
+//! Workspace facade crate.
+//!
+//! Exists so the repository-level `tests/` and `examples/` directories are
+//! cargo targets; applications should depend on [`qml_core`] (the layer
+//! facade) or [`qml_service`] (the batch-execution service) directly.
+
+#![forbid(unsafe_code)]
+
+pub use qml_core;
+pub use qml_service;

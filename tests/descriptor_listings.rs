@@ -124,8 +124,18 @@ fn listings_survive_a_full_bundle_round_trip() {
     let json = bundle.to_json().unwrap();
     let back = JobBundle::from_json(&json).unwrap();
     assert_eq!(back, bundle);
-    for token in ["qdt-core.schema.json", "qod.schema.json", "ctx.schema.json", "QFT_TEMPLATE", "AS_PHASE", "1/1024"] {
-        assert!(json.contains(token), "serialized bundle is missing `{token}`");
+    for token in [
+        "qdt-core.schema.json",
+        "qod.schema.json",
+        "ctx.schema.json",
+        "QFT_TEMPLATE",
+        "AS_PHASE",
+        "1/1024",
+    ] {
+        assert!(
+            json.contains(token),
+            "serialized bundle is missing `{token}`"
+        );
     }
 }
 
@@ -139,7 +149,10 @@ fn listing_bundle_executes_on_the_gate_backend() {
     let meas = qml_core::algorithms::qft::qft_measurement(&qdt).unwrap();
     let ctx: ContextDescriptor = serde_json::from_str(LISTING_4).unwrap();
     let bundle = JobBundle::new("listing-exec", vec![qdt], vec![qod, meas]).with_context(ctx);
-    let result = Runtime::with_default_backends().scheduler().execute(&bundle).unwrap();
+    let result = Runtime::with_default_backends()
+        .scheduler()
+        .execute(&bundle)
+        .unwrap();
     assert_eq!(result.shots, 4096);
     assert_eq!(result.engine, "gate.aer_simulator");
 }

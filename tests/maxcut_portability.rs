@@ -39,7 +39,11 @@ fn both_backends_return_the_optimal_cuts() {
         )
         .unwrap();
     let anneal_id = runtime
-        .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_context()))
+        .submit(
+            maxcut_ising_program(&graph)
+                .unwrap()
+                .with_context(anneal_context()),
+        )
         .unwrap();
     let outcomes = runtime.run_all(2);
     assert!(outcomes.iter().all(|(_, o)| o.is_ok()));
@@ -48,8 +52,16 @@ fn both_backends_return_the_optimal_cuts() {
     let anneal = runtime.result(anneal_id).unwrap();
 
     for result in [&gate, &anneal] {
-        assert!(result.counts.contains_key("1010"), "{} missing 1010", result.backend);
-        assert!(result.counts.contains_key("0101"), "{} missing 0101", result.backend);
+        assert!(
+            result.counts.contains_key("1010"),
+            "{} missing 1010",
+            result.backend
+        );
+        assert!(
+            result.counts.contains_key("0101"),
+            "{} missing 0101",
+            result.backend
+        );
     }
     // On the gate path the two optimal assignments are the two most likely
     // outcomes; on the anneal path they dominate outright.
@@ -96,7 +108,10 @@ fn late_bound_angles_reach_the_same_quality() {
     let graph = cycle(4);
     let template = qaoa_maxcut_program(&graph, &QaoaSchedule::Symbolic { layers: 1 }).unwrap();
     let mut bindings = BTreeMap::new();
-    bindings.insert("gamma_0".to_string(), ParamValue::Float(RING_P1_ANGLES.gamma));
+    bindings.insert(
+        "gamma_0".to_string(),
+        ParamValue::Float(RING_P1_ANGLES.gamma),
+    );
     bindings.insert("beta_0".to_string(), ParamValue::Float(RING_P1_ANGLES.beta));
     let bound = template.bind(&bindings).with_context(gate_context());
     let fixed = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
@@ -114,7 +129,11 @@ fn anneal_path_expected_cut_is_near_optimal() {
     let graph = cycle(4);
     let result = Runtime::with_default_backends()
         .scheduler()
-        .execute(&maxcut_ising_program(&graph).unwrap().with_context(anneal_context()))
+        .execute(
+            &maxcut_ising_program(&graph)
+                .unwrap()
+                .with_context(anneal_context()),
+        )
         .unwrap();
     let expected = result.expectation(|w| cut_value_of_bitstring(&graph, w));
     assert!(expected > 3.5, "annealer expected cut {expected}");
@@ -144,5 +163,8 @@ fn larger_instances_still_agree_on_the_winner() {
         .keys()
         .map(|w| cut_value_of_bitstring(&graph, w))
         .fold(0.0f64, f64::max);
-    assert!((best_word - best).abs() < 1e-9, "annealer best {best_word} vs exact {best}");
+    assert!(
+        (best_word - best).abs() < 1e-9,
+        "annealer best {best_word} vs exact {best}"
+    );
 }

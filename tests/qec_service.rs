@@ -25,12 +25,17 @@ fn qec_context_changes_resources_not_semantics() {
     let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
     let backend = GateBackend::new();
 
-    let plain = backend.execute(&bundle.clone().with_context(base_context())).unwrap();
+    let plain = backend
+        .execute(&bundle.clone().with_context(base_context()))
+        .unwrap();
     let protected = backend
         .execute(&bundle.with_context(base_context().with_qec(QecConfig::surface(7))))
         .unwrap();
 
-    assert_eq!(plain.counts, protected.counts, "QEC is policy, not semantics");
+    assert_eq!(
+        plain.counts, protected.counts,
+        "QEC is policy, not semantics"
+    );
     assert!(plain.qec_estimate.is_none());
     let estimate = protected.qec_estimate.unwrap();
     assert_eq!(estimate.logical_qubits, 4);
@@ -64,7 +69,9 @@ fn resource_estimates_grow_with_distance_and_shrink_failure_probability() {
 #[test]
 fn listing5_gate_set_is_enforced_by_the_service() {
     let service = QecService::from_config(&QecConfig::surface(7)).unwrap();
-    service.check_logical_gates(&["H", "S", "CNOT", "T", "MEASURE_Z"]).unwrap();
+    service
+        .check_logical_gates(&["H", "S", "CNOT", "T", "MEASURE_Z"])
+        .unwrap();
     assert!(service.check_logical_gates(&["TOFFOLI"]).is_err());
 }
 
@@ -87,8 +94,14 @@ fn repetition_code_monte_carlo_matches_analytics_and_suppresses_errors() {
         let code = RepetitionCode::new(distance);
         let analytic = code.analytic_logical_error_rate(p);
         let simulated = code.simulate_logical_error_rate(p, 100_000, 13);
-        assert!((analytic - simulated).abs() < 6e-3, "d={distance}: {analytic} vs {simulated}");
-        assert!(analytic < previous, "distance {distance} did not suppress errors");
+        assert!(
+            (analytic - simulated).abs() < 6e-3,
+            "d={distance}: {analytic} vs {simulated}"
+        );
+        assert!(
+            analytic < previous,
+            "distance {distance} did not suppress errors"
+        );
         previous = analytic;
     }
 }

@@ -18,14 +18,20 @@ fn linear_context(shots: u64, level: u8) -> ContextDescriptor {
 
 #[test]
 fn qft_on_zero_state_is_close_to_uniform() {
-    let bundle = qft_program(10, QftParams::default()).unwrap().with_context(linear_context(10_000, 2));
+    let bundle = qft_program(10, QftParams::default())
+        .unwrap()
+        .with_context(linear_context(10_000, 2));
     let result = GateBackend::new().execute(&bundle).unwrap();
     assert_eq!(result.shots, 10_000);
     // The uniform distribution over 1024 outcomes: with 10 000 shots no
     // outcome should be dramatically over-represented.
     let max_p = result.top_k(1)[0].1;
     assert!(max_p < 0.01, "max outcome probability {max_p}");
-    assert!(result.counts.len() > 900, "only {} distinct outcomes", result.counts.len());
+    assert!(
+        result.counts.len() > 900,
+        "only {} distinct outcomes",
+        result.counts.len()
+    );
 }
 
 #[test]
@@ -61,7 +67,8 @@ fn optimization_levels_never_change_the_distribution_shape() {
         );
         references.push(GateBackend::new().execute(&bundle).unwrap().counts);
     }
-    let tv = |a: &std::collections::BTreeMap<String, u64>, b: &std::collections::BTreeMap<String, u64>| {
+    let tv = |a: &std::collections::BTreeMap<String, u64>,
+              b: &std::collections::BTreeMap<String, u64>| {
         let keys: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
         keys.iter()
             .map(|k| {
@@ -84,11 +91,12 @@ fn qft_followed_by_its_inverse_is_the_identity() {
     let qft = qml_core::algorithms::qft::qft_operator(&register, QftParams::default()).unwrap();
     let iqft = invert_operator(&qft).unwrap();
     let ops = with_measurement(vec![qft, iqft], &register).unwrap();
-    let bundle = JobBundle::new("qft-iqft", vec![register], ops).with_context(
-        ContextDescriptor::for_gate(
-            ExecConfig::new("gate.aer_simulator").with_samples(1024).with_seed(11),
-        ),
-    );
+    let bundle =
+        JobBundle::new("qft-iqft", vec![register], ops).with_context(ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(1024)
+                .with_seed(11),
+        ));
     let result = GateBackend::new().execute(&bundle).unwrap();
     assert_eq!(result.probability("000000"), 1.0);
 }

@@ -32,11 +32,21 @@ fn explicit_engines_route_to_the_right_backends() {
         )
         .unwrap();
     let anneal_id = runtime
-        .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_ctx(128)))
+        .submit(
+            maxcut_ising_program(&graph)
+                .unwrap()
+                .with_context(anneal_ctx(128)),
+        )
         .unwrap();
     runtime.run_all(2);
-    assert_eq!(runtime.result(gate_id).unwrap().backend, "qml-gate-simulator");
-    assert_eq!(runtime.result(anneal_id).unwrap().backend, "qml-simulated-annealer");
+    assert_eq!(
+        runtime.result(gate_id).unwrap().backend,
+        "qml-gate-simulator"
+    );
+    assert_eq!(
+        runtime.result(anneal_id).unwrap().backend,
+        "qml-simulated-annealer"
+    );
 }
 
 #[test]
@@ -45,8 +55,14 @@ fn contextless_bundles_are_placed_by_operator_family() {
     let scheduler = Scheduler::new(BackendRegistry::with_default_backends());
     let qaoa = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
     let ising = maxcut_ising_program(&graph).unwrap();
-    assert_eq!(scheduler.place(&qaoa).unwrap().backend.name(), "qml-gate-simulator");
-    assert_eq!(scheduler.place(&ising).unwrap().backend.name(), "qml-simulated-annealer");
+    assert_eq!(
+        scheduler.place(&qaoa).unwrap().backend.name(),
+        "qml-gate-simulator"
+    );
+    assert_eq!(
+        scheduler.place(&ising).unwrap().backend.name(),
+        "qml-simulated-annealer"
+    );
 }
 
 #[test]
@@ -55,7 +71,9 @@ fn unknown_engines_are_rejected_with_a_clear_error() {
     let scheduler = Scheduler::new(BackendRegistry::with_default_backends());
     let bundle = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
         .unwrap()
-        .with_context(ContextDescriptor::for_gate(ExecConfig::new("pulse.qblox_cluster")));
+        .with_context(ContextDescriptor::for_gate(ExecConfig::new(
+            "pulse.qblox_cluster",
+        )));
     let err = scheduler.place(&bundle).unwrap_err();
     assert!(err.to_string().contains("pulse.qblox_cluster"));
 }
@@ -77,7 +95,11 @@ fn parallel_run_all_completes_a_mixed_batch() {
         );
         ids.push(
             runtime
-                .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_ctx(64)))
+                .submit(
+                    maxcut_ising_program(&graph)
+                        .unwrap()
+                        .with_context(anneal_ctx(64)),
+                )
                 .unwrap(),
         );
     }
@@ -103,7 +125,11 @@ fn mismatched_engine_and_intent_fails_cleanly() {
         )
         .unwrap();
     let good = runtime
-        .submit(maxcut_ising_program(&graph).unwrap().with_context(anneal_ctx(32)))
+        .submit(
+            maxcut_ising_program(&graph)
+                .unwrap()
+                .with_context(anneal_ctx(32)),
+        )
         .unwrap();
     runtime.run_all(2);
     assert!(matches!(runtime.status(bad), Some(JobStatus::Failed(_))));
@@ -126,7 +152,8 @@ fn communication_estimator_counts_cut_crossings() {
 fn scheduler_estimates_track_descriptor_cost_hints() {
     let scheduler = Scheduler::new(BackendRegistry::with_default_backends());
     let small = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
-    let large = qaoa_maxcut_program(&cycle(12), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES; 3])).unwrap();
+    let large =
+        qaoa_maxcut_program(&cycle(12), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES; 3])).unwrap();
     let small_cost = scheduler.place(&small).unwrap().estimated_cost;
     let large_cost = scheduler.place(&large).unwrap().estimated_cost;
     assert!(large_cost > small_cost);

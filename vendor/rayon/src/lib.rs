@@ -1,0 +1,373 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator surface this workspace actually uses —
+//! `par_chunks_mut(..).for_each`, `par_iter_mut().enumerate().for_each`, and
+//! `(a..b).into_par_iter().{map,filter}().collect()` — with real data
+//! parallelism over `std::thread::scope`, splitting work into one contiguous
+//! block per available core. Results preserve input order exactly like rayon.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+fn num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Split `len` items into at most `num_threads()` contiguous `(start, end)`
+/// blocks.
+fn blocks(len: usize) -> Vec<(usize, usize)> {
+    let workers = num_threads().min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Index types parallel ranges can iterate over.
+pub trait ParIndex: Copy + Send + Sync {
+    /// Convert to a usize offset count.
+    fn to_usize(self) -> usize;
+    /// Rebuild from a usize offset count.
+    fn from_usize(value: usize) -> Self;
+}
+
+impl ParIndex for usize {
+    fn to_usize(self) -> usize {
+        self
+    }
+    fn from_usize(value: usize) -> Self {
+        value
+    }
+}
+
+impl ParIndex for u64 {
+    fn to_usize(self) -> usize {
+        usize::try_from(self).expect("index fits in usize")
+    }
+    fn from_usize(value: usize) -> Self {
+        value as u64
+    }
+}
+
+/// Parallel iterator over an index range, optionally filtered and mapped.
+pub struct ParRange<I: ParIndex = usize> {
+    start: I,
+    end: I,
+}
+
+impl<I: ParIndex> ParRange<I> {
+    fn bounds(&self) -> (usize, usize) {
+        let start = self.start.to_usize();
+        let end = self.end.to_usize().max(start);
+        (start, end)
+    }
+
+    /// Filter: keep indices satisfying the predicate.
+    pub fn filter<P: Fn(&I) -> bool + Sync>(self, predicate: P) -> ParRangeFilter<I, P> {
+        ParRangeFilter {
+            range: self,
+            predicate,
+        }
+    }
+
+    /// Map each index through `f`.
+    pub fn map<T, F: Fn(I) -> T + Sync>(self, f: F) -> ParRangeMap<I, F> {
+        ParRangeMap { range: self, f }
+    }
+
+    /// Run `f` for every index.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        self.map(f).collect::<(), Vec<()>>();
+    }
+}
+
+/// A filtered [`ParRange`].
+pub struct ParRangeFilter<I: ParIndex, P> {
+    range: ParRange<I>,
+    predicate: P,
+}
+
+impl<I: ParIndex, P: Fn(&I) -> bool + Sync> ParRangeFilter<I, P> {
+    /// Collect the surviving indices in order.
+    pub fn collect<C: FromParVec<I>>(self) -> C {
+        let (start, end) = self.range.bounds();
+        let predicate = &self.predicate;
+        let chunks = run_blocks(end - start, move |(lo, hi)| {
+            (start + lo..start + hi)
+                .map(I::from_usize)
+                .filter(|i| predicate(i))
+                .collect::<Vec<I>>()
+        });
+        C::from_par_vec(chunks.into_iter().flatten().collect())
+    }
+}
+
+/// A mapped [`ParRange`].
+pub struct ParRangeMap<I: ParIndex, F> {
+    range: ParRange<I>,
+    f: F,
+}
+
+impl<I: ParIndex, F> ParRangeMap<I, F> {
+    /// Collect the mapped values in index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        F: Fn(I) -> T + Sync,
+        T: Send,
+        C: FromParVec<T>,
+    {
+        let (start, end) = self.range.bounds();
+        let f = &self.f;
+        let chunks = run_blocks(end - start, move |(lo, hi)| {
+            (start + lo..start + hi)
+                .map(|i| f(I::from_usize(i)))
+                .collect::<Vec<T>>()
+        });
+        C::from_par_vec(chunks.into_iter().flatten().collect())
+    }
+}
+
+/// Execute one closure per block of `len` items, returning per-block results
+/// in block order.
+fn run_blocks<T: Send>(len: usize, work: impl Fn((usize, usize)) -> T + Sync) -> Vec<T> {
+    let plan = blocks(len);
+    if plan.len() <= 1 {
+        return plan.into_iter().map(&work).collect();
+    }
+    let work = &work;
+    thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .into_iter()
+            .map(|block| scope.spawn(move || work(block)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon stub worker panicked"))
+            .collect()
+    })
+}
+
+/// Collection targets for parallel collects.
+pub trait FromParVec<T> {
+    /// Build from an ordered Vec.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParVec<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel mutable slice iterator (`par_iter_mut`).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate { slice: self.slice }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        par_for_each_indexed(self.slice, 0, &|(_i, item)| f(item));
+    }
+}
+
+/// Enumerated [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnumerate<'a, T> {
+    /// Run `f` on every `(index, element)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        par_for_each_indexed(self.slice, 0, &f);
+    }
+}
+
+fn par_for_each_indexed<T: Send, F: Fn((usize, &mut T)) + Sync>(
+    slice: &mut [T],
+    offset: usize,
+    f: &F,
+) {
+    let len = slice.len();
+    let plan = blocks(len);
+    if plan.len() <= 1 {
+        for (i, item) in slice.iter_mut().enumerate() {
+            f((offset + i, item));
+        }
+        return;
+    }
+    thread::scope(|scope| {
+        let mut rest = slice;
+        let mut consumed = 0;
+        for (lo, hi) in plan {
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let base = offset + consumed;
+            consumed += hi - lo;
+            scope.spawn(move || {
+                for (i, item) in head.iter_mut().enumerate() {
+                    f((base + i, item));
+                }
+            });
+        }
+    });
+}
+
+/// Parallel mutable chunk iterator (`par_chunks_mut`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        let chunk = self.chunk;
+        let total_chunks = self.slice.len().div_ceil(chunk.max(1));
+        let plan = blocks(total_chunks);
+        if plan.len() <= 1 {
+            for piece in self.slice.chunks_mut(chunk) {
+                f(piece);
+            }
+            return;
+        }
+        let f = &f;
+        thread::scope(|scope| {
+            let mut rest = self.slice;
+            for (lo, hi) in plan {
+                let take = ((hi - lo) * chunk).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                scope.spawn(move || {
+                    for piece in head.chunks_mut(chunk) {
+                        f(piece);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Extension traits mirroring `rayon::prelude`.
+pub mod prelude {
+    use super::*;
+
+    /// `into_par_iter()` for index ranges.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type Iter;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: ParIndex> IntoParallelIterator for std::ops::Range<I> {
+        type Iter = ParRange<I>;
+        fn into_par_iter(self) -> ParRange<I> {
+            ParRange {
+                start: self.start,
+                end: self.end,
+            }
+        }
+    }
+
+    /// `par_iter_mut()` for slices and vectors.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// The parallel iterator type.
+        type Iter;
+        /// Borrow as a parallel mutable iterator.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = ParIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = ParIterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    /// `par_chunks_mut()` for slices and vectors.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split into mutable chunks processed in parallel.
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk > 0, "chunk size must be positive");
+            ParChunksMut { slice: self, chunk }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+            self.as_mut_slice().par_chunks_mut(chunk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_range_map_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.windows(2).all(|w| w[0] < w[1] || w[0] == 0));
+        assert_eq!(squares[31], 961);
+    }
+
+    #[test]
+    fn par_range_filter_preserves_order() {
+        let evens: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter(|i| i % 2 == 0)
+            .collect();
+        assert_eq!(evens, (0..100).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_touches_every_element() {
+        let mut data = vec![0usize; 257];
+        data.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i + 1);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_whole_slice() {
+        let mut data = vec![0u8; 103];
+        data.par_chunks_mut(10).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+}

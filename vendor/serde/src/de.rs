@@ -1,0 +1,11 @@
+//! Deserialization error trait, mirroring `serde::de`.
+
+use std::fmt::Display;
+
+/// Trait every deserializer error type implements.
+pub trait Error: Sized {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+pub use crate::Deserializer;

@@ -1,0 +1,444 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::de::Error as DeError;
+use crate::ser::Error as SerError;
+use crate::value::{from_value_any, to_value_any, Value};
+use crate::{Deserialize, Deserializer, Serialize, Serializer};
+
+// ---------------------------------------------------------------------------
+// References
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value itself
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!(
+                "expected boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                value
+                    .as_i64()
+                    .and_then(|x| <$ty>::try_from(x).ok())
+                    .ok_or_else(|| {
+                        D::Error::custom(format!(
+                            "expected {} integer, found {}",
+                            stringify!($ty),
+                            value.kind()
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let wide = *self as u64;
+                if let Ok(narrow) = i64::try_from(wide) {
+                    serializer.serialize_value(Value::I64(narrow))
+                } else {
+                    serializer.serialize_value(Value::U64(wide))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                value
+                    .as_u64()
+                    .and_then(|x| <$ty>::try_from(x).ok())
+                    .ok_or_else(|| {
+                        D::Error::custom(format!(
+                            "expected {} integer, found {}",
+                            stringify!($ty),
+                            value.kind()
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                value.as_f64().map(|x| x as $ty).ok_or_else(|| {
+                    D::Error::custom(format!(
+                        "expected number, found {}",
+                        value.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(D::Error::custom(format!(
+                "expected single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(inner) => inner.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value_any(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value_any(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) => items.into_iter().map(from_value_any).collect(),
+            other => Err(D::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(to_value_any(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) => items.into_iter().map(from_value_any).collect(),
+            other => Err(D::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:literal,)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value_any(&self.$idx).map_err(S::Error::custom)?),+];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Array(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($( { let _ = $idx; from_value_any::<$name, D::Error>(iter.next().unwrap())? }, )+))
+                    }
+                    other => Err(D::Error::custom(format!(
+                        "expected {}-element array, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) => 1,
+    (A: 0, B: 1) => 2,
+    (A: 0, B: 1, C: 2) => 3,
+    (A: 0, B: 1, C: 2, E: 3) => 4,
+}
+
+// ---------------------------------------------------------------------------
+// Maps
+//
+// String-keyed maps round-trip as JSON objects. Maps with structured keys
+// (e.g. `BTreeMap<(usize, usize), f64>`) serialize as arrays of `[key, value]`
+// pairs; deserialization accepts either form.
+// ---------------------------------------------------------------------------
+
+fn map_to_value<'a, K, V, I>(entries: I, len: usize) -> Result<Value, crate::value::ValueError>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut keys = Vec::with_capacity(len);
+    let mut values = Vec::with_capacity(len);
+    let mut all_strings = true;
+    for (k, v) in entries {
+        let key = to_value_any(k)?;
+        all_strings &= matches!(key, Value::String(_));
+        keys.push(key);
+        values.push(to_value_any(v)?);
+    }
+    if all_strings {
+        let members = keys
+            .into_iter()
+            .zip(values)
+            .map(|(k, v)| match k {
+                Value::String(s) => (s, v),
+                _ => unreachable!(),
+            })
+            .collect();
+        Ok(Value::Object(members))
+    } else {
+        let pairs = keys
+            .into_iter()
+            .zip(values)
+            .map(|(k, v)| Value::Array(vec![k, v]))
+            .collect();
+        Ok(Value::Array(pairs))
+    }
+}
+
+fn map_from_value<'de, K, V, M, E>(value: Value) -> Result<M, E>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    M: FromIterator<(K, V)>,
+    E: DeError,
+{
+    match value {
+        Value::Object(members) => members
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_value_any::<K, E>(Value::String(k))?,
+                    from_value_any::<V, E>(v)?,
+                ))
+            })
+            .collect(),
+        Value::Array(pairs) => pairs
+            .into_iter()
+            .map(|pair| match pair {
+                Value::Array(mut kv) if kv.len() == 2 => {
+                    let v = kv.pop().unwrap();
+                    let k = kv.pop().unwrap();
+                    Ok((from_value_any::<K, E>(k)?, from_value_any::<V, E>(v)?))
+                }
+                other => Err(E::custom(format!(
+                    "expected [key, value] pair, found {}",
+                    other.kind()
+                ))),
+            })
+            .collect(),
+        other => Err(E::custom(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = map_to_value(self.iter(), self.len()).map_err(S::Error::custom)?;
+        serializer.serialize_value(value)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_from_value(deserializer.take_value()?)
+    }
+}
+
+impl<K, V, St> Serialize for HashMap<K, V, St>
+where
+    K: Serialize + Eq + std::hash::Hash,
+    V: Serialize,
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let value = map_to_value(self.iter(), self.len()).map_err(S::Error::custom)?;
+        serializer.serialize_value(value)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_from_value(deserializer.take_value()?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unit
+// ---------------------------------------------------------------------------
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let _ = deserializer.take_value()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this crate provides a drop-in replacement for the subset of serde that the
+//! workspace uses. It keeps serde's *surface* — `Serialize`/`Deserialize`
+//! traits with `Serializer`/`Deserializer` type parameters, `serde::de::Error`
+//! / `serde::ser::Error`, and the derive macros — but replaces the streaming
+//! data model with a simple owned [`value::Value`] tree, which is all a JSON
+//! (de)serializer needs.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+mod impls;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::Value;
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization sink. Implementations consume a [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consume a complete value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string (convenience used by hand-written impls).
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::String(v.to_owned()))
+    }
+}
+
+/// A type that can be deserialized through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserialization source. Implementations surrender a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Surrender the complete value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}

@@ -1,0 +1,11 @@
+//! Serialization error trait, mirroring `serde::ser`.
+
+use std::fmt::Display;
+
+/// Trait every serializer error type implements.
+pub trait Error: Sized {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+pub use crate::Serializer;

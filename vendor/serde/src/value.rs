@@ -1,0 +1,262 @@
+//! The owned value tree this serde stand-in uses as its data model, plus the
+//! bridging serializer/deserializer the derive macros generate calls to.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also stands in for "missing field").
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer that does not fit in `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Member lookup; `Null` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(x) => Some(*x as f64),
+            Value::U64(x) => Some(*x as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(x) if *x >= 0 => Some(*x as u64),
+            Value::U64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::value::print::compact(self))
+    }
+}
+
+/// Error produced when bridging through the value tree.
+#[derive(Debug, Clone)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer with `Ok = Value`: captures a value tree from any `Serialize`.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from an owned value tree, generic over the caller's
+/// error type.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Serialize anything into a value tree.
+pub fn to_value_any<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize anything out of a value tree, with the caller's error type.
+pub fn from_value_any<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+pub(crate) mod print {
+    use super::Value;
+
+    pub fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0c}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn number_f64(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:?}")
+        } else {
+            // JSON has no non-finite literals; real serde_json rejects them,
+            // we print null to stay total.
+            "null".to_string()
+        }
+    }
+
+    pub fn compact(value: &Value) -> String {
+        let mut out = String::new();
+        write_compact(value, &mut out);
+        out
+    }
+
+    fn write_compact(value: &Value, out: &mut String) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(x) => out.push_str(&x.to_string()),
+            Value::U64(x) => out.push_str(&x.to_string()),
+            Value::F64(x) => out.push_str(&number_f64(*x)),
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    write_compact(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}

@@ -1,0 +1,828 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the vendored, value-based `serde`
+//! facade in `vendor/serde`. Supports the subset of serde attributes this
+//! workspace uses: `rename`, `default`, `default = "path"`,
+//! `skip_serializing_if = "path"`, `flatten`, `transparent`, `untagged`,
+//! and `deny_unknown_fields`, over named/tuple/unit structs and enums with
+//! unit, newtype, tuple, and struct variants. No generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct ContainerAttrs {
+    untagged: bool,
+    transparent: bool,
+    deny_unknown_fields: bool,
+}
+
+#[derive(Clone)]
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    ident: String,
+    ty: String,
+    rename: Option<String>,
+    default: DefaultAttr,
+    skip_if: Option<String>,
+    flatten: bool,
+}
+
+impl Field {
+    fn json_name(&self) -> String {
+        self.rename.clone().unwrap_or_else(|| self.ident.clone())
+    }
+    fn is_option(&self) -> bool {
+        let t = self.ty.replace(' ', "");
+        t.starts_with("Option<")
+            || t.starts_with("::core::option::Option<")
+            || t.starts_with("core::option::Option<")
+            || t.starts_with("std::option::Option<")
+    }
+}
+
+#[derive(Clone)]
+enum Shape {
+    Unit,
+    Newtype(String),
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+#[derive(Clone)]
+struct Variant {
+    ident: String,
+    rename: Option<String>,
+    shape: Shape,
+}
+
+impl Variant {
+    fn json_name(&self) -> String {
+        self.rename.clone().unwrap_or_else(|| self.ident.clone())
+    }
+}
+
+enum Item {
+    Struct(String, ContainerAttrs, Shape),
+    Enum(String, ContainerAttrs, Vec<Variant>),
+}
+
+// ---------------------------------------------------------------------------
+// Attribute parsing
+// ---------------------------------------------------------------------------
+
+/// Serde attribute directives collected from one or more `#[serde(...)]`.
+#[derive(Default)]
+struct SerdeDirectives {
+    rename: Option<String>,
+    default: Option<Option<String>>,
+    skip_if: Option<String>,
+    flatten: bool,
+    untagged: bool,
+    transparent: bool,
+    deny_unknown_fields: bool,
+}
+
+fn literal_string(tok: &TokenTree) -> String {
+    let text = tok.to_string();
+    let inner = text.trim_start_matches('"').trim_end_matches('"');
+    // Un-escape the common cases appearing in attribute strings.
+    inner.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+fn parse_serde_group(group: &proc_macro::Group, out: &mut SerdeDirectives) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut value: Option<String> = None;
+        if i + 2 < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i + 1] {
+                if p.as_char() == '=' {
+                    value = Some(literal_string(&tokens[i + 2]));
+                    i += 2;
+                }
+            }
+        }
+        match name.as_str() {
+            "rename" => out.rename = value.clone(),
+            "default" => out.default = Some(value.clone()),
+            "skip_serializing_if" => out.skip_if = value.clone(),
+            "flatten" => out.flatten = true,
+            "untagged" => out.untagged = true,
+            "transparent" => out.transparent = true,
+            "deny_unknown_fields" => out.deny_unknown_fields = true,
+            // rename_all / bound / tag / crate — not used in this workspace.
+            _ => {}
+        }
+        i += 1;
+        // Skip separating comma if present.
+        if i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consume a `#[...]` attribute starting at `i` (pointing at `#`). Returns the
+/// new index; records serde directives when the attribute is `serde(...)`.
+fn consume_attribute(tokens: &[TokenTree], i: usize, out: &mut SerdeDirectives) -> usize {
+    debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#'));
+    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+        if g.delimiter() == Delimiter::Bracket {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        parse_serde_group(args, out);
+                    }
+                }
+            }
+            return i + 2;
+        }
+    }
+    i + 1
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token list on top-level commas, tracking `<...>` nesting depth.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Parse the fields of a named-field group `{ ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut directives = SerdeDirectives::default();
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == '#' {
+                    i = consume_attribute(&tokens, i, &mut directives);
+                    continue;
+                }
+            }
+            break;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_visibility(&tokens, i);
+        let ident = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, found `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive stub: expected `:` after field `{ident}`, found `{other}`")
+            }
+        }
+        // Collect type tokens until a top-level comma.
+        let mut ty_tokens = Vec::new();
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            ty_tokens.push(tokens[i].clone());
+            i += 1;
+        }
+        fields.push(Field {
+            ident,
+            ty: tokens_to_string(&ty_tokens),
+            rename: directives.rename,
+            default: match directives.default {
+                None => DefaultAttr::None,
+                Some(None) => DefaultAttr::Std,
+                Some(Some(path)) => DefaultAttr::Path(path),
+            },
+            skip_if: directives.skip_if,
+            flatten: directives.flatten,
+        });
+    }
+    fields
+}
+
+/// Parse the types of a tuple group `( ... )`.
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .map(|entry| {
+            // Strip attributes and visibility from each tuple field.
+            let mut i = 0;
+            let mut sink = SerdeDirectives::default();
+            while i < entry.len() {
+                if let TokenTree::Punct(p) = &entry[i] {
+                    if p.as_char() == '#' {
+                        i = consume_attribute(&entry, i, &mut sink);
+                        continue;
+                    }
+                }
+                break;
+            }
+            i = skip_visibility(&entry, i);
+            tokens_to_string(&entry[i..])
+        })
+        .collect()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut directives = SerdeDirectives::default();
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == '#' {
+                    i = consume_attribute(&tokens, i, &mut directives);
+                    continue;
+                }
+            }
+            break;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let ident = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let types = parse_tuple_fields(g);
+                if types.len() == 1 {
+                    Shape::Newtype(types.into_iter().next().unwrap())
+                } else {
+                    Shape::Tuple(types)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant {
+            ident,
+            rename: directives.rename,
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container = SerdeDirectives::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                i = consume_attribute(&tokens, i, &mut container);
+                continue;
+            }
+        }
+        break;
+    }
+    i = skip_visibility(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let attrs = ContainerAttrs {
+        untagged: container.untagged,
+        transparent: container.transparent,
+        deny_unknown_fields: container.deny_unknown_fields,
+    };
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let types = parse_tuple_fields(g);
+                    if types.len() == 1 {
+                        Shape::Newtype(types.into_iter().next().unwrap())
+                    } else {
+                        Shape::Tuple(types)
+                    }
+                }
+                _ => Shape::Unit,
+            };
+            Item::Struct(name, attrs, shape)
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+            };
+            Item::Enum(name, attrs, variants)
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "serde::value::Value";
+const TO_VALUE: &str = "serde::value::to_value_any";
+const FROM_VALUE: &str = "serde::value::from_value_any";
+const SER_ERR: &str = "serde::ser::Error::custom";
+const DE_ERR: &str = "serde::de::Error::custom";
+
+fn escape_str(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, attrs, shape) => {
+            let body = match shape {
+                Shape::Named(fields) if attrs.transparent => {
+                    let f = &fields[0];
+                    format!(
+                        "serializer.serialize_value({TO_VALUE}(&self.{id}).map_err({SER_ERR})?)",
+                        id = f.ident
+                    )
+                }
+                Shape::Named(fields) => ser_named_fields_body(fields, "self."),
+                Shape::Newtype(_) => {
+                    format!("serializer.serialize_value({TO_VALUE}(&self.0).map_err({SER_ERR})?)")
+                }
+                Shape::Tuple(types) => {
+                    let elems: Vec<String> = (0..types.len())
+                        .map(|i| format!("{TO_VALUE}(&self.{i}).map_err({SER_ERR})?"))
+                        .collect();
+                    format!(
+                        "serializer.serialize_value({VALUE}::Array(::std::vec![{}]))",
+                        elems.join(", ")
+                    )
+                }
+                Shape::Unit => format!("serializer.serialize_value({VALUE}::Null)"),
+            };
+            wrap_serialize(name, &body)
+        }
+        Item::Enum(name, attrs, variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let tag = escape_str(&v.json_name());
+                let arm = match &v.shape {
+                    Shape::Unit if attrs.untagged => format!(
+                        "Self::{id} => serializer.serialize_value({VALUE}::Null),",
+                        id = v.ident
+                    ),
+                    Shape::Unit => format!(
+                        "Self::{id} => serializer.serialize_value({VALUE}::String(\"{tag}\".to_string())),",
+                        id = v.ident
+                    ),
+                    Shape::Newtype(_) if attrs.untagged => format!(
+                        "Self::{id}(f0) => serializer.serialize_value({TO_VALUE}(f0).map_err({SER_ERR})?),",
+                        id = v.ident
+                    ),
+                    Shape::Newtype(_) => format!(
+                        "Self::{id}(f0) => serializer.serialize_value({VALUE}::Object(::std::vec![(\"{tag}\".to_string(), {TO_VALUE}(f0).map_err({SER_ERR})?)])),",
+                        id = v.ident
+                    ),
+                    Shape::Tuple(types) => {
+                        let binders: Vec<String> =
+                            (0..types.len()).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("{TO_VALUE}({b}).map_err({SER_ERR})?"))
+                            .collect();
+                        let payload = format!("{VALUE}::Array(::std::vec![{}])", elems.join(", "));
+                        if attrs.untagged {
+                            format!(
+                                "Self::{id}({binds}) => serializer.serialize_value({payload}),",
+                                id = v.ident,
+                                binds = binders.join(", ")
+                            )
+                        } else {
+                            format!(
+                                "Self::{id}({binds}) => serializer.serialize_value({VALUE}::Object(::std::vec![(\"{tag}\".to_string(), {payload})])),",
+                                id = v.ident,
+                                binds = binders.join(", ")
+                            )
+                        }
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let inner = ser_named_fields_expr(fields, "");
+                        if attrs.untagged {
+                            format!(
+                                "Self::{id} {{ {binds} }} => serializer.serialize_value({inner}),",
+                                id = v.ident,
+                                binds = binders.join(", ")
+                            )
+                        } else {
+                            format!(
+                                "Self::{id} {{ {binds} }} => serializer.serialize_value({VALUE}::Object(::std::vec![(\"{tag}\".to_string(), {inner})])),",
+                                id = v.ident,
+                                binds = binders.join(", ")
+                            )
+                        }
+                    }
+                };
+                arms.push(arm);
+            }
+            let body = format!("match self {{ {} }}", arms.join("\n"));
+            wrap_serialize(name, &body)
+        }
+    }
+}
+
+/// Object-building statements for named fields; `prefix` is `self.` or `` for
+/// pattern binders. Returns a full `{ ...; serializer.serialize_value(...) }`.
+fn ser_named_fields_body(fields: &[Field], prefix: &str) -> String {
+    let expr = ser_named_fields_expr(fields, prefix);
+    format!("serializer.serialize_value({expr})")
+}
+
+/// An expression evaluating to the `Value::Object` of the given fields.
+fn ser_named_fields_expr(fields: &[Field], prefix: &str) -> String {
+    let mut stmts = vec![format!(
+        "let mut object: ::std::vec::Vec<(::std::string::String, {VALUE})> = ::std::vec::Vec::new();"
+    )];
+    for f in fields {
+        let access = if prefix.is_empty() {
+            format!("(&{})", f.ident)
+        } else {
+            format!("(&{}{})", prefix, f.ident)
+        };
+        if f.flatten {
+            stmts.push(format!(
+                "match {TO_VALUE}({access}).map_err({SER_ERR})? {{
+                    {VALUE}::Object(m) => {{ for (k, v) in m {{ object.push((k, v)); }} }}
+                    {VALUE}::Null => {{}}
+                    _ => return ::core::result::Result::Err({SER_ERR}(\"can only flatten maps\")),
+                }}"
+            ));
+            continue;
+        }
+        let json_name = escape_str(&f.json_name());
+        let push = format!(
+            "object.push((\"{json_name}\".to_string(), {TO_VALUE}({access}).map_err({SER_ERR})?));"
+        );
+        match &f.skip_if {
+            Some(path) => stmts.push(format!("if !{path}({access}) {{ {push} }}")),
+            None => stmts.push(push),
+        }
+    }
+    format!("{{ {} {VALUE}::Object(object) }}", stmts.join("\n"))
+}
+
+fn wrap_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]
+impl serde::Serialize for {name} {{
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{
+        {body}
+    }}
+}}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, attrs, shape) => {
+            let body = match shape {
+                Shape::Named(fields) if attrs.transparent => {
+                    let f = &fields[0];
+                    format!(
+                        "let inner: {ty} = {FROM_VALUE}(deserializer.take_value()?)?;
+                         ::core::result::Result::Ok({name} {{ {id}: inner }})",
+                        ty = f.ty,
+                        id = f.ident
+                    )
+                }
+                Shape::Named(fields) => de_named_fields_body(
+                    name,
+                    fields,
+                    attrs.deny_unknown_fields,
+                    "deserializer.take_value()?",
+                    &format!("{name} {{ %FIELDS% }}"),
+                ),
+                Shape::Newtype(ty) => format!(
+                    "let inner: {ty} = {FROM_VALUE}(deserializer.take_value()?)?;
+                     ::core::result::Result::Ok({name}(inner))"
+                ),
+                Shape::Tuple(types) => de_tuple_body(
+                    name,
+                    types,
+                    "deserializer.take_value()?",
+                    &format!("{name}(%FIELDS%)"),
+                ),
+                Shape::Unit => format!(
+                    "let _ = deserializer.take_value()?;
+                     ::core::result::Result::Ok({name})"
+                ),
+            };
+            wrap_deserialize(name, &body)
+        }
+        Item::Enum(name, attrs, variants) if attrs.untagged => {
+            let mut stmts = vec!["let value = deserializer.take_value()?;".to_string()];
+            for v in variants {
+                let ty = match &v.shape {
+                    Shape::Newtype(ty) => ty.clone(),
+                    _ => panic!(
+                        "serde_derive stub: untagged enum `{name}` must have only newtype variants"
+                    ),
+                };
+                stmts.push(format!(
+                    "{{ let attempt: ::core::result::Result<{ty}, serde::value::ValueError> = {FROM_VALUE}(value.clone());
+                       if let ::core::result::Result::Ok(x) = attempt {{ return ::core::result::Result::Ok(Self::{id}(x)); }} }}",
+                    id = v.ident
+                ));
+            }
+            stmts.push(format!(
+                "::core::result::Result::Err({DE_ERR}(\"data did not match any variant of untagged enum {name}\"))"
+            ));
+            wrap_deserialize(name, &stmts.join("\n"))
+        }
+        Item::Enum(name, _attrs, variants) => {
+            // Externally tagged representation.
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let tag = escape_str(&v.json_name());
+                match &v.shape {
+                    Shape::Unit => unit_arms.push(format!(
+                        "\"{tag}\" => ::core::result::Result::Ok(Self::{id}),",
+                        id = v.ident
+                    )),
+                    Shape::Newtype(_) => payload_arms.push(format!(
+                        "\"{tag}\" => ::core::result::Result::Ok(Self::{id}({FROM_VALUE}(payload)?)),",
+                        id = v.ident
+                    )),
+                    Shape::Tuple(types) => {
+                        let inner = de_tuple_body(
+                            name,
+                            types,
+                            "payload",
+                            &format!("Self::{}(%FIELDS%)", v.ident),
+                        );
+                        payload_arms.push(format!("\"{tag}\" => {{ {inner} }}"));
+                    }
+                    Shape::Named(fields) => {
+                        let inner = de_named_fields_body(
+                            name,
+                            fields,
+                            false,
+                            "payload",
+                            &format!("Self::{} {{ %FIELDS% }}", v.ident),
+                        );
+                        payload_arms.push(format!("\"{tag}\" => {{ {inner} }}"));
+                    }
+                }
+            }
+            let body = format!(
+                "let value = deserializer.take_value()?;
+                 match value {{
+                     {VALUE}::String(s) => match s.as_str() {{
+                         {unit}
+                         other => ::core::result::Result::Err({DE_ERR}(format!(\"unknown variant `{{}}` of enum {name}\", other))),
+                     }},
+                     {VALUE}::Object(m) if m.len() == 1 => {{
+                         let (tag, payload) = m.into_iter().next().unwrap();
+                         match tag.as_str() {{
+                             {payload_arms}
+                             other => ::core::result::Result::Err({DE_ERR}(format!(\"unknown variant `{{}}` of enum {name}\", other))),
+                         }}
+                     }}
+                     other => ::core::result::Result::Err({DE_ERR}(format!(\"invalid value for enum {name}: {{}}\", other.kind()))),
+                 }}",
+                unit = unit_arms.join("\n"),
+                payload_arms = payload_arms.join("\n"),
+            );
+            wrap_deserialize(name, &body)
+        }
+    }
+}
+
+/// Statements extracting named fields from `source_expr` (an expression of
+/// type Value), finishing with `Ok(<ctor with %FIELDS% replaced>)`.
+fn de_named_fields_body(
+    type_name: &str,
+    fields: &[Field],
+    deny_unknown: bool,
+    source_expr: &str,
+    ctor_template: &str,
+) -> String {
+    let mut stmts = vec![format!(
+        "let mut object = match {source_expr} {{
+             {VALUE}::Object(m) => m,
+             other => return ::core::result::Result::Err({DE_ERR}(format!(\"expected object for {type_name}, found {{}}\", other.kind()))),
+         }};"
+    )];
+    let mut flatten_field: Option<&Field> = None;
+    for f in fields {
+        if f.flatten {
+            flatten_field = Some(f);
+            continue;
+        }
+        let json_name = escape_str(&f.json_name());
+        let missing = match &f.default {
+            DefaultAttr::Std => "::core::default::Default::default()".to_string(),
+            DefaultAttr::Path(path) => format!("{path}()"),
+            DefaultAttr::None if f.is_option() => "::core::option::Option::None".to_string(),
+            DefaultAttr::None => format!(
+                "return ::core::result::Result::Err({DE_ERR}(\"missing field `{json_name}`\"))"
+            ),
+        };
+        stmts.push(format!(
+            "let field_{id}: {ty} = match object.iter().position(|(k, _)| k == \"{json_name}\") {{
+                 ::core::option::Option::Some(i) => {FROM_VALUE}(object.remove(i).1)?,
+                 ::core::option::Option::None => {missing},
+             }};",
+            id = f.ident,
+            ty = f.ty
+        ));
+    }
+    if let Some(f) = flatten_field {
+        stmts.push(format!(
+            "let field_{id}: {ty} = {FROM_VALUE}({VALUE}::Object(::core::mem::take(&mut object)))?;",
+            id = f.ident,
+            ty = f.ty
+        ));
+    } else if deny_unknown {
+        stmts.push(format!(
+            "if let ::core::option::Option::Some((k, _)) = object.first() {{
+                 return ::core::result::Result::Err({DE_ERR}(format!(\"unknown field `{{}}` in {type_name}\", k)));
+             }}"
+        ));
+    }
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{id}: field_{id}", id = f.ident))
+        .collect();
+    let ctor = ctor_template.replace("%FIELDS%", &inits.join(", "));
+    stmts.push(format!("::core::result::Result::Ok({ctor})"));
+    stmts.join("\n")
+}
+
+/// Statements extracting a tuple of `types` from `source_expr`, finishing with
+/// `Ok(<ctor with %FIELDS% replaced>)`.
+fn de_tuple_body(
+    type_name: &str,
+    types: &[String],
+    source_expr: &str,
+    ctor_template: &str,
+) -> String {
+    let n = types.len();
+    let mut stmts = vec![format!(
+        "let array = match {source_expr} {{
+             {VALUE}::Array(a) => a,
+             other => return ::core::result::Result::Err({DE_ERR}(format!(\"expected array for {type_name}, found {{}}\", other.kind()))),
+         }};
+         if array.len() != {n} {{
+             return ::core::result::Result::Err({DE_ERR}(format!(\"expected {n} elements, found {{}}\", array.len())));
+         }}
+         let mut iter = array.into_iter();"
+    )];
+    for (i, ty) in types.iter().enumerate() {
+        stmts.push(format!(
+            "let field_{i}: {ty} = {FROM_VALUE}(iter.next().unwrap())?;"
+        ));
+    }
+    let inits: Vec<String> = (0..n).map(|i| format!("field_{i}")).collect();
+    let ctor = ctor_template.replace("%FIELDS%", &inits.join(", "));
+    stmts.push(format!("::core::result::Result::Ok({ctor})"));
+    stmts.join("\n")
+}
+
+fn wrap_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]
+impl<'de> serde::Deserialize<'de> for {name} {{
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{
+        {body}
+    }}
+}}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}

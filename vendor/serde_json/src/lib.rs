@@ -1,0 +1,110 @@
+//! Offline stand-in for `serde_json`: JSON text ⇄ the vendored serde's
+//! [`Value`] tree ⇄ any `Serialize`/`Deserialize` type.
+
+use std::fmt;
+
+pub use serde::value::Value;
+
+mod parser;
+
+/// Error raised by serialization, deserialization, or parsing.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = serde::value::to_value_any(value).map_err(|e| Error::new(e.to_string()))?;
+    Ok(tree.to_string())
+}
+
+/// Serialize a value to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = serde::value::to_value_any(value).map_err(|e| Error::new(e.to_string()))?;
+    Ok(pretty(&tree))
+}
+
+fn pretty(value: &Value) -> String {
+    // `Display` on Value is compact; re-walk for the 2-space-indent form.
+    fn write_pretty(value: &Value, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let pad_inner = "  ".repeat(indent + 1);
+        match value {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    write_pretty(item, indent + 1, out);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    out.push_str(&Value::String(k.clone()).to_string());
+                    out.push_str(": ");
+                    write_pretty(v, indent + 1, out);
+                    if i + 1 < members.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    out
+}
+
+/// Serialize a value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::value::to_value_any(value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserialize a value from a [`Value`] tree.
+pub fn from_value<'de, T: serde::Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::value::from_value_any(value)
+}
+
+/// Parse a JSON string into any `Deserialize` type.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let tree = parser::parse(text)?;
+    serde::value::from_value_any(tree)
+}
