@@ -1,0 +1,123 @@
+//! Parametric-sweep throughput: a γ/β binding sweep over ONE symbolic QAOA
+//! bundle (late binding against a shared parametric plan) vs the same grid
+//! submitted **pre-bound** (every point a distinct program that transpiles
+//! from scratch).
+//!
+//! The program is QAOA p=2 on a 12-node ring transpiled onto a *linear*
+//! coupling map, so each transpilation pays for routing, basis lowering, and
+//! level-2 optimization — the cost the parametric path amortizes down to one
+//! build plus O(#slots) substitutions per point. Run with:
+//! `cargo bench -p qml-bench --bench parametric_sweep`
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_core::prelude::*;
+use qml_core::types::{ContextDescriptor, ExecConfig, ParamValue, Target};
+use qml_service::{QmlService, ServiceConfig, SweepRequest};
+
+const NODES: usize = 12;
+const LAYERS: usize = 2;
+const POINTS: usize = 16;
+
+fn context() -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(32)
+            .with_seed(7)
+            .with_target(Target::linear(NODES))
+            .with_optimization_level(2),
+    )
+}
+
+fn symbolic_template() -> JobBundle {
+    qaoa_maxcut_program(
+        &qml_core::graph::cycle(NODES),
+        &QaoaSchedule::Symbolic { layers: LAYERS },
+    )
+    .expect("valid symbolic QAOA bundle")
+}
+
+fn grid() -> Vec<BTreeMap<String, ParamValue>> {
+    (0..POINTS)
+        .map(|i| {
+            let mut bindings = BTreeMap::new();
+            for layer in 0..LAYERS {
+                bindings.insert(
+                    format!("gamma_{layer}"),
+                    ParamValue::Float(0.1 + 0.05 * i as f64 + 0.2 * layer as f64),
+                );
+                bindings.insert(
+                    format!("beta_{layer}"),
+                    ParamValue::Float(0.3 + 0.04 * i as f64 + 0.1 * layer as f64),
+                );
+            }
+            bindings
+        })
+        .collect()
+}
+
+/// Submit + drain the grid as one symbolic sweep with attached binding sets.
+fn run_parametric() -> (f64, u64, u64) {
+    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let mut sweep = SweepRequest::new("parametric", symbolic_template()).with_context(context());
+    for bindings in grid() {
+        sweep = sweep.with_binding_set(bindings);
+    }
+    service
+        .submit_sweep("bench", sweep)
+        .expect("sweep accepted");
+    let report = service.run_pending();
+    assert_eq!(report.failed, 0);
+    let stats = service.metrics().gate_cache;
+    (report.jobs_per_second, stats.misses, stats.hits)
+}
+
+/// Submit + drain the same grid with angles substituted before submission.
+fn run_prebound() -> (f64, u64, u64) {
+    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let template = symbolic_template();
+    for bindings in grid() {
+        service
+            .submit("bench", template.bind(&bindings).with_context(context()))
+            .expect("job accepted");
+    }
+    let report = service.run_pending();
+    assert_eq!(report.failed, 0);
+    let stats = service.metrics().gate_cache;
+    (report.jobs_per_second, stats.misses, stats.hits)
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline numbers outside the harness.
+    let (parametric_jps, parametric_misses, parametric_hits) = run_parametric();
+    let (prebound_jps, prebound_misses, _) = run_prebound();
+    println!(
+        "[parametric] {POINTS}-point sweep: late-bound {parametric_jps:.0} jobs/s \
+         ({parametric_misses} transpilation, {parametric_hits} plan hits) vs \
+         pre-bound {prebound_jps:.0} jobs/s ({prebound_misses} transpilations)",
+    );
+    println!(
+        "[parametric] per-point: late-bound {:.3} ms vs pre-bound {:.3} ms",
+        1e3 / parametric_jps,
+        1e3 / prebound_jps,
+    );
+    assert_eq!(
+        parametric_misses, 1,
+        "a binding sweep must transpile exactly once"
+    );
+    assert_eq!(parametric_hits as usize, POINTS - 1);
+    assert_eq!(
+        prebound_misses as usize, POINTS,
+        "bind-first transpiles every point"
+    );
+
+    let mut group = c.benchmark_group("parametric_sweep");
+    group.sample_size(10);
+    group.bench_function("grid16_late_bound", |b| b.iter(run_parametric));
+    group.bench_function("grid16_pre_bound", |b| b.iter(run_prebound));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

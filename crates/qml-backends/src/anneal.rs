@@ -10,7 +10,7 @@
 use qml_anneal::{AnnealParams, SimulatedAnnealer};
 use qml_types::{AnnealConfig, DecodedCounts, ExecConfig, JobBundle, QmlError, Result};
 
-use crate::cache::{AnnealPlan, TranspileCache};
+use crate::cache::{AnnealPlan, AnnealPlanKey, TranspileCache};
 use crate::lowering::lower_to_bqm;
 use crate::results::{EnergyStats, ExecutionResult};
 use crate::traits::Backend;
@@ -100,6 +100,29 @@ impl AnnealBackend {
         })
     }
 
+    /// Stable fingerprint of the context's **annealing schedule** — engine,
+    /// Metropolis sweeps, and β-range. These are the knobs that shape the
+    /// anneal itself; the read policy (`num_reads`, seed) deliberately stays
+    /// out so shot-ladder sweeps keep sharing one plan. Part of the plan
+    /// cache key so two contexts with different schedules can never collide
+    /// on one BQM plan.
+    fn schedule_fingerprint(exec: Option<&ExecConfig>, anneal: Option<&AnnealConfig>) -> u64 {
+        use qml_types::bundle::{fnv1a64_init, fnv1a64_update};
+        let mut hash = fnv1a64_init();
+        if let Some(exec) = exec {
+            hash = fnv1a64_update(hash, exec.engine.as_bytes());
+        }
+        hash = fnv1a64_update(hash, b"\x1f");
+        let sweeps = anneal.and_then(|a| a.num_sweeps).unwrap_or(DEFAULT_SWEEPS);
+        hash = fnv1a64_update(hash, &sweeps.to_le_bytes());
+        hash = fnv1a64_update(hash, b"\x1f");
+        if let Some((lo, hi)) = anneal.and_then(|a| a.beta_range) {
+            hash = fnv1a64_update(hash, &lo.to_bits().to_le_bytes());
+            hash = fnv1a64_update(hash, &hi.to_bits().to_le_bytes());
+        }
+        hash
+    }
+
     /// Derive sampler parameters from the context blocks.
     fn params(exec: Option<&ExecConfig>, anneal: Option<&AnnealConfig>) -> AnnealParams {
         let num_reads = anneal
@@ -151,7 +174,15 @@ impl Backend for AnnealBackend {
         cache: &TranspileCache,
     ) -> Result<ExecutionResult> {
         let exec = self.prepare(bundle)?;
-        let plan = cache.anneal_plan(bundle.program_hash(), || {
+        let context = bundle.context.clone().unwrap_or_default();
+        let key = AnnealPlanKey {
+            // The realized program: attached bindings participate in
+            // `program_hash`, so two binding sets of one symbolic problem
+            // lower to (and cache) distinct BQMs.
+            program: bundle.program_hash(),
+            schedule: Self::schedule_fingerprint(exec.as_ref(), context.anneal.as_ref()),
+        };
+        let plan = cache.anneal_plan(key, || {
             let lowered = lower_to_bqm(bundle)?;
             Ok(AnnealPlan {
                 bqm: lowered.bqm,

@@ -2,13 +2,24 @@
 //!
 //! Realizing a job bundle has two phases: an expensive, *deterministic* one
 //! (lowering descriptors and transpiling against the target) and a cheap,
-//! policy-dependent one (sampling with the requested shots/seed and decoding).
-//! The paper's context-descriptor split makes the first phase a pure function
-//! of `(program intent, device target)` — exactly what parameter sweeps and
-//! multi-tenant traffic repeat over and over. [`TranspileCache`] memoizes that
-//! phase, keyed by [`qml_types::JobBundle::program_hash`] plus
-//! [`qml_transpile::TranspileTarget::fingerprint`] (and the optimization
-//! level), so repeated contexts skip `qml-transpile` entirely.
+//! policy-dependent one (binding late parameters, sampling with the requested
+//! shots/seed, and decoding). The paper's context-descriptor split makes the
+//! first phase a pure function of `(symbolic program, device target)` —
+//! exactly what parameter sweeps and multi-tenant traffic repeat over and
+//! over. [`TranspileCache`] memoizes that phase.
+//!
+//! Gate-path plans are **parametric**: keyed by
+//! [`qml_types::JobBundle::symbolic_program_hash`] (which canonicalizes
+//! symbol names) plus [`qml_transpile::TranspileTarget::fingerprint`] and the
+//! optimization level, and stored with their symbols intact — so an N-point
+//! angle sweep transpiles once and re-binds the routed circuit per point via
+//! [`GatePlan::bind`]. Annealing plans are keyed per realized program *and*
+//! annealer-schedule fingerprint, so two contexts with different schedules
+//! can never collide on one BQM plan.
+//!
+//! Both cache planes are bounded LRU by default (see
+//! [`TranspileCache::with_capacity`] / [`TranspileCache::unbounded`]);
+//! evictions are counted in [`CacheStats`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -20,13 +31,17 @@ use serde::{Deserialize, Serialize};
 use qml_anneal::BinaryQuadraticModel;
 use qml_sim::Circuit;
 use qml_transpile::CircuitMetrics;
-use qml_types::{QuantumDataType, Result, ResultSchema};
+use qml_types::{QmlError, QuantumDataType, Result, ResultSchema};
 
-/// Cache key of a gate-path realization: program intent hash, device target
-/// fingerprint, and transpiler optimization level.
+/// Default per-plane LRU capacity of a [`TranspileCache`].
+pub const DEFAULT_PLAN_CAPACITY: usize = 1024;
+
+/// Cache key of a gate-path realization: **symbolic** program hash, device
+/// target fingerprint, and transpiler optimization level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GatePlanKey {
-    /// [`qml_types::JobBundle::program_hash`] of the submitted intent.
+    /// [`qml_types::JobBundle::symbolic_program_hash`] of the submitted
+    /// intent (binding-independent, symbol names canonicalized).
     pub program: u64,
     /// [`qml_transpile::TranspileTarget::fingerprint`] of the device target.
     pub target: u64,
@@ -34,18 +49,88 @@ pub struct GatePlanKey {
     pub optimization_level: u8,
 }
 
+/// Cache key of an annealing-path realization: realized program hash plus
+/// the annealer schedule fingerprint of the submitting context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnnealPlanKey {
+    /// [`qml_types::JobBundle::program_hash`] of the (resolved) intent.
+    pub program: u64,
+    /// Fingerprint of the context's annealing schedule (engine, sweeps,
+    /// β-range) — read policy (reads/seed) is deliberately excluded.
+    pub schedule: u64,
+}
+
 /// A fully realized gate-path plan: everything execution needs except the
-/// sampling policy (shots/seed).
+/// late-bound parameter values and the sampling policy (shots/seed).
+///
+/// The circuit may carry **symbolic** rotation angles; [`GatePlan::bind`]
+/// substitutes a slot-ordered value vector into the recorded substitution
+/// sites — O(#sites) rewrites on top of a flat copy, with no re-routing and
+/// no re-optimization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatePlan {
-    /// The transpiled circuit, ready for the simulator.
+    /// The transpiled (routed, basis-lowered, optimized) circuit; possibly
+    /// parametric.
     pub circuit: Circuit,
-    /// Cost metrics of the transpiled circuit.
+    /// Slot table: symbol names in canonical order (`values[i]` binds
+    /// `symbols[i]`). Empty for fully concrete plans.
+    pub symbols: Vec<String>,
+    /// Gate indices still carrying symbolic angles after optimization.
+    param_sites: Vec<usize>,
+    /// Cost metrics of the transpiled circuit (binding-independent).
     pub metrics: CircuitMetrics,
     /// The register the measurement reads out.
     pub register: QuantumDataType,
     /// The explicit result schema attached to the measurement descriptor.
     pub schema: ResultSchema,
+}
+
+impl GatePlan {
+    /// Assemble a plan, recording the circuit's symbolic substitution sites.
+    pub fn new(
+        circuit: Circuit,
+        symbols: Vec<String>,
+        metrics: CircuitMetrics,
+        register: QuantumDataType,
+        schema: ResultSchema,
+    ) -> Self {
+        let param_sites = circuit.symbolic_gate_indices();
+        GatePlan {
+            circuit,
+            symbols,
+            param_sites,
+            metrics,
+            register,
+            schema,
+        }
+    }
+
+    /// True if the plan still carries symbolic angles to bind per execution.
+    pub fn is_parametric(&self) -> bool {
+        !self.param_sites.is_empty()
+    }
+
+    /// Number of symbolic substitution sites in the transpiled circuit.
+    pub fn param_site_count(&self) -> usize {
+        self.param_sites.len()
+    }
+
+    /// Substitute the slot-ordered `values` (aligned with
+    /// [`GatePlan::symbols`]) into the plan's circuit.
+    pub fn bind(&self, values: &[f64]) -> Result<Circuit> {
+        if values.len() < self.symbols.len() {
+            return Err(QmlError::Validation(format!(
+                "parametric plan needs {} binding values, got {}",
+                self.symbols.len(),
+                values.len()
+            )));
+        }
+        if self.param_sites.is_empty() {
+            Ok(self.circuit.clone())
+        } else {
+            Ok(self.circuit.bind_sites(&self.param_sites, values))
+        }
+    }
 }
 
 /// A realized annealing-path plan: the lowered quadratic model plus decoding
@@ -60,7 +145,7 @@ pub struct AnnealPlan {
     pub schema: ResultSchema,
 }
 
-/// Hit/miss/entry counters of one cache plane.
+/// Hit/miss/entry/eviction counters of one cache plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -69,6 +154,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Plans currently stored.
     pub entries: usize,
+    /// Plans dropped by the LRU capacity bound since the cache was created.
+    #[serde(default)]
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -83,35 +171,101 @@ impl CacheStats {
     }
 }
 
-/// A single-flight slot: empty until its plan is first realized.
-type PlanSlot<V> = Arc<Mutex<Option<Arc<V>>>>;
+/// A single-flight slot: empty until its plan is first realized. The
+/// last-use stamp rides the slot itself so the hit path never takes a
+/// plane-wide lock beyond the map's read lock.
+struct Slot<V> {
+    plan: Mutex<Option<Arc<V>>>,
+    /// Last-use tick of the plane clock; 0 = never used.
+    last_used: AtomicU64,
+    /// True once the slot has been added to the plane's `entries` counter.
+    /// Eviction only considers counted slots, so it can never decrement the
+    /// counter for a freshly published plan whose builder has not counted it
+    /// yet (and in-flight builds stay invisible to eviction entirely).
+    counted: std::sync::atomic::AtomicBool,
+}
+
+impl<V> Default for Slot<V> {
+    fn default() -> Self {
+        Slot {
+            plan: Mutex::new(None),
+            last_used: AtomicU64::new(0),
+            counted: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+type PlanSlot<V> = Arc<Slot<V>>;
 
 /// One single-flight cache plane: per-key slots so concurrent misses of the
 /// *same* plan serialize on their slot (exactly one build — no thundering
-/// herd) while different keys stay fully concurrent.
-#[derive(Debug)]
+/// herd) while different keys stay fully concurrent. Optionally bounded:
+/// inserting beyond `capacity` evicts the least-recently-used realized plan.
 struct CachePlane<K, V> {
     slots: RwLock<HashMap<K, PlanSlot<V>>>,
+    /// Monotonic LRU clock; slots store the tick of their last use.
+    clock: AtomicU64,
+    /// Maximum realized entries; `None` = unbounded.
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     /// Slots holding a realized plan — kept separately so a stats snapshot
     /// never has to take the per-slot locks (which may be held across an
     /// in-flight build).
     entries: AtomicUsize,
 }
 
-impl<K, V> Default for CachePlane<K, V> {
-    fn default() -> Self {
+impl<K, V> CachePlane<K, V> {
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        if let Some(cap) = capacity {
+            assert!(cap > 0, "cache capacity must be at least 1");
+        }
         CachePlane {
             slots: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             entries: AtomicUsize::new(0),
         }
+    }
+
+    /// Stamp a slot as most recently used (lock-free; ticks start at 1 so a
+    /// stamped slot is always distinguishable from an unrealized one).
+    fn touch(&self, slot: &Slot<V>) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
     }
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
+    /// Evict least-recently-used realized plans until the plane fits its
+    /// capacity again. Never evicts `just_inserted` (the entry that triggered
+    /// enforcement), so a hot miss cannot evict itself. Victim selection and
+    /// removal happen atomically under the map's write lock; the O(entries)
+    /// scan only runs on misses past capacity, never on hits.
+    fn enforce_capacity(&self, just_inserted: &K) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.entries.load(Ordering::Relaxed) > capacity {
+            let mut slots = self.slots.write();
+            let victim = slots
+                .iter()
+                .filter(|(key, slot)| *key != just_inserted && slot.counted.load(Ordering::Relaxed))
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(key, _)| key.clone());
+            let Some(victim) = victim else {
+                break;
+            };
+            slots.remove(&victim);
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn get_or_build(&self, key: K, build: impl FnOnce() -> Result<V>) -> Result<Arc<V>> {
         // Bind the fast-path lookup to its own statement so the read guard
         // drops before the write path runs (an `if let` over the guard would
@@ -121,24 +275,39 @@ impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
             Some(slot) => slot,
             None => self.slots.write().entry(key.clone()).or_default().clone(),
         };
-        let mut guard = slot.lock();
+        let mut guard = slot.plan.lock();
         if let Some(plan) = guard.as_ref() {
+            let plan = plan.clone();
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan.clone());
+            self.touch(&slot);
+            return Ok(plan);
         }
         // Failed realizations leave the slot empty so the next submission
         // retries, mirroring how transpilation errors surface per job.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(build()?);
         *guard = Some(plan.clone());
-        // Count the entry only while its slot is still reachable, under the
-        // map's read lock: a concurrent clear() (write lock) either ran
-        // before this check (slot orphaned, not counted) or runs after and
-        // resets the counter while holding the same lock — so the counter
-        // can never outlive the plans it counts.
-        let slots = self.slots.read();
-        if slots.get(&key).is_some_and(|live| Arc::ptr_eq(live, &slot)) {
-            self.entries.fetch_add(1, Ordering::Relaxed);
+        // Release the slot before touching map-level state: eviction takes
+        // the map's write lock and must never wait behind a held slot.
+        drop(guard);
+        // Count the entry only while its slot is still reachable, with the
+        // increment **under the map's read lock**: a concurrent clear()
+        // (write lock) either ran before this block (slot orphaned, not
+        // counted) or runs after and resets the counter while holding the
+        // same lock — never in between, so the counter can never outlive the
+        // plans it counts.
+        let counted = {
+            let slots = self.slots.read();
+            let live = slots.get(&key).is_some_and(|l| Arc::ptr_eq(l, &slot));
+            if live {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                slot.counted.store(true, Ordering::Relaxed);
+            }
+            live
+        };
+        if counted {
+            self.touch(&slot);
+            self.enforce_capacity(&key);
         }
         Ok(plan)
     }
@@ -148,6 +317,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.entries.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -160,24 +330,60 @@ impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
     }
 }
 
-/// Thread-safe transpilation/lowering cache with hit/miss counters.
+impl<K: std::fmt::Debug, V> std::fmt::Debug for CachePlane<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachePlane")
+            .field("capacity", &self.capacity)
+            .field("entries", &self.entries.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Thread-safe transpilation/lowering cache with hit/miss/eviction counters.
 ///
 /// Entries are stored behind `Arc` so concurrent executions of the same plan
 /// share one realization without cloning circuits, and lookups are
 /// single-flight per key: when N workers miss the same plan at once, one
-/// builds and the rest wait for its result. The cache is unbounded: plans are
-/// small relative to execution state, and the service layer exposes
-/// [`TranspileCache::clear`] for long-running deployments.
-#[derive(Debug, Default)]
+/// builds and the rest wait for its result. Both planes are bounded LRU
+/// caches (default [`DEFAULT_PLAN_CAPACITY`] entries each); long-running
+/// deployments that want the PR-1 behavior back can construct the cache with
+/// [`TranspileCache::unbounded`].
+#[derive(Debug)]
 pub struct TranspileCache {
     gate: CachePlane<GatePlanKey, GatePlan>,
-    anneal: CachePlane<u64, AnnealPlan>,
+    anneal: CachePlane<AnnealPlanKey, AnnealPlan>,
+}
+
+impl Default for TranspileCache {
+    fn default() -> Self {
+        TranspileCache::new()
+    }
 }
 
 impl TranspileCache {
-    /// An empty cache.
+    /// A cache bounded at [`DEFAULT_PLAN_CAPACITY`] plans per plane.
     pub fn new() -> Self {
-        TranspileCache::default()
+        TranspileCache::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
+
+    /// A cache bounded at `capacity` plans per plane (LRU eviction).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TranspileCache {
+            gate: CachePlane::with_capacity(Some(capacity)),
+            anneal: CachePlane::with_capacity(Some(capacity)),
+        }
+    }
+
+    /// An unbounded cache (the escape hatch for deployments that manage
+    /// memory with [`TranspileCache::clear`] instead).
+    pub fn unbounded() -> Self {
+        TranspileCache {
+            gate: CachePlane::with_capacity(None),
+            anneal: CachePlane::with_capacity(None),
+        }
     }
 
     /// Fetch the gate plan for `key`, realizing and storing it with `build`
@@ -190,13 +396,13 @@ impl TranspileCache {
         self.gate.get_or_build(key, build)
     }
 
-    /// Fetch the annealing plan for a program hash, realizing it on a miss.
+    /// Fetch the annealing plan for a key, realizing it on a miss.
     pub fn anneal_plan(
         &self,
-        program: u64,
+        key: AnnealPlanKey,
         build: impl FnOnce() -> Result<AnnealPlan>,
     ) -> Result<Arc<AnnealPlan>> {
-        self.anneal.get_or_build(program, build)
+        self.anneal.get_or_build(key, build)
     }
 
     /// Counters of the gate-path plane.
@@ -217,6 +423,7 @@ impl TranspileCache {
             hits: g.hits + a.hits,
             misses: g.misses + a.misses,
             entries: g.entries + a.entries,
+            evictions: g.evictions + a.evictions,
         }
     }
 
@@ -230,16 +437,16 @@ impl TranspileCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qml_types::QmlError;
 
     fn dummy_plan() -> GatePlan {
         let qdt = QuantumDataType::ising_spins("r", "s", 2).unwrap();
-        GatePlan {
-            circuit: Circuit::new(2),
-            metrics: CircuitMetrics::of(&Circuit::new(2), 0),
-            schema: ResultSchema::for_register(&qdt),
-            register: qdt,
-        }
+        GatePlan::new(
+            Circuit::new(2),
+            Vec::new(),
+            CircuitMetrics::of(&Circuit::new(2), 0),
+            qdt.clone(),
+            ResultSchema::for_register(&qdt),
+        )
     }
 
     fn key(program: u64) -> GatePlanKey {
@@ -262,6 +469,7 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
@@ -284,5 +492,68 @@ mod tests {
         let stats = cache.gate_stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_capacity_evicts_the_coldest_plan() {
+        let cache = TranspileCache::with_capacity(2);
+        cache.gate_plan(key(1), || Ok(dummy_plan())).unwrap();
+        cache.gate_plan(key(2), || Ok(dummy_plan())).unwrap();
+        // Touch key 1 so key 2 becomes the LRU victim.
+        cache.gate_plan(key(1), || panic!("hit expected")).unwrap();
+        cache.gate_plan(key(3), || Ok(dummy_plan())).unwrap();
+
+        let stats = cache.gate_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // Key 1 survived (still a hit), key 2 was evicted (rebuilds).
+        cache.gate_plan(key(1), || panic!("hit expected")).unwrap();
+        let mut rebuilt = false;
+        cache
+            .gate_plan(key(2), || {
+                rebuilt = true;
+                Ok(dummy_plan())
+            })
+            .unwrap();
+        assert!(rebuilt, "evicted plan must rebuild on next use");
+        assert_eq!(cache.gate_stats().evictions, 2, "rebuilding 2 evicted 3");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = TranspileCache::unbounded();
+        for program in 0..64 {
+            cache.gate_plan(key(program), || Ok(dummy_plan())).unwrap();
+        }
+        let stats = cache.gate_stats();
+        assert_eq!(stats.entries, 64);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn parametric_plan_binds_slot_table() {
+        use qml_sim::{Gate, ParamExpr};
+        let qdt = QuantumDataType::ising_spins("r", "s", 2).unwrap();
+        let mut circuit = Circuit::new(2);
+        circuit.push(Gate::Rzz(0, 1, ParamExpr::symbol(0).scale(2.0)));
+        circuit.push(Gate::Rx(1, ParamExpr::symbol(1)));
+        circuit.push(Gate::H(0));
+        circuit.measure_all();
+        let plan = GatePlan::new(
+            circuit,
+            vec!["gamma_0".into(), "beta_0".into()],
+            CircuitMetrics::of(&Circuit::new(2), 0),
+            qdt.clone(),
+            ResultSchema::for_register(&qdt),
+        );
+        assert!(plan.is_parametric());
+        assert_eq!(plan.param_site_count(), 2);
+
+        let bound = plan.bind(&[0.25, 0.5]).unwrap();
+        assert!(!bound.is_symbolic());
+        assert_eq!(bound.gates()[0], Gate::Rzz(0, 1, 0.5.into()));
+        assert_eq!(bound.gates()[1], Gate::Rx(1, 0.5.into()));
+
+        assert!(plan.bind(&[0.25]).is_err(), "missing slot value rejected");
     }
 }

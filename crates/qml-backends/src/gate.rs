@@ -76,24 +76,51 @@ impl GateBackend {
             .unwrap_or_else(TranspileTarget::ideal)
     }
 
-    /// The deterministic realization phase: lower the intent to a circuit and
-    /// transpile it against the target. Pure in `(intent, target, level)`, so
-    /// its output is what the [`TranspileCache`] memoizes.
+    /// The deterministic realization phase: lower the intent — **symbols
+    /// intact** — to a circuit and transpile it against the target. Pure in
+    /// `(symbolic intent, target, level)`, so its output is what the
+    /// [`TranspileCache`] memoizes and every binding of a sweep shares.
     fn build_plan(bundle: &JobBundle, exec: &ExecConfig) -> Result<GatePlan> {
         let lowered = lower_to_circuit(bundle)?;
         let target = Self::transpile_target(bundle, exec);
         let transpiled = transpile(&lowered.circuit, &target, exec.options.optimization_level)
             .map_err(|e| QmlError::Unsupported(format!("transpilation failed: {e}")))?;
-        Ok(GatePlan {
-            circuit: transpiled.circuit,
-            metrics: transpiled.metrics,
-            register: lowered.register,
-            schema: lowered.schema,
-        })
+        Ok(GatePlan::new(
+            transpiled.circuit,
+            lowered.symbols,
+            transpiled.metrics,
+            lowered.register,
+            lowered.schema,
+        ))
     }
 
-    /// The policy-dependent phase: sample the realized circuit and decode the
-    /// counts through the plan's explicit result schema.
+    /// The per-job binding values for a plan, in slot order: the bundle's
+    /// own canonical symbols looked up in its attached
+    /// [`BindingSet`](qml_types::BindingSet). Positional, so a plan built
+    /// from a differently-spelled (but canonically equal) program binds
+    /// correctly.
+    fn binding_values(bundle: &JobBundle, plan: &GatePlan) -> Result<Vec<f64>> {
+        let symbols = bundle.canonical_symbols();
+        if symbols.len() != plan.symbols.len() {
+            return Err(QmlError::Validation(format!(
+                "bundle has {} symbolic parameters but the plan expects {}",
+                symbols.len(),
+                plan.symbols.len()
+            )));
+        }
+        if symbols.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &bundle.bindings {
+            Some(bindings) => bindings.values_for(&symbols),
+            None => Err(QmlError::UnboundParameter(symbols[0].clone())),
+        }
+    }
+
+    /// The policy-dependent phase: bind the plan's slot table with the
+    /// bundle's late parameter values (O(#sites), no re-transpilation),
+    /// sample the bound circuit, and decode the counts through the plan's
+    /// explicit result schema.
     fn run_plan(
         &self,
         bundle: &JobBundle,
@@ -101,9 +128,19 @@ impl GateBackend {
         exec: &ExecConfig,
         plan: &GatePlan,
     ) -> Result<ExecutionResult> {
+        let values = Self::binding_values(bundle, plan)?;
+        // Concrete plans simulate in place; only parametric plans pay the
+        // flat copy + O(#sites) substitution.
+        let bound;
+        let circuit = if plan.is_parametric() {
+            bound = plan.bind(&values)?;
+            &bound
+        } else {
+            &plan.circuit
+        };
         let seed = exec.seed.unwrap_or(0);
         let sim = Simulator::new();
-        let run = sim.run(&plan.circuit, exec.samples, seed);
+        let run = sim.run(circuit, exec.samples, seed);
         let decoded = DecodedCounts::decode(&run.counts, &plan.schema, &plan.register)?;
 
         // Orthogonal QEC service (advisory resource estimate only).
@@ -161,8 +198,11 @@ impl Backend for GateBackend {
         cache: &TranspileCache,
     ) -> Result<ExecutionResult> {
         let (context, exec) = self.prepare(bundle)?;
+        // Keyed on the *symbolic* program hash: every binding set of a sweep
+        // — and any re-spelling of its symbols — shares one parametric plan,
+        // so an N-point scan performs exactly one transpilation.
         let key = GatePlanKey {
-            program: bundle.program_hash(),
+            program: bundle.symbolic_program_hash(),
             target: Self::transpile_target(bundle, &exec).fingerprint(),
             optimization_level: exec.options.optimization_level,
         };

@@ -19,7 +19,10 @@ pub mod results;
 pub mod traits;
 
 pub use anneal::{AnnealBackend, DEFAULT_ANNEAL_ENGINE, DEFAULT_SWEEPS};
-pub use cache::{AnnealPlan, CacheStats, GatePlan, GatePlanKey, TranspileCache};
+pub use cache::{
+    AnnealPlan, AnnealPlanKey, CacheStats, GatePlan, GatePlanKey, TranspileCache,
+    DEFAULT_PLAN_CAPACITY,
+};
 pub use gate::{listing4_context, GateBackend, DEFAULT_GATE_ENGINE};
 pub use lowering::{lower_to_bqm, lower_to_circuit, LoweredBqm, LoweredCircuit};
 pub use results::{EnergyStats, ExecutionResult};

@@ -8,7 +8,7 @@
 //! gates (gate path) or a binary quadratic model (annealing path).
 
 use qml_anneal::BinaryQuadraticModel;
-use qml_sim::{qft_circuit, Circuit, Gate};
+use qml_sim::{qft_circuit, Circuit, Gate, ParamExpr};
 use qml_types::{
     JobBundle, OperatorDescriptor, ParamValue, QmlError, QuantumDataType, RepKind, Result,
     ResultSchema,
@@ -16,17 +16,65 @@ use qml_types::{
 
 use qml_algorithms::parse_ising_operator;
 
-/// The gate-path lowering of a job bundle: a circuit plus the information
-/// needed to decode its counts.
+/// The gate-path lowering of a job bundle: a (possibly **parametric**)
+/// circuit plus the information needed to bind and decode it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoweredCircuit {
     /// The realized circuit (registers laid out contiguously in declaration
-    /// order).
+    /// order). Symbolic operator parameters lower to symbolic rotation
+    /// angles referencing the slot table below.
     pub circuit: Circuit,
+    /// Slot table: symbol names in the bundle's canonical order — slot `i`
+    /// of every [`ParamExpr`] in the circuit refers to `symbols[i]`.
+    pub symbols: Vec<String>,
     /// The register the final measurement reads out.
     pub register: QuantumDataType,
     /// The explicit result schema attached to the measurement descriptor.
     pub schema: ResultSchema,
+}
+
+/// Slot-assigning view of the bundle's symbols: canonical order, so that
+/// equal symbolic programs (up to symbol spelling) assign corresponding
+/// parameters the same slot.
+struct SymbolResolver {
+    names: Vec<String>,
+}
+
+impl SymbolResolver {
+    fn for_bundle(bundle: &JobBundle) -> Self {
+        SymbolResolver {
+            names: bundle.canonical_symbols(),
+        }
+    }
+
+    /// Resolve one operator parameter into an angle expression: numeric
+    /// values fold to constants, symbols become slot references.
+    fn angle(&self, op: &OperatorDescriptor, key: &str) -> Result<ParamExpr> {
+        match op.params.get(key) {
+            None => Err(QmlError::Validation(format!(
+                "missing parameter `{key}` on operator `{}`",
+                op.name
+            ))),
+            Some(value) => self.value(value, key),
+        }
+    }
+
+    fn value(&self, value: &ParamValue, key: &str) -> Result<ParamExpr> {
+        match value {
+            ParamValue::Symbol(symbol) => {
+                let slot = self
+                    .names
+                    .iter()
+                    .position(|name| *name == symbol.name)
+                    .ok_or_else(|| QmlError::UnboundParameter(symbol.name.clone()))?;
+                Ok(ParamExpr::symbol(slot as u32))
+            }
+            other => other
+                .as_f64()
+                .map(ParamExpr::constant)
+                .ok_or_else(|| QmlError::Validation(format!("parameter `{key}` is not numeric"))),
+        }
+    }
 }
 
 /// The annealing-path lowering of a job bundle.
@@ -75,23 +123,34 @@ fn parse_edges(op: &OperatorDescriptor, width: usize) -> Result<Vec<(usize, usiz
                     "edge ({u},{v}) is invalid for a width-{width} register"
                 )));
             }
-            let w = weights
-                .and_then(|ws| ws.get(idx))
-                .and_then(ParamValue::as_f64)
-                .unwrap_or(1.0);
+            let w = match weights.and_then(|ws| ws.get(idx)) {
+                None => 1.0,
+                // Weights are structural (they scale the circuit's angles at
+                // lowering time): a still-symbolic weight must fail loudly,
+                // never silently default.
+                Some(ParamValue::Symbol(symbol)) => {
+                    return Err(QmlError::UnboundParameter(symbol.name.clone()))
+                }
+                Some(value) => value
+                    .as_f64()
+                    .ok_or_else(|| QmlError::Validation("edge weights must be numeric".into()))?,
+            };
             Ok((u, v, w))
         })
         .collect()
 }
 
-/// Lower a job bundle to a gate-model circuit.
+/// Lower a job bundle to a gate-model circuit, **keeping symbolic parameters
+/// symbolic**: a QAOA bundle with unbound γ/β lowers to a parametric circuit
+/// whose rotation angles reference the returned slot table. Structural
+/// parameters (edges, QFT shape, encodings) must still be concrete.
 ///
 /// The bundle must end with exactly one `MEASUREMENT` descriptor (explicit
 /// measurement is the only way to obtain classical data) and every unitary
 /// descriptor must have a gate realization.
 pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
     bundle.validate()?;
-    bundle.ensure_bound()?;
+    let resolver = SymbolResolver::for_bundle(bundle);
     let offsets = bundle.register_offsets();
     let total_width = bundle.total_width();
     let mut circuit = Circuit::new(total_width);
@@ -111,20 +170,25 @@ pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
                 }
             }
             RepKind::IsingCostPhase => {
-                let gamma = op.params.require_f64("gamma")?;
+                let gamma = resolver.angle(op, "gamma")?;
                 for (u, v, w) in parse_edges(op, register.width)? {
-                    // exp(−i γ w Z_u Z_v) = RZZ(2 γ w).
-                    circuit.push(Gate::Rzz(wire(u), wire(v), 2.0 * gamma * w));
+                    // exp(−i γ w Z_u Z_v) = RZZ(2 γ w). The scale is affine,
+                    // so a symbolic γ stays symbolic through lowering.
+                    circuit.push(Gate::Rzz(wire(u), wire(v), gamma.scale(2.0 * w)));
                 }
             }
             RepKind::MixerRx => {
-                let beta = op.params.require_f64("beta")?;
+                let beta = resolver.angle(op, "beta")?;
                 for i in 0..register.width {
                     // exp(−i β X) = RX(2β).
-                    circuit.push(Gate::Rx(wire(i), 2.0 * beta));
+                    circuit.push(Gate::Rx(wire(i), beta.scale(2.0)));
                 }
             }
             RepKind::QftTemplate => {
+                // Every QFT parameter is structural (it changes the circuit's
+                // shape), so none may still be symbolic: `u64_or`/`bool_or`
+                // would otherwise silently substitute their defaults.
+                op.params.ensure_bound()?;
                 let approx = op.params.u64_or("approx_degree", 0) as usize;
                 let do_swaps = op.params.bool_or("do_swaps", true);
                 let inverse = op.params.bool_or("inverse", false);
@@ -139,9 +203,7 @@ pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
                     .and_then(ParamValue::as_list)
                     .ok_or_else(|| QmlError::Validation("angle encoding needs `angles`".into()))?;
                 for (i, angle) in angles.iter().enumerate() {
-                    let theta = angle
-                        .as_f64()
-                        .ok_or_else(|| QmlError::Validation("non-numeric angle".into()))?;
+                    let theta = resolver.value(angle, "angles")?;
                     circuit.push(Gate::Ry(wire(i), theta));
                 }
             }
@@ -174,6 +236,7 @@ pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
     })?;
     Ok(LoweredCircuit {
         circuit,
+        symbols: resolver.names,
         register,
         schema,
     })
@@ -181,9 +244,19 @@ pub fn lower_to_circuit(bundle: &JobBundle) -> Result<LoweredCircuit> {
 
 /// Lower a job bundle to a binary quadratic model for annealing backends.
 ///
-/// The bundle must contain exactly one `ISING_PROBLEM` descriptor; anything
-/// else is not an annealing workload.
+/// Unlike the gate path, BQM coefficients are structural, so symbolic
+/// parameters must be resolved first: any attached
+/// [`BindingSet`](qml_types::BindingSet) is substituted eagerly and the
+/// result must be fully bound. The bundle must contain exactly one
+/// `ISING_PROBLEM` descriptor; anything else is not an annealing workload.
 pub fn lower_to_bqm(bundle: &JobBundle) -> Result<LoweredBqm> {
+    let resolved;
+    let bundle = if bundle.bindings.is_some() {
+        resolved = bundle.resolved();
+        &resolved
+    } else {
+        bundle
+    };
     bundle.validate()?;
     bundle.ensure_bound()?;
     let problems: Vec<&OperatorDescriptor> = bundle
@@ -255,12 +328,80 @@ mod tests {
     }
 
     #[test]
-    fn unbound_symbols_block_lowering() {
+    fn unbound_symbols_lower_to_a_parametric_circuit() {
         let bundle = qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 }).unwrap();
+        let lowered = lower_to_circuit(&bundle).unwrap();
+        assert!(lowered.circuit.is_symbolic());
+        assert_eq!(
+            lowered.symbols,
+            vec!["gamma_0".to_string(), "beta_0".to_string()],
+            "slot table follows canonical (first-appearance) order"
+        );
+        // 4 RZZ (γ) + 4 RX (β) symbolic sites.
+        assert_eq!(lowered.circuit.symbolic_gate_indices().len(), 8);
+
+        // Binding the slot table reproduces the bind-first lowering exactly.
+        let mut bindings = std::collections::BTreeMap::new();
+        bindings.insert("gamma_0".to_string(), ParamValue::Float(0.4));
+        bindings.insert("beta_0".to_string(), ParamValue::Float(0.55));
+        let eager = lower_to_circuit(&bundle.bind(&bindings)).unwrap();
+        let late = lowered.circuit.bind(&[0.4, 0.55]);
+        assert_eq!(
+            late, eager.circuit,
+            "late and eager binding agree gate-for-gate"
+        );
+    }
+
+    #[test]
+    fn symbolic_structural_params_fail_loudly() {
+        // A symbolic QFT shape parameter must never silently default.
+        let mut bundle = qft_program(4, QftParams::default()).unwrap();
+        bundle.operators[0]
+            .params
+            .insert("approx_degree", ParamValue::symbol("d"));
         assert!(matches!(
             lower_to_circuit(&bundle),
-            Err(QmlError::UnboundParameter(_))
+            Err(QmlError::UnboundParameter(name)) if name == "d"
         ));
+
+        // A symbolic edge weight (structural: it scales the lowered angle)
+        // must fail loudly too, not default to 1.0.
+        let mut qaoa =
+            qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+        qaoa.operators[1].params.insert(
+            "weights",
+            ParamValue::List(vec![
+                ParamValue::symbol("w0"),
+                ParamValue::Float(1.0),
+                ParamValue::Float(1.0),
+                ParamValue::Float(1.0),
+            ]),
+        );
+        assert!(matches!(
+            lower_to_circuit(&qaoa),
+            Err(QmlError::UnboundParameter(name)) if name == "w0"
+        ));
+    }
+
+    #[test]
+    fn symbolic_angle_encoding_lowers_symbolically() {
+        use qml_types::ResultSchema;
+        let register = QuantumDataType::bool_register("b", "b", 2).unwrap();
+        let encode = qml_types::OperatorDescriptor::builder("encode", RepKind::AngleEncoding, "b")
+            .param(
+                "angles",
+                ParamValue::List(vec![ParamValue::symbol("x0"), ParamValue::Float(0.3)]),
+            )
+            .build()
+            .unwrap();
+        let measure = qml_types::OperatorDescriptor::builder("m", RepKind::Measurement, "b")
+            .result_schema(ResultSchema::for_register(&register))
+            .build()
+            .unwrap();
+        let bundle = JobBundle::new("enc", vec![register], vec![encode, measure]);
+        let lowered = lower_to_circuit(&bundle).unwrap();
+        assert_eq!(lowered.symbols, vec!["x0".to_string()]);
+        assert_eq!(lowered.circuit.symbolic_gate_indices().len(), 1);
     }
 
     #[test]

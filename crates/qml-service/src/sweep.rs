@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use qml_types::{ContextDescriptor, JobBundle, ParamValue, QmlError, Result};
+use qml_types::{BindingSet, ContextDescriptor, JobBundle, ParamValue, QmlError, Result};
 
 /// A sweep: one base bundle, N binding sets × M contexts.
 ///
@@ -60,11 +60,20 @@ impl SweepRequest {
         self.binding_sets.len().max(1) * self.contexts.len().max(1)
     }
 
-    /// Expand into concrete, validated job bundles.
+    /// Expand into validated job bundles with **late-bound** parameters.
     ///
-    /// Every expanded job must be fully bound and pass cross-descriptor
-    /// validation; the first violation rejects the whole sweep at submission
-    /// time (jobs never fail on validation mid-batch).
+    /// The base bundle's symbolic operators are kept symbolic: each numeric
+    /// binding set is attached as a [`BindingSet`] instead of being
+    /// substituted into the operators, so every job of the sweep shares one
+    /// symbolic program (`symbolic_program_hash`) and therefore one cached
+    /// parametric transpilation plan — an N-point angle scan transpiles
+    /// once. Non-numeric binding values (the rare structural case) are still
+    /// substituted eagerly, since plans cannot stay symbolic in them.
+    ///
+    /// Every expanded job must be fully bound (in place or via its binding
+    /// set) and pass cross-descriptor validation; the first violation rejects
+    /// the whole sweep at submission time (jobs never fail on validation
+    /// mid-batch).
     pub fn expand(&self) -> Result<Vec<JobBundle>> {
         if self.name.trim().is_empty() {
             return Err(QmlError::Validation("sweep name must be non-empty".into()));
@@ -84,11 +93,26 @@ impl SweepRequest {
         let mut jobs = Vec::with_capacity(bindings.len() * contexts.len());
         let mut index = 0usize;
         for binding in &bindings {
-            let bound = if binding.is_empty() {
+            // Only numeric values for symbols used purely as continuous
+            // angles may ride late: a symbol in a structural position
+            // (approximation degree, edge weight, flag) changes the lowered
+            // circuit's shape and must be substituted before lowering.
+            let mut late = BindingSet::from_param_values(binding);
+            late.entries
+                .retain(|name, _| self.base.symbol_is_angle_only(name));
+            let eager: BTreeMap<String, ParamValue> = binding
+                .iter()
+                .filter(|(name, _)| !late.binds(name))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let mut bound = if eager.is_empty() {
                 self.base.clone()
             } else {
-                self.base.bind(binding)
+                self.base.bind(&eager)
             };
+            if !late.is_empty() {
+                bound = bound.with_bindings(late);
+            }
             for context in &contexts {
                 let mut job = match context {
                     Some(ctx) => bound.clone().with_context((*ctx).clone()),
@@ -177,12 +201,36 @@ mod tests {
         assert_eq!(sweep.job_count(), 6);
         let jobs = sweep.expand().unwrap();
         assert_eq!(jobs.len(), 6);
-        // Two distinct programs (one per binding), three contexts each.
+        // Two distinct realized programs (one per binding), three contexts
+        // each — but the jobs stay symbolic with attached binding sets...
         let distinct: std::collections::BTreeSet<u64> =
             jobs.iter().map(|j| j.program_hash()).collect();
         assert_eq!(distinct.len(), 2);
+        assert!(jobs.iter().all(|j| j.bindings.is_some()));
+        // ...so all six share ONE symbolic program (= one transpiled plan).
+        let symbolic: std::collections::BTreeSet<u64> =
+            jobs.iter().map(|j| j.symbolic_program_hash()).collect();
+        assert_eq!(symbolic.len(), 1);
         // Names enumerate in expansion order.
         assert_eq!(jobs[5].name, "grid#5");
+    }
+
+    #[test]
+    fn expansion_keeps_the_base_symbolic() {
+        let sweep = SweepRequest::new("late", symbolic_program())
+            .with_binding_set(angle_binding(0.7))
+            .with_context(gate_context(3));
+        let jobs = sweep.expand().unwrap();
+        assert_eq!(jobs.len(), 1);
+        // Operators still carry their symbols; the values ride alongside.
+        assert_eq!(
+            jobs[0].unbound_symbols(),
+            vec!["beta_0".to_string(), "gamma_0".to_string()]
+        );
+        let bindings = jobs[0].bindings.as_ref().unwrap();
+        assert_eq!(bindings.get("gamma_0"), Some(0.7));
+        assert_eq!(bindings.get("beta_0"), Some(0.3));
+        jobs[0].ensure_bound().unwrap();
     }
 
     #[test]
@@ -190,6 +238,33 @@ mod tests {
         let sweep = SweepRequest::new("oops", symbolic_program()).with_context(gate_context(0));
         let err = sweep.expand().unwrap_err();
         assert!(err.to_string().contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn structural_symbols_bind_eagerly_even_when_numeric() {
+        // A symbol in a structural position (QFT approximation degree) must
+        // be substituted into the operators, not carried as a late binding —
+        // late binding only works for continuous angles.
+        let mut base =
+            qml_algorithms::qft_program(4, qml_algorithms::QftParams::default()).unwrap();
+        base.operators[0]
+            .params
+            .insert("approx_degree", ParamValue::symbol("d"));
+        let mut binding = BTreeMap::new();
+        binding.insert("d".to_string(), ParamValue::Int(2));
+        let jobs = SweepRequest::new("shape", base)
+            .with_binding_set(binding)
+            .expand()
+            .unwrap();
+        assert!(jobs[0].bindings.is_none(), "no late binding for shapes");
+        assert!(jobs[0].unbound_symbols().is_empty(), "eagerly substituted");
+        assert_eq!(
+            jobs[0].operators[0]
+                .params
+                .require_u64("approx_degree")
+                .unwrap(),
+            2
+        );
     }
 
     #[test]

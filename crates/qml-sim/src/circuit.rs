@@ -151,6 +151,43 @@ impl Circuit {
         depth
     }
 
+    /// True if any gate still carries unbound symbolic angles.
+    pub fn is_symbolic(&self) -> bool {
+        self.gates.iter().any(Gate::is_symbolic)
+    }
+
+    /// Indices of the gates carrying unbound symbolic angles — the
+    /// substitution sites a cached parametric plan rewrites per binding.
+    pub fn symbolic_gate_indices(&self) -> Vec<usize> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_symbolic())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Substitute a slot-indexed value table into every symbolic gate,
+    /// returning the fully bound circuit. O(gates); no routing or basis work.
+    pub fn bind(&self, values: &[f64]) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().map(|g| g.bind(values)).collect(),
+            measured: self.measured.clone(),
+        }
+    }
+
+    /// Like [`Circuit::bind`], but only rewrites the given gate indices
+    /// (obtained from [`Circuit::symbolic_gate_indices`]); the remaining
+    /// gates are copied verbatim, so the cost is one memcpy + O(#sites).
+    pub fn bind_sites(&self, sites: &[usize], values: &[f64]) -> Circuit {
+        let mut out = self.clone();
+        for &i in sites {
+            out.gates[i] = out.gates[i].bind(values);
+        }
+        out
+    }
+
     /// The inverse circuit: gates reversed and individually inverted.
     /// Measurements are not carried over (the inverse of a measured circuit
     /// is only meaningful up to the measurement).
@@ -202,7 +239,7 @@ pub fn qft_circuit(n: usize, approx_degree: usize, do_swaps: bool, inverse: bool
                 continue;
             }
             let angle = std::f64::consts::PI / (1 << distance) as f64;
-            qc.push(Gate::Cp(k, j, angle));
+            qc.push(Gate::Cp(k, j, angle.into()));
         }
     }
     if do_swaps {
@@ -226,7 +263,12 @@ mod tests {
     #[test]
     fn push_and_counts() {
         let mut qc = Circuit::new(3);
-        qc.extend(&[Gate::H(0), Gate::Cx(0, 1), Gate::Rz(2, 0.4), Gate::Cx(1, 2)]);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::Cx(0, 1),
+            Gate::Rz(2, (0.4).into()),
+            Gate::Cx(1, 2),
+        ]);
         assert_eq!(qc.len(), 4);
         assert_eq!(qc.count_two_qubit(), 2);
         assert_eq!(qc.count_single_qubit(), 2);
@@ -283,8 +325,8 @@ mod tests {
             Gate::H(0),
             Gate::Cx(0, 1),
             Gate::T(2),
-            Gate::Rz(1, 0.9),
-            Gate::Cp(0, 2, 0.4),
+            Gate::Rz(1, (0.9).into()),
+            Gate::Cp(0, 2, (0.4).into()),
             Gate::Sx(1),
         ]);
         let mut sv = StateVector::zero_state(3);
@@ -308,7 +350,7 @@ mod tests {
     #[test]
     fn uses_only_checks_basis() {
         let mut qc = Circuit::new(2);
-        qc.extend(&[Gate::Sx(0), Gate::Rz(1, 0.3), Gate::Cx(0, 1)]);
+        qc.extend(&[Gate::Sx(0), Gate::Rz(1, (0.3).into()), Gate::Cx(0, 1)]);
         let basis: Vec<String> = ["sx", "rz", "cx"].iter().map(|s| s.to_string()).collect();
         assert!(qc.uses_only(&basis));
         qc.push(Gate::H(0));
@@ -369,7 +411,7 @@ mod tests {
         for q in 0..n {
             qc.push(Gate::H(q));
             let angle = TAU * (k as f64) * (1 << q) as f64 / dim as f64;
-            qc.push(Gate::Phase(q, angle));
+            qc.push(Gate::Phase(q, angle.into()));
         }
         // The inverse of the no-swap QFT maps it back to |k⟩ bit-reversed;
         // with swaps enabled the result is |k⟩ directly.

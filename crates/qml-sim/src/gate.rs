@@ -6,11 +6,17 @@
 //! QAOA Max-Cut path (H, RZZ, RX) — plus the `{sx, rz, cx}` hardware basis of
 //! the paper's Listing 4 context and the generic `U(θ, φ, λ)` used by
 //! single-qubit resynthesis.
+//!
+//! Rotation angles are [`ParamExpr`]s, so a gate may carry **symbolic** late-
+//! bound parameters all the way through routing and optimization; only the
+//! matrix accessors require bound angles. Concrete angles convert implicitly
+//! via `From<f64>` (`Gate::Rz(0, theta.into())`).
 
 use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_PI_2, PI};
 
 use crate::complex::Complex64;
+use crate::param::ParamExpr;
 
 /// A quantum gate applied to specific qubit indices.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,26 +40,26 @@ pub enum Gate {
     /// √X — a hardware-native gate in the paper's `[sx, rz, cx]` basis.
     Sx(usize),
     /// Rotation about X by θ.
-    Rx(usize, f64),
+    Rx(usize, ParamExpr),
     /// Rotation about Y by θ.
-    Ry(usize, f64),
+    Ry(usize, ParamExpr),
     /// Rotation about Z by θ (global-phase-free diag(e^{-iθ/2}, e^{iθ/2})).
-    Rz(usize, f64),
+    Rz(usize, ParamExpr),
     /// Phase gate P(λ) = diag(1, e^{iλ}).
-    Phase(usize, f64),
+    Phase(usize, ParamExpr),
     /// Generic single-qubit U(θ, φ, λ).
-    U(usize, f64, f64, f64),
+    U(usize, ParamExpr, ParamExpr, ParamExpr),
     /// Controlled-X (control, target).
     Cx(usize, usize),
     /// Controlled-Z.
     Cz(usize, usize),
     /// Controlled-phase CP(λ) (control, target, λ).
-    Cp(usize, usize, f64),
+    Cp(usize, usize, ParamExpr),
     /// SWAP.
     Swap(usize, usize),
     /// Two-qubit ZZ interaction exp(-i θ/2 Z⊗Z) — the QAOA cost layer's
     /// native primitive.
-    Rzz(usize, usize, f64),
+    Rzz(usize, usize, ParamExpr),
 }
 
 impl Gate {
@@ -114,7 +120,35 @@ impl Gate {
         self.qubits().len() == 2
     }
 
-    /// The inverse gate.
+    /// True if any angle of the gate still carries unbound symbols.
+    pub fn is_symbolic(&self) -> bool {
+        match self {
+            Gate::Rx(_, t)
+            | Gate::Ry(_, t)
+            | Gate::Rz(_, t)
+            | Gate::Phase(_, t)
+            | Gate::Cp(_, _, t)
+            | Gate::Rzz(_, _, t) => t.is_symbolic(),
+            Gate::U(_, a, b, c) => a.is_symbolic() || b.is_symbolic() || c.is_symbolic(),
+            _ => false,
+        }
+    }
+
+    /// Substitute a slot-indexed value table into every symbolic angle.
+    pub fn bind(&self, values: &[f64]) -> Gate {
+        match *self {
+            Gate::Rx(q, t) => Gate::Rx(q, t.bind(values)),
+            Gate::Ry(q, t) => Gate::Ry(q, t.bind(values)),
+            Gate::Rz(q, t) => Gate::Rz(q, t.bind(values)),
+            Gate::Phase(q, t) => Gate::Phase(q, t.bind(values)),
+            Gate::U(q, a, b, c) => Gate::U(q, a.bind(values), b.bind(values), c.bind(values)),
+            Gate::Cp(c, t, l) => Gate::Cp(c, t, l.bind(values)),
+            Gate::Rzz(a, b, t) => Gate::Rzz(a, b, t.bind(values)),
+            other => other,
+        }
+    }
+
+    /// The inverse gate. Exact for symbolic angles (negation is affine).
     pub fn inverse(&self) -> Gate {
         match *self {
             Gate::H(q) => Gate::H(q),
@@ -126,17 +160,17 @@ impl Gate {
             Gate::T(q) => Gate::Tdg(q),
             Gate::Tdg(q) => Gate::T(q),
             // sx⁻¹ = sx† = rx(-π/2) up to global phase.
-            Gate::Sx(q) => Gate::Rx(q, -FRAC_PI_2),
-            Gate::Rx(q, t) => Gate::Rx(q, -t),
-            Gate::Ry(q, t) => Gate::Ry(q, -t),
-            Gate::Rz(q, t) => Gate::Rz(q, -t),
-            Gate::Phase(q, t) => Gate::Phase(q, -t),
-            Gate::U(q, theta, phi, lambda) => Gate::U(q, -theta, -lambda, -phi),
+            Gate::Sx(q) => Gate::Rx(q, (-FRAC_PI_2).into()),
+            Gate::Rx(q, t) => Gate::Rx(q, t.neg()),
+            Gate::Ry(q, t) => Gate::Ry(q, t.neg()),
+            Gate::Rz(q, t) => Gate::Rz(q, t.neg()),
+            Gate::Phase(q, t) => Gate::Phase(q, t.neg()),
+            Gate::U(q, theta, phi, lambda) => Gate::U(q, theta.neg(), lambda.neg(), phi.neg()),
             Gate::Cx(c, t) => Gate::Cx(c, t),
             Gate::Cz(c, t) => Gate::Cz(c, t),
-            Gate::Cp(c, t, l) => Gate::Cp(c, t, -l),
+            Gate::Cp(c, t, l) => Gate::Cp(c, t, l.neg()),
             Gate::Swap(a, b) => Gate::Swap(a, b),
-            Gate::Rzz(a, b, t) => Gate::Rzz(a, b, -t),
+            Gate::Rzz(a, b, t) => Gate::Rzz(a, b, t.neg()),
         }
     }
 
@@ -169,6 +203,10 @@ impl Gate {
 
     /// The 2×2 matrix of a single-qubit gate in row-major order
     /// `[m00, m01, m10, m11]`, or `None` for two-qubit gates.
+    ///
+    /// # Panics
+    /// Panics if the gate carries an unbound symbolic angle — bind the plan
+    /// before requesting matrices.
     pub fn single_qubit_matrix(&self) -> Option<[Complex64; 4]> {
         let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
         let m = match *self {
@@ -227,6 +265,7 @@ impl Gate {
                 Complex64::new(0.5, 0.5),
             ],
             Gate::Rx(_, t) => {
+                let t = t.value();
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
                 [
                     Complex64::real(c),
@@ -236,6 +275,7 @@ impl Gate {
                 ]
             }
             Gate::Ry(_, t) => {
+                let t = t.value();
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
                 [
                     Complex64::real(c),
@@ -244,19 +284,23 @@ impl Gate {
                     Complex64::real(c),
                 ]
             }
-            Gate::Rz(_, t) => [
-                Complex64::from_phase(-t / 2.0),
-                Complex64::ZERO,
-                Complex64::ZERO,
-                Complex64::from_phase(t / 2.0),
-            ],
+            Gate::Rz(_, t) => {
+                let t = t.value();
+                [
+                    Complex64::from_phase(-t / 2.0),
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::from_phase(t / 2.0),
+                ]
+            }
             Gate::Phase(_, l) => [
                 Complex64::ONE,
                 Complex64::ZERO,
                 Complex64::ZERO,
-                Complex64::from_phase(l),
+                Complex64::from_phase(l.value()),
             ],
             Gate::U(_, theta, phi, lambda) => {
+                let (theta, phi, lambda) = (theta.value(), phi.value(), lambda.value());
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
                 [
                     Complex64::real(c),
@@ -295,6 +339,7 @@ pub fn is_unitary2(m: &[Complex64; 4], eps: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::ParamExpr;
 
     const EPS: f64 = 1e-10;
 
@@ -309,11 +354,11 @@ mod tests {
             Gate::T(0),
             Gate::Tdg(0),
             Gate::Sx(0),
-            Gate::Rx(0, 0.7),
-            Gate::Ry(0, -1.3),
-            Gate::Rz(0, 2.1),
-            Gate::Phase(0, 0.9),
-            Gate::U(0, 1.0, 0.5, -0.3),
+            Gate::Rx(0, 0.7.into()),
+            Gate::Ry(0, (-1.3).into()),
+            Gate::Rz(0, 2.1.into()),
+            Gate::Phase(0, 0.9.into()),
+            Gate::U(0, 1.0.into(), 0.5.into(), (-0.3).into()),
         ]
     }
 
@@ -331,7 +376,7 @@ mod tests {
             Gate::Cx(0, 1),
             Gate::Cz(0, 1),
             Gate::Swap(0, 1),
-            Gate::Rzz(0, 1, 0.3),
+            Gate::Rzz(0, 1, 0.3.into()),
         ] {
             assert!(gate.single_qubit_matrix().is_none());
             assert!(gate.is_two_qubit());
@@ -366,7 +411,7 @@ mod tests {
     #[test]
     fn u_gate_specializations() {
         // U(π/2, 0, π) = H up to global phase; compare action structure.
-        let u = Gate::U(0, std::f64::consts::FRAC_PI_2, 0.0, PI)
+        let u = Gate::U(0, std::f64::consts::FRAC_PI_2.into(), 0.0.into(), PI.into())
             .single_qubit_matrix()
             .unwrap();
         let h = Gate::H(0).single_qubit_matrix().unwrap();
@@ -379,8 +424,8 @@ mod tests {
     fn names_and_qubits() {
         assert_eq!(Gate::Cx(2, 5).name(), "cx");
         assert_eq!(Gate::Cx(2, 5).qubits(), vec![2, 5]);
-        assert_eq!(Gate::Rz(3, 0.1).qubits(), vec![3]);
-        assert_eq!(Gate::Rzz(0, 1, 0.4).name(), "rzz");
+        assert_eq!(Gate::Rz(3, 0.1.into()).qubits(), vec![3]);
+        assert_eq!(Gate::Rzz(0, 1, 0.4.into()).name(), "rzz");
     }
 
     #[test]
@@ -393,11 +438,46 @@ mod tests {
     #[test]
     fn phase_and_rz_differ_by_global_phase_only() {
         let theta = 0.83;
-        let p = Gate::Phase(0, theta).single_qubit_matrix().unwrap();
-        let rz = Gate::Rz(0, theta).single_qubit_matrix().unwrap();
+        let p = Gate::Phase(0, theta.into()).single_qubit_matrix().unwrap();
+        let rz = Gate::Rz(0, theta.into()).single_qubit_matrix().unwrap();
         // p = e^{iθ/2} rz  ⇒ ratio of corresponding entries is a fixed phase.
         let phase = Complex64::from_phase(theta / 2.0);
         assert!(p[0].approx_eq(rz[0] * phase, EPS));
         assert!(p[3].approx_eq(rz[3] * phase, EPS));
+    }
+
+    #[test]
+    fn symbolic_gates_bind_to_concrete_gates() {
+        let g = Gate::Rzz(0, 1, ParamExpr::symbol(0).scale(2.0));
+        assert!(g.is_symbolic());
+        assert!(!g.bind(&[0.4]).is_symbolic());
+        assert_eq!(g.bind(&[0.4]), Gate::Rzz(0, 1, 0.8.into()));
+        // Binding is the identity on concrete gates.
+        assert_eq!(Gate::H(0).bind(&[]), Gate::H(0));
+        assert_eq!(Gate::Rx(0, 0.3.into()).bind(&[]), Gate::Rx(0, 0.3.into()));
+    }
+
+    #[test]
+    fn symbolic_inverse_cancels_after_binding() {
+        let g = Gate::Rx(0, ParamExpr::symbol(0));
+        let roundtrip = g.inverse().bind(&[0.9]).single_qubit_matrix().unwrap();
+        let forward = g.bind(&[0.9]).single_qubit_matrix().unwrap();
+        let p = matmul2(&roundtrip, &forward);
+        assert!(p[1].approx_eq(Complex64::ZERO, EPS));
+        assert!(p[2].approx_eq(Complex64::ZERO, EPS));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound symbolic")]
+    fn matrix_of_symbolic_gate_panics() {
+        Gate::Rx(0, ParamExpr::symbol(0)).single_qubit_matrix();
+    }
+
+    #[test]
+    fn symbolic_gates_serde_round_trip() {
+        let g = Gate::Cp(0, 1, ParamExpr::symbol(2).shift(0.5));
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Gate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
     }
 }

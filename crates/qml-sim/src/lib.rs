@@ -7,7 +7,9 @@
 //!
 //! * [`Complex64`] — allocation-free complex arithmetic.
 //! * [`Gate`] — the gate vocabulary backends lower descriptors into,
-//!   including the paper's `{sx, rz, cx}` hardware basis.
+//!   including the paper's `{sx, rz, cx}` hardware basis. Rotation angles
+//!   are [`ParamExpr`]s, so circuits may stay symbolic through transpilation
+//!   and be bound per execution ([`Circuit::bind`]).
 //! * [`StateVector`] — amplitudes plus gate-application kernels
 //!   (rayon-parallel above [`state::PARALLEL_THRESHOLD`]).
 //! * [`Circuit`] / [`qft_circuit`] — ordered gate lists with explicit
@@ -20,12 +22,14 @@
 pub mod circuit;
 pub mod complex;
 pub mod gate;
+pub mod param;
 pub mod simulator;
 pub mod state;
 
 pub use circuit::{qft_circuit, Circuit};
 pub use complex::Complex64;
 pub use gate::{is_unitary2, matmul2, Gate};
+pub use param::{ParamExpr, MAX_PARAM_TERMS};
 pub use simulator::{SimulationResult, Simulator};
 pub use state::{StateVector, PARALLEL_THRESHOLD};
 
@@ -42,12 +46,12 @@ mod proptests {
             let b = if a == b { (b + 1) % n } else { b };
             match kind {
                 0 => Gate::H(a),
-                1 => Gate::Rx(a, t),
-                2 => Gate::Ry(a, t),
-                3 => Gate::Rz(a, t),
+                1 => Gate::Rx(a, t.into()),
+                2 => Gate::Ry(a, t.into()),
+                3 => Gate::Rz(a, t.into()),
                 4 => Gate::Cx(a, b),
-                5 => Gate::Cp(a, b, t),
-                6 => Gate::Rzz(a, b, t),
+                5 => Gate::Cp(a, b, t.into()),
+                6 => Gate::Rzz(a, b, t.into()),
                 _ => Gate::Sx(a),
             }
         })

@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn exact_distribution_matches_theory() {
         let mut qc = Circuit::new(1);
-        qc.push(Gate::Ry(0, 2.0 * (0.3f64).asin())); // P(1) = 0.09
+        qc.push(Gate::Ry(0, (2.0 * (0.3f64).asin()).into())); // P(1) = 0.09
         qc.measure_all();
         let dist = Simulator::new().exact_distribution(&qc);
         assert!((dist["1"] - 0.09).abs() < 1e-9);

@@ -140,9 +140,9 @@ impl StateVector {
         match *gate {
             Gate::Cx(c, t) => self.apply_cx(c, t),
             Gate::Cz(c, t) => self.apply_cphase(c, t, std::f64::consts::PI),
-            Gate::Cp(c, t, lambda) => self.apply_cphase(c, t, lambda),
+            Gate::Cp(c, t, lambda) => self.apply_cphase(c, t, lambda.value()),
             Gate::Swap(a, b) => self.apply_swap(a, b),
-            Gate::Rzz(a, b, theta) => self.apply_rzz(a, b, theta),
+            Gate::Rzz(a, b, theta) => self.apply_rzz(a, b, theta.value()),
             ref g => {
                 let m = g
                     .single_qubit_matrix()
@@ -368,7 +368,7 @@ mod tests {
         let mut a = StateVector::zero_state(2);
         a.apply_all(&[Gate::H(0), Gate::H(1), Gate::Cz(0, 1)]);
         let mut b = StateVector::zero_state(2);
-        b.apply_all(&[Gate::H(0), Gate::H(1), Gate::Cp(0, 1, PI)]);
+        b.apply_all(&[Gate::H(0), Gate::H(1), Gate::Cp(0, 1, PI.into())]);
         assert!((a.fidelity(&b) - 1.0).abs() < EPS);
     }
 
@@ -401,13 +401,13 @@ mod tests {
     fn rzz_equals_cx_rz_cx() {
         let theta = 0.73;
         let mut direct = StateVector::zero_state(2);
-        direct.apply_all(&[Gate::H(0), Gate::H(1), Gate::Rzz(0, 1, theta)]);
+        direct.apply_all(&[Gate::H(0), Gate::H(1), Gate::Rzz(0, 1, theta.into())]);
         let mut decomposed = StateVector::zero_state(2);
         decomposed.apply_all(&[
             Gate::H(0),
             Gate::H(1),
             Gate::Cx(0, 1),
-            Gate::Rz(1, theta),
+            Gate::Rz(1, theta.into()),
             Gate::Cx(0, 1),
         ]);
         assert!((direct.fidelity(&decomposed) - 1.0).abs() < 1e-9);
@@ -418,12 +418,12 @@ mod tests {
         let mut sv = StateVector::zero_state(5);
         let gates = [
             Gate::H(0),
-            Gate::Rx(1, 0.3),
+            Gate::Rx(1, (0.3).into()),
             Gate::Cx(0, 2),
-            Gate::Rz(3, 1.1),
-            Gate::Cp(2, 4, 0.4),
-            Gate::Ry(4, -0.8),
-            Gate::Rzz(1, 3, 0.9),
+            Gate::Rz(3, (1.1).into()),
+            Gate::Cp(2, 4, (0.4).into()),
+            Gate::Ry(4, (-0.8).into()),
+            Gate::Rzz(1, 3, (0.9).into()),
             Gate::Swap(0, 4),
             Gate::Sx(2),
             Gate::T(3),
@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn marginal_probabilities_sum_to_one() {
         let mut sv = StateVector::zero_state(3);
-        sv.apply_all(&[Gate::H(0), Gate::Cx(0, 1), Gate::Ry(2, 0.7)]);
+        sv.apply_all(&[Gate::H(0), Gate::Cx(0, 1), Gate::Ry(2, (0.7).into())]);
         let marg = sv.marginal_probabilities(&[0, 2]);
         let total: f64 = marg.values().sum();
         assert!((total - 1.0).abs() < EPS);
@@ -485,10 +485,10 @@ mod tests {
         let n = 15;
         let mut sv = StateVector::zero_state(n);
         for q in 0..n {
-            sv.apply(&Gate::Ry(q, 0.1 * (q as f64 + 1.0)));
+            sv.apply(&Gate::Ry(q, (0.1 * (q as f64 + 1.0)).into()));
         }
         sv.apply(&Gate::Cx(0, 14));
-        sv.apply(&Gate::Rzz(3, 12, 0.4));
+        sv.apply(&Gate::Rzz(3, 12, (0.4).into()));
         assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
         // Qubit 7 is untouched by the entangling gates: its marginal must
         // match the single-qubit calculation exactly.

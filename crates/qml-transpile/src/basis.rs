@@ -8,7 +8,7 @@
 //! rewrites are exact up to a global phase, which is irrelevant to any
 //! measurement statistics the middle layer exposes.
 
-use qml_sim::{matmul2, Circuit, Complex64, Gate};
+use qml_sim::{matmul2, Circuit, Complex64, Gate, ParamExpr};
 
 use crate::target::TranspileTarget;
 
@@ -35,48 +35,75 @@ pub fn u_angles_from_matrix(m: &[Complex64; 4]) -> (f64, f64, f64) {
     }
 }
 
+/// The analytic ZXZXZ realization of `U(θ, φ, λ)` in application order:
+/// `RZ(λ) · SX · RZ(θ+π) · SX · RZ(φ+π)`, exact up to a global phase for any
+/// angle expressions — including **symbolic** ones, since θ, φ, λ enter the
+/// sequence only through affine shifts.
+fn zsx_sequence(q: usize, theta: ParamExpr, phi: ParamExpr, lambda: ParamExpr) -> Vec<Gate> {
+    vec![
+        Gate::Rz(q, lambda),
+        Gate::Sx(q),
+        Gate::Rz(q, theta.shift(std::f64::consts::PI)),
+        Gate::Sx(q),
+        Gate::Rz(q, phi.shift(std::f64::consts::PI)),
+    ]
+}
+
 /// Rewrite any single-qubit gate as the ZXZXZ sequence
 /// `RZ(λ) · SX · RZ(θ+π) · SX · RZ(φ+π)` (listed in application order),
 /// exact up to a global phase.
+///
+/// Symbolic rotations decompose **without evaluating their angle**: the
+/// identities `RX(θ) = U(θ, −π/2, π/2)` and `RY(θ) = U(θ, 0, 0)` place the
+/// symbolic θ directly into one RZ of the sequence, so a parametric circuit
+/// reaches the hardware basis with its symbols intact.
 pub fn decompose_1q_to_zsx(gate: &Gate) -> Vec<Gate> {
     let q = gate.qubits()[0];
-    // Diagonal gates need only a single RZ.
+    // Diagonal gates need only a single RZ (symbolic or not).
     match *gate {
         Gate::Rz(_, t) => return vec![Gate::Rz(q, t)],
-        Gate::Z(_) => return vec![Gate::Rz(q, std::f64::consts::PI)],
-        Gate::S(_) => return vec![Gate::Rz(q, std::f64::consts::FRAC_PI_2)],
-        Gate::Sdg(_) => return vec![Gate::Rz(q, -std::f64::consts::FRAC_PI_2)],
-        Gate::T(_) => return vec![Gate::Rz(q, std::f64::consts::FRAC_PI_4)],
-        Gate::Tdg(_) => return vec![Gate::Rz(q, -std::f64::consts::FRAC_PI_4)],
+        Gate::Z(_) => return vec![Gate::Rz(q, (std::f64::consts::PI).into())],
+        Gate::S(_) => return vec![Gate::Rz(q, (std::f64::consts::FRAC_PI_2).into())],
+        Gate::Sdg(_) => return vec![Gate::Rz(q, (-std::f64::consts::FRAC_PI_2).into())],
+        Gate::T(_) => return vec![Gate::Rz(q, (std::f64::consts::FRAC_PI_4).into())],
+        Gate::Tdg(_) => return vec![Gate::Rz(q, (-std::f64::consts::FRAC_PI_4).into())],
         Gate::Phase(_, l) => return vec![Gate::Rz(q, l)],
         Gate::Sx(_) => return vec![Gate::Sx(q)],
         _ => {}
+    }
+    if gate.is_symbolic() {
+        return match *gate {
+            Gate::Rx(_, t) => zsx_sequence(
+                q,
+                t,
+                (-std::f64::consts::FRAC_PI_2).into(),
+                std::f64::consts::FRAC_PI_2.into(),
+            ),
+            Gate::Ry(_, t) => zsx_sequence(q, t, 0.0.into(), 0.0.into()),
+            Gate::U(_, theta, phi, lambda) => zsx_sequence(q, theta, phi, lambda),
+            _ => unreachable!("only rotation gates carry symbolic angles"),
+        };
     }
     let m = gate
         .single_qubit_matrix()
         .expect("decompose_1q_to_zsx requires a single-qubit gate");
     let (theta, phi, lambda) = u_angles_from_matrix(&m);
-    vec![
-        Gate::Rz(q, lambda),
-        Gate::Sx(q),
-        Gate::Rz(q, theta + std::f64::consts::PI),
-        Gate::Sx(q),
-        Gate::Rz(q, phi + std::f64::consts::PI),
-    ]
+    zsx_sequence(q, theta.into(), phi.into(), lambda.into())
 }
 
 /// Expand a two-qubit gate over `{cx, single-qubit}` gates. Single-qubit
-/// helpers emitted here may themselves need a further ZXZXZ pass.
+/// helpers emitted here may themselves need a further ZXZXZ pass. Angle
+/// halving is an affine scale, so symbolic CP/RZZ decompose symbolically.
 pub fn decompose_2q_to_cx(gate: &Gate) -> Vec<Gate> {
     match *gate {
         Gate::Cx(c, t) => vec![Gate::Cx(c, t)],
         Gate::Cz(c, t) => vec![Gate::H(t), Gate::Cx(c, t), Gate::H(t)],
         Gate::Cp(c, t, l) => vec![
-            Gate::Phase(c, l / 2.0),
+            Gate::Phase(c, l.scale(0.5)),
             Gate::Cx(c, t),
-            Gate::Phase(t, -l / 2.0),
+            Gate::Phase(t, l.scale(-0.5)),
             Gate::Cx(c, t),
-            Gate::Phase(t, l / 2.0),
+            Gate::Phase(t, l.scale(0.5)),
         ],
         Gate::Swap(a, b) => vec![Gate::Cx(a, b), Gate::Cx(b, a), Gate::Cx(a, b)],
         Gate::Rzz(a, b, t) => vec![Gate::Cx(a, b), Gate::Rz(b, t), Gate::Cx(a, b)],
@@ -101,7 +128,9 @@ pub fn decompose_gate(gate: &Gate, target: &TranspileTarget) -> Vec<Gate> {
     } else {
         decompose_1q_to_zsx(gate)
             .into_iter()
-            .filter(|g| !matches!(g, Gate::Rz(_, t) if t.abs() < 1e-15))
+            .filter(
+                |g| !matches!(g, Gate::Rz(_, t) if t.const_value().is_some_and(|v| v.abs() < 1e-15)),
+            )
             .collect()
     }
 }
@@ -179,11 +208,11 @@ mod tests {
             Gate::T(0),
             Gate::Tdg(0),
             Gate::Sx(0),
-            Gate::Rx(0, 0.37),
-            Gate::Ry(0, -2.2),
-            Gate::Rz(0, 1.9),
-            Gate::Phase(0, 0.55),
-            Gate::U(0, 1.2, 0.4, -0.9),
+            Gate::Rx(0, (0.37).into()),
+            Gate::Ry(0, (-2.2).into()),
+            Gate::Rz(0, (1.9).into()),
+            Gate::Phase(0, (0.55).into()),
+            Gate::U(0, 1.2.into(), 0.4.into(), (-0.9).into()),
         ]
     }
 
@@ -192,7 +221,7 @@ mod tests {
         for gate in all_1q_gates() {
             let m = gate.single_qubit_matrix().unwrap();
             let (theta, phi, lambda) = u_angles_from_matrix(&m);
-            let rebuilt = Gate::U(0, theta, phi, lambda)
+            let rebuilt = Gate::U(0, theta.into(), phi.into(), lambda.into())
                 .single_qubit_matrix()
                 .unwrap();
             assert!(
@@ -224,8 +253,8 @@ mod tests {
             Gate::Z(0),
             Gate::S(0),
             Gate::T(0),
-            Gate::Phase(0, 0.3),
-            Gate::Rz(0, 1.0),
+            Gate::Phase(0, (0.3).into()),
+            Gate::Rz(0, (1.0).into()),
         ] {
             let seq = decompose_1q_to_zsx(&gate);
             assert_eq!(seq.len(), 1, "{} should lower to one rz", gate.name());
@@ -235,12 +264,16 @@ mod tests {
     #[test]
     fn two_qubit_decompositions_preserve_statevector() {
         // Verify on a 2-qubit probe state with non-trivial single-qubit prep.
-        let prep = [Gate::Ry(0, 0.63), Gate::Rx(1, -1.1), Gate::Rz(0, 0.2)];
+        let prep = [
+            Gate::Ry(0, (0.63).into()),
+            Gate::Rx(1, (-1.1).into()),
+            Gate::Rz(0, (0.2).into()),
+        ];
         for gate in [
             Gate::Cz(0, 1),
-            Gate::Cp(0, 1, 0.77),
+            Gate::Cp(0, 1, (0.77).into()),
             Gate::Swap(0, 1),
-            Gate::Rzz(0, 1, 1.3),
+            Gate::Rzz(0, 1, (1.3).into()),
             Gate::Cx(1, 0),
         ] {
             let mut direct = StateVector::zero_state(2);
@@ -289,7 +322,7 @@ mod tests {
     #[test]
     fn ideal_target_is_a_no_op() {
         let mut qc = Circuit::new(2);
-        qc.extend(&[Gate::H(0), Gate::Cp(0, 1, 0.4)]);
+        qc.extend(&[Gate::H(0), Gate::Cp(0, 1, (0.4).into())]);
         qc.measure_all();
         let out = decompose_to_basis(&qc, &TranspileTarget::ideal());
         assert_eq!(out.gates(), qc.gates());
@@ -304,8 +337,8 @@ mod tests {
         );
         assert_eq!(decompose_gate(&Gate::Sx(2), &target), vec![Gate::Sx(2)]);
         assert_eq!(
-            decompose_gate(&Gate::Rz(1, 0.5), &target),
-            vec![Gate::Rz(1, 0.5)]
+            decompose_gate(&Gate::Rz(1, (0.5).into()), &target),
+            vec![Gate::Rz(1, (0.5).into())]
         );
     }
 

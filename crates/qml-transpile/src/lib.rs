@@ -38,13 +38,13 @@ mod proptests {
             match kind {
                 0 => Gate::H(a),
                 1 => Gate::T(a),
-                2 => Gate::Rx(a, t),
-                3 => Gate::Ry(a, t),
-                4 => Gate::Rz(a, t),
+                2 => Gate::Rx(a, t.into()),
+                3 => Gate::Ry(a, t.into()),
+                4 => Gate::Rz(a, t.into()),
                 5 => Gate::Cx(a, b),
                 6 => Gate::Cz(a, b),
-                7 => Gate::Cp(a, b, t),
-                8 => Gate::Rzz(a, b, t),
+                7 => Gate::Cp(a, b, t.into()),
+                8 => Gate::Rzz(a, b, t.into()),
                 _ => Gate::Swap(a, b),
             }
         })

@@ -12,7 +12,7 @@
 //! Every pass preserves the circuit's unitary up to global phase, and hence
 //! every measured distribution.
 
-use qml_sim::{Circuit, Gate};
+use qml_sim::{Circuit, Gate, ParamExpr};
 
 use crate::basis::{decompose_1q_to_zsx, sequence_matrix, u_angles_from_matrix};
 
@@ -25,15 +25,23 @@ fn is_trivial_angle(theta: f64) -> bool {
     reduced.abs() < ANGLE_EPS || (std::f64::consts::TAU - reduced).abs() < ANGLE_EPS
 }
 
-/// Remove rotations that are the identity (angle ≡ 0 mod 2π).
+/// Constant-folding view of an angle expression: trivial only when the angle
+/// is *known* to be an identity rotation. A symbolic angle is never trivial —
+/// the pass must preserve it for late binding.
+fn is_trivial_expr(theta: &ParamExpr) -> bool {
+    theta.const_value().is_some_and(is_trivial_angle)
+}
+
+/// Remove rotations that are the identity (angle ≡ 0 mod 2π). Symbolic
+/// rotations are always kept: their value is not known until binding.
 pub fn drop_identity_rotations(circuit: &Circuit) -> Circuit {
     let mut out = Circuit::new(circuit.num_qubits());
     for gate in circuit.gates() {
-        let trivial = match *gate {
+        let trivial = match gate {
             Gate::Rz(_, t) | Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Phase(_, t) => {
-                is_trivial_angle(t)
+                is_trivial_expr(t)
             }
-            Gate::Cp(_, _, t) | Gate::Rzz(_, _, t) => is_trivial_angle(t),
+            Gate::Cp(_, _, t) | Gate::Rzz(_, _, t) => is_trivial_expr(t),
             _ => false,
         };
         if !trivial {
@@ -67,12 +75,17 @@ fn is_inverse_pair(a: &Gate, b: &Gate) -> bool {
         | (Gate::Swap(_, _), Gate::Swap(_, _)) => true,
         (Gate::S(_), Gate::Sdg(_)) | (Gate::Sdg(_), Gate::S(_)) => true,
         (Gate::T(_), Gate::Tdg(_)) | (Gate::Tdg(_), Gate::T(_)) => true,
+        // Two rotations cancel when their angle sum is provably trivial —
+        // which covers the symbolic case Rθ(s)·Rθ(−s), whose affine sum
+        // collapses to the constant 0.
         (Gate::Rz(_, t1), Gate::Rz(_, t2))
         | (Gate::Rx(_, t1), Gate::Rx(_, t2))
         | (Gate::Ry(_, t1), Gate::Ry(_, t2))
         | (Gate::Phase(_, t1), Gate::Phase(_, t2))
         | (Gate::Cp(_, _, t1), Gate::Cp(_, _, t2))
-        | (Gate::Rzz(_, _, t1), Gate::Rzz(_, _, t2)) => is_trivial_angle(t1 + t2),
+        | (Gate::Rzz(_, _, t1), Gate::Rzz(_, _, t2)) => {
+            t1.try_add(t2).is_some_and(|sum| is_trivial_expr(&sum))
+        }
         _ => false,
     }
 }
@@ -98,30 +111,35 @@ pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
 
 /// Merge adjacent rotations of the same kind on the same qubits by summing
 /// their angles.
+///
+/// The sum is an affine-expression sum, so `Sym + Sym` merges into one
+/// affine rotation and `Const + Const` folds as before. A merge that would
+/// exceed [`qml_sim::MAX_PARAM_TERMS`] distinct symbols is declined (both
+/// gates are kept), which preserves semantics at a small size cost.
 pub fn merge_rotations(circuit: &Circuit) -> Circuit {
     let mut gates: Vec<Gate> = Vec::with_capacity(circuit.len());
     for gate in circuit.gates() {
         if let Some(idx) = last_overlapping(&gates, gate) {
             let merged = match (&gates[idx], gate) {
                 (Gate::Rz(q, a), Gate::Rz(_, b)) if gates[idx].qubits() == gate.qubits() => {
-                    Some(Gate::Rz(*q, a + b))
+                    a.try_add(b).map(|sum| Gate::Rz(*q, sum))
                 }
                 (Gate::Rx(q, a), Gate::Rx(_, b)) if gates[idx].qubits() == gate.qubits() => {
-                    Some(Gate::Rx(*q, a + b))
+                    a.try_add(b).map(|sum| Gate::Rx(*q, sum))
                 }
                 (Gate::Ry(q, a), Gate::Ry(_, b)) if gates[idx].qubits() == gate.qubits() => {
-                    Some(Gate::Ry(*q, a + b))
+                    a.try_add(b).map(|sum| Gate::Ry(*q, sum))
                 }
                 (Gate::Phase(q, a), Gate::Phase(_, b)) if gates[idx].qubits() == gate.qubits() => {
-                    Some(Gate::Phase(*q, a + b))
+                    a.try_add(b).map(|sum| Gate::Phase(*q, sum))
                 }
                 (Gate::Cp(c, t, a), Gate::Cp(_, _, b)) if gates[idx].qubits() == gate.qubits() => {
-                    Some(Gate::Cp(*c, *t, a + b))
+                    a.try_add(b).map(|sum| Gate::Cp(*c, *t, sum))
                 }
                 (Gate::Rzz(c, t, a), Gate::Rzz(_, _, b))
                     if gates[idx].qubits() == gate.qubits() =>
                 {
-                    Some(Gate::Rzz(*c, *t, a + b))
+                    a.try_add(b).map(|sum| Gate::Rzz(*c, *t, sum))
                 }
                 _ => None,
             };
@@ -155,10 +173,11 @@ pub fn resynthesize_1q_runs(circuit: &Circuit) -> Circuit {
         let q = pending[0].qubits()[0];
         let m = sequence_matrix(pending);
         let (theta, phi, lambda) = u_angles_from_matrix(&m);
-        let resynth: Vec<Gate> = decompose_1q_to_zsx(&Gate::U(q, theta, phi, lambda))
-            .into_iter()
-            .filter(|g| !matches!(g, Gate::Rz(_, t) if is_trivial_angle(*t)))
-            .collect();
+        let resynth: Vec<Gate> =
+            decompose_1q_to_zsx(&Gate::U(q, theta.into(), phi.into(), lambda.into()))
+                .into_iter()
+                .filter(|g| !matches!(g, Gate::Rz(_, t) if is_trivial_expr(t)))
+                .collect();
         // Only adopt the canonical form when it is actually shorter; otherwise
         // keep the original run (it may already be optimal).
         if resynth.len() < pending.len() {
@@ -171,7 +190,10 @@ pub fn resynthesize_1q_runs(circuit: &Circuit) -> Circuit {
 
     for gate in circuit.gates() {
         let qs = gate.qubits();
-        if qs.len() == 1 && gate.single_qubit_matrix().is_some() {
+        // Symbolic rotations have no concrete matrix: they act as barriers,
+        // flushing the pending run and passing through unchanged — so the
+        // pass stays safe on parametric plans.
+        if qs.len() == 1 && !gate.is_symbolic() && gate.single_qubit_matrix().is_some() {
             pending[qs[0]].push(*gate);
         } else {
             for &q in &qs {
@@ -240,16 +262,16 @@ mod tests {
         qc.extend(&[
             Gate::H(0),
             Gate::H(0), // cancels
-            Gate::Rz(1, 0.4),
-            Gate::Rz(1, -0.4), // cancels via merge/drop
+            Gate::Rz(1, (0.4).into()),
+            Gate::Rz(1, (-0.4).into()), // cancels via merge/drop
             Gate::Cx(0, 1),
             Gate::Cx(0, 1), // cancels
-            Gate::Ry(2, 0.9),
-            Gate::Rz(2, 0.0), // identity
+            Gate::Ry(2, (0.9).into()),
+            Gate::Rz(2, (0.0).into()), // identity
             Gate::T(0),
             Gate::Tdg(0), // cancels
-            Gate::Rzz(1, 2, 0.3),
-            Gate::Rzz(1, 2, 0.5), // merges
+            Gate::Rzz(1, 2, (0.3).into()),
+            Gate::Rzz(1, 2, (0.5).into()), // merges
             Gate::H(1),
         ]);
         qc.measure_all();
@@ -260,9 +282,9 @@ mod tests {
     fn drop_identity_rotations_removes_trivial_angles() {
         let mut qc = Circuit::new(2);
         qc.extend(&[
-            Gate::Rz(0, 0.0),
-            Gate::Rx(1, std::f64::consts::TAU),
-            Gate::Cp(0, 1, 0.0),
+            Gate::Rz(0, (0.0).into()),
+            Gate::Rx(1, std::f64::consts::TAU.into()),
+            Gate::Cp(0, 1, (0.0).into()),
             Gate::H(0),
         ]);
         qc.measure_all();
@@ -276,7 +298,7 @@ mod tests {
         // The two H(0) gates are separated by a gate on qubit 1 only; they
         // must still cancel.
         let mut qc = Circuit::new(2);
-        qc.extend(&[Gate::H(0), Gate::Rz(1, 0.3), Gate::H(0)]);
+        qc.extend(&[Gate::H(0), Gate::Rz(1, (0.3).into()), Gate::H(0)]);
         qc.measure_all();
         let out = cancel_adjacent_inverses(&qc);
         assert_eq!(out.gate_counts().get("h"), None);
@@ -296,12 +318,12 @@ mod tests {
     #[test]
     fn merge_rotations_sums_angles() {
         let mut qc = Circuit::new(1);
-        qc.extend(&[Gate::Rz(0, 0.25), Gate::Rz(0, 0.5)]);
+        qc.extend(&[Gate::Rz(0, (0.25).into()), Gate::Rz(0, (0.5).into())]);
         qc.measure_all();
         let out = merge_rotations(&qc);
         assert_eq!(out.len(), 1);
         match out.gates()[0] {
-            Gate::Rz(0, t) => assert!((t - 0.75).abs() < 1e-12),
+            Gate::Rz(0, t) => assert!((t.value() - 0.75).abs() < 1e-12),
             ref g => panic!("unexpected gate {g:?}"),
         }
     }
@@ -331,10 +353,10 @@ mod tests {
         qc.extend(&[
             Gate::H(0),
             Gate::T(0),
-            Gate::Rx(0, 0.3),
+            Gate::Rx(0, (0.3).into()),
             Gate::S(0),
-            Gate::Ry(0, -0.8),
-            Gate::Rz(0, 1.1),
+            Gate::Ry(0, (-0.8).into()),
+            Gate::Rz(0, (1.1).into()),
             Gate::H(0),
         ]);
         qc.measure_all();
@@ -356,8 +378,8 @@ mod tests {
             Gate::H(0),
             Gate::T(0),
             Gate::Cx(0, 1),
-            Gate::Rx(1, 0.7),
-            Gate::Ry(1, 0.2),
+            Gate::Rx(1, (0.7).into()),
+            Gate::Ry(1, (0.2).into()),
             Gate::Cx(0, 1),
             Gate::H(1),
         ]);

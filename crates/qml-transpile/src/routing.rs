@@ -162,10 +162,10 @@ mod tests {
             qc.push(Gate::H(q));
         }
         for &(a, b) in &[(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
-            qc.push(Gate::Rzz(a, b, 0.7));
+            qc.push(Gate::Rzz(a, b, (0.7).into()));
         }
         for q in 0..4 {
-            qc.push(Gate::Rx(q, 0.4));
+            qc.push(Gate::Rx(q, (0.4).into()));
         }
         qc.measure_all();
         let routed = route(&qc, &CouplingMap::ring(4)).unwrap();
@@ -180,11 +180,11 @@ mod tests {
         let mut qc = Circuit::new(5);
         qc.extend(&[
             Gate::H(0),
-            Gate::Ry(2, 0.9),
+            Gate::Ry(2, (0.9).into()),
             Gate::Cx(0, 4),
             Gate::Cx(4, 1),
-            Gate::Cp(2, 0, 0.6),
-            Gate::Rzz(3, 1, 1.1),
+            Gate::Cp(2, 0, (0.6).into()),
+            Gate::Rzz(3, 1, (1.1).into()),
         ]);
         qc.measure_all();
         let routed = route(&qc, &CouplingMap::linear(5)).unwrap();

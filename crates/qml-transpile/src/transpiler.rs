@@ -235,7 +235,7 @@ mod tests {
             qc.push(Gate::H(q));
         }
         for &(a, b) in &[(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
-            qc.push(Gate::Rzz(a, b, 0.7));
+            qc.push(Gate::Rzz(a, b, (0.7).into()));
         }
         qc.measure_all();
         let result = transpile(&qc, &target, 2).unwrap();

@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::bindings::BindingSet;
 use crate::context::ContextDescriptor;
 use crate::error::{QmlError, Result};
 use crate::params::ParamValue;
@@ -36,6 +37,12 @@ pub struct JobBundle {
     /// Optional execution context (policy). Intent stays valid without it.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub context: Option<ContextDescriptor>,
+    /// Late-bound values for the operators' symbolic parameters. Carried
+    /// **next to** the intent rather than substituted into it, so every
+    /// binding of one sweep shares the same symbolic program (and the same
+    /// cached transpilation plan); backends substitute at execute time.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bindings: Option<BindingSet>,
     /// Free-form metadata (provenance, workflow ids, ...).
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub metadata: BTreeMap<String, ParamValue>,
@@ -45,13 +52,16 @@ fn default_job_schema() -> String {
     JOB_SCHEMA.to_string()
 }
 
-/// FNV-1a 64-bit offset basis.
-pub(crate) fn fnv1a64_init() -> u64 {
+/// FNV-1a 64-bit offset basis — the workspace-wide seed for every stable
+/// cache-key fingerprint (program hashes, binding fingerprints, backend
+/// schedule fingerprints). Shared so the byte-for-byte hashing rules live in
+/// exactly one place.
+pub fn fnv1a64_init() -> u64 {
     0xcbf2_9ce4_8422_2325
 }
 
-/// Fold bytes into an FNV-1a 64-bit hash.
-pub(crate) fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
+/// Fold bytes into an FNV-1a 64-bit hash started by [`fnv1a64_init`].
+pub fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -72,6 +82,7 @@ impl JobBundle {
             data_types,
             operators,
             context: None,
+            bindings: None,
             metadata: BTreeMap::new(),
         }
     }
@@ -81,6 +92,13 @@ impl JobBundle {
     /// artifacts are untouched.
     pub fn with_context(mut self, context: ContextDescriptor) -> Self {
         self.context = Some(context);
+        self
+    }
+
+    /// Attach (or replace) the late-bound parameter values, builder-style.
+    /// The operators keep their symbols; backends substitute at execute time.
+    pub fn with_bindings(mut self, bindings: BindingSet) -> Self {
+        self.bindings = Some(bindings);
         self
     }
 
@@ -113,7 +131,8 @@ impl JobBundle {
         offsets
     }
 
-    /// Names of all unbound symbolic parameters across the operator sequence.
+    /// Names of all unbound symbolic parameters across the operator sequence
+    /// (sorted; ignores any attached [`BindingSet`]).
     pub fn unbound_symbols(&self) -> Vec<String> {
         let mut out: Vec<String> = self
             .operators
@@ -123,6 +142,52 @@ impl JobBundle {
         out.sort();
         out.dedup();
         out
+    }
+
+    /// The operators' symbolic parameters in **canonical order**: first
+    /// appearance across the operator sequence (operators in program order,
+    /// parameters in key order within each operator), deduplicated.
+    ///
+    /// This order is structural — it does not depend on the symbol *names* —
+    /// so two programs that differ only in how their symbols are spelled
+    /// assign the same canonical slot to corresponding parameters. It is the
+    /// slot table of a parametric transpilation plan and the renaming basis
+    /// of [`JobBundle::symbolic_program_hash`].
+    pub fn canonical_symbols(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for op in &self.operators {
+            for value in op.params.entries.values() {
+                for symbol in value.symbols() {
+                    if seen.insert(symbol.clone()) {
+                        out.push(symbol);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the named symbol appears in this bundle's operators **only**
+    /// in continuous-angle parameter positions
+    /// ([`RepKind::is_angle_param`](crate::RepKind::is_angle_param)) — i.e.
+    /// it can ride a [`BindingSet`] and be substituted into an
+    /// already-transpiled parametric plan. A symbol used in any structural
+    /// position (shape, edges, flags) — or not used at all — returns
+    /// `false` and must be bound eagerly.
+    pub fn symbol_is_angle_only(&self, name: &str) -> bool {
+        let mut appears = false;
+        for op in &self.operators {
+            for (key, value) in &op.params.entries {
+                if value.symbols().iter().any(|s| s == name) {
+                    if !op.rep_kind.is_angle_param(key) {
+                        return false;
+                    }
+                    appears = true;
+                }
+            }
+        }
+        appears
     }
 
     /// Late binding: substitute symbolic parameters and return the bound
@@ -135,13 +200,33 @@ impl JobBundle {
         }
     }
 
-    /// Error if any operator still carries an unbound symbol.
+    /// Eagerly substitute the attached [`BindingSet`] (if any) into the
+    /// operators, returning a fully concrete bundle with no attached
+    /// bindings — the "bind-first" form used by backends whose realization
+    /// depends on parameter values (e.g. BQM lowering).
+    pub fn resolved(&self) -> JobBundle {
+        match &self.bindings {
+            None => self.clone(),
+            Some(bindings) => {
+                let mut out = self.bind(&bindings.to_param_values());
+                out.bindings = None;
+                out
+            }
+        }
+    }
+
+    /// Error if any operator symbol is neither bound in place nor covered by
+    /// the attached [`BindingSet`].
     pub fn ensure_bound(&self) -> Result<()> {
-        let symbols = self.unbound_symbols();
-        if let Some(first) = symbols.first() {
-            Err(QmlError::UnboundParameter(first.clone()))
-        } else {
-            Ok(())
+        let missing = self.unbound_symbols().into_iter().find(|name| {
+            !self
+                .bindings
+                .as_ref()
+                .is_some_and(|bindings| bindings.binds(name))
+        });
+        match missing {
+            Some(first) => Err(QmlError::UnboundParameter(first)),
+            None => Ok(()),
         }
     }
 
@@ -211,17 +296,9 @@ impl JobBundle {
         Ok(())
     }
 
-    /// Stable 64-bit hash of the bundle's **intent** — the declared data
-    /// types and operator sequence — excluding the execution context and
-    /// free-form metadata.
-    ///
-    /// Two bundles with equal `program_hash` lower to identical circuits /
-    /// quadratic models, so the hash is the program half of the transpilation
-    /// cache key: re-submitting the same intent under a different context (or
-    /// under the same context in a parameter sweep) can reuse the lowered
-    /// artifact. The hash is computed over the canonical JSON encoding, so it
-    /// is stable across processes and runs.
-    pub fn program_hash(&self) -> u64 {
+    /// Hash of the declared data types and operator sequence, with an
+    /// optional renaming applied to the operators' symbols.
+    fn intent_hash(&self, rename: Option<&BTreeMap<String, ParamValue>>) -> u64 {
         let mut hash = fnv1a64_init();
         for qdt in &self.data_types {
             let json = serde_json::to_string(qdt).unwrap_or_default();
@@ -230,11 +307,61 @@ impl JobBundle {
         }
         hash = fnv1a64_update(hash, b"\x1e");
         for op in &self.operators {
+            let renamed;
+            let op = match rename {
+                Some(map) => {
+                    renamed = op.bind(map);
+                    &renamed
+                }
+                None => op,
+            };
             let json = serde_json::to_string(op).unwrap_or_default();
             hash = fnv1a64_update(hash, json.as_bytes());
             hash = fnv1a64_update(hash, b"\x1f");
         }
         hash
+    }
+
+    /// Stable 64-bit hash of the bundle's **realized program** — the declared
+    /// data types, the operator sequence, and the attached [`BindingSet`]
+    /// (when present) — excluding the execution context and free-form
+    /// metadata.
+    ///
+    /// Two bundles with equal `program_hash` lower to identical circuits /
+    /// quadratic models, so the hash is the program half of a realization
+    /// cache key: re-submitting the same intent under a different context (or
+    /// under the same context in a shot/seed sweep) can reuse the lowered
+    /// artifact. The hash is computed over the canonical JSON encoding, so it
+    /// is stable across processes and runs.
+    pub fn program_hash(&self) -> u64 {
+        let mut hash = self.intent_hash(None);
+        if let Some(bindings) = &self.bindings {
+            hash = fnv1a64_update(hash, b"\x1d");
+            hash = fnv1a64_update(hash, &bindings.fingerprint().to_le_bytes());
+        }
+        hash
+    }
+
+    /// Stable 64-bit hash of the bundle's **symbolic program**: like
+    /// [`JobBundle::program_hash`] but (i) excluding any attached
+    /// [`BindingSet`] and (ii) with every symbol renamed to its canonical
+    /// slot (`$0`, `$1`, ... in [`JobBundle::canonical_symbols`] order).
+    ///
+    /// Every point of a parameter sweep — and any two sweeps that differ only
+    /// in symbol spelling — therefore shares one symbolic hash, which is what
+    /// lets an N-point angle scan share a single parametric transpilation
+    /// plan instead of transpiling N times.
+    pub fn symbolic_program_hash(&self) -> u64 {
+        let symbols = self.canonical_symbols();
+        if symbols.is_empty() {
+            return self.intent_hash(None);
+        }
+        let rename: BTreeMap<String, ParamValue> = symbols
+            .iter()
+            .enumerate()
+            .map(|(slot, name)| (name.clone(), ParamValue::symbol(format!("${slot}"))))
+            .collect();
+        self.intent_hash(Some(&rename))
     }
 
     /// Serialize to the `job.json` interchange form (pretty-printed).
@@ -430,6 +557,116 @@ mod tests {
             symbolic.program_hash(),
             symbolic.bind(&bindings).program_hash()
         );
+    }
+
+    fn symbolic_qaoa_like(gamma_name: &str, beta_name: &str) -> JobBundle {
+        let cost = OperatorDescriptor::builder("cost", RepKind::IsingCostPhase, "ising_vars")
+            .param("gamma", ParamValue::symbol(gamma_name))
+            .build()
+            .unwrap();
+        let mixer = OperatorDescriptor::builder("mixer", RepKind::MixerRx, "ising_vars")
+            .param("beta", ParamValue::symbol(beta_name))
+            .build()
+            .unwrap();
+        JobBundle::new("qaoa", vec![ising_qdt()], vec![cost, mixer])
+    }
+
+    #[test]
+    fn canonical_symbols_follow_first_appearance() {
+        let bundle = symbolic_qaoa_like("zz_gamma", "aa_beta");
+        // Appearance order (cost layer first), not lexicographic order.
+        assert_eq!(
+            bundle.canonical_symbols(),
+            vec!["zz_gamma".to_string(), "aa_beta".to_string()]
+        );
+        assert_eq!(
+            bundle.unbound_symbols(),
+            vec!["aa_beta".to_string(), "zz_gamma".to_string()]
+        );
+    }
+
+    #[test]
+    fn symbolic_hash_shared_across_bindings_and_spellings() {
+        let bundle = symbolic_qaoa_like("gamma_0", "beta_0");
+        let a = bundle.clone().with_bindings(
+            crate::BindingSet::new()
+                .with("gamma_0", 0.2)
+                .with("beta_0", 0.3),
+        );
+        let b = bundle.clone().with_bindings(
+            crate::BindingSet::new()
+                .with("gamma_0", 0.9)
+                .with("beta_0", 0.1),
+        );
+        // One symbolic program: every binding shares the hash...
+        assert_eq!(a.symbolic_program_hash(), b.symbolic_program_hash());
+        assert_eq!(a.symbolic_program_hash(), bundle.symbolic_program_hash());
+        // ...while realized programs stay distinct.
+        assert_ne!(a.program_hash(), b.program_hash());
+
+        // Renamed symbols canonicalize to the same slot assignment.
+        let renamed = symbolic_qaoa_like("g", "b");
+        assert_eq!(
+            renamed.symbolic_program_hash(),
+            bundle.symbolic_program_hash()
+        );
+        // But a structurally different program does not collide.
+        let swapped = symbolic_qaoa_like("beta_0", "gamma_0");
+        assert_eq!(
+            swapped.symbolic_program_hash(),
+            bundle.symbolic_program_hash()
+        );
+        assert_ne!(
+            symbolic_qaoa_like("gamma_0", "gamma_0").symbolic_program_hash(),
+            bundle.symbolic_program_hash(),
+            "sharing one symbol across layers is a different program shape"
+        );
+    }
+
+    #[test]
+    fn attached_bindings_satisfy_ensure_bound_and_resolve() {
+        let bundle = symbolic_qaoa_like("gamma_0", "beta_0");
+        assert!(bundle.ensure_bound().is_err());
+
+        let partly = bundle
+            .clone()
+            .with_bindings(crate::BindingSet::new().with("gamma_0", 0.4));
+        assert!(matches!(
+            partly.ensure_bound(),
+            Err(QmlError::UnboundParameter(name)) if name == "beta_0"
+        ));
+
+        let fully = bundle.with_bindings(
+            crate::BindingSet::new()
+                .with("gamma_0", 0.4)
+                .with("beta_0", 0.3),
+        );
+        fully.ensure_bound().unwrap();
+
+        let resolved = fully.resolved();
+        assert!(resolved.bindings.is_none());
+        assert!(resolved.unbound_symbols().is_empty());
+        // Resolving matches eager binding through the legacy map API.
+        let mut map = BTreeMap::new();
+        map.insert("gamma_0".to_string(), ParamValue::Float(0.4));
+        map.insert("beta_0".to_string(), ParamValue::Float(0.3));
+        assert_eq!(resolved.operators, fully.bind(&map).operators);
+        // program_hash of the resolved bundle is a concrete program hash.
+        assert_eq!(resolved.program_hash(), resolved.symbolic_program_hash());
+    }
+
+    #[test]
+    fn bindings_round_trip_through_json() {
+        let bundle = symbolic_qaoa_like("gamma_0", "beta_0").with_bindings(
+            crate::BindingSet::new()
+                .with("gamma_0", 0.4)
+                .with("beta_0", 0.3),
+        );
+        let json = bundle.to_json().unwrap();
+        assert!(json.contains("bindings"));
+        let back = JobBundle::from_json(&json).unwrap();
+        assert_eq!(back, bundle);
+        back.ensure_bound().unwrap();
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bindings;
 pub mod bundle;
 pub mod context;
 pub mod cost;
@@ -61,6 +62,7 @@ pub mod qdt;
 pub mod qod;
 pub mod result_schema;
 
+pub use bindings::BindingSet;
 pub use bundle::{JobBundle, JOB_SCHEMA};
 pub use context::{
     AnnealConfig, ContextDescriptor, ExecConfig, ExecOptions, QecConfig, Target, CTX_SCHEMA,
@@ -76,6 +78,7 @@ pub use result_schema::{MeasurementBasis, ResultSchema};
 
 /// Convenience prelude re-exporting the types most programs need.
 pub mod prelude {
+    pub use crate::bindings::BindingSet;
     pub use crate::bundle::JobBundle;
     pub use crate::context::{AnnealConfig, ContextDescriptor, ExecConfig, QecConfig, Target};
     pub use crate::cost::CostHint;

@@ -120,6 +120,29 @@ impl RepKind {
     pub fn is_problem(&self) -> bool {
         matches!(self, RepKind::IsingProblem)
     }
+
+    /// True if the named parameter of this representation kind is a
+    /// **continuous angle** that realization hooks can keep symbolic through
+    /// lowering and transpilation (late binding against a parametric plan).
+    ///
+    /// Everything else — approximation degrees, edge lists, weights, flags —
+    /// is *structural*: it changes the circuit's shape, so a symbol there
+    /// must be substituted eagerly before lowering.
+    ///
+    /// This table must mirror the realization rules in the gate backend's
+    /// `lower_to_circuit` (qml-backends); both directions are pinned by
+    /// tests there (`unbound_symbols_lower_to_a_parametric_circuit`,
+    /// `symbolic_angle_encoding_lowers_symbolically`,
+    /// `symbolic_structural_params_fail_loudly`) — extend those alongside
+    /// any new entry here.
+    pub fn is_angle_param(&self, key: &str) -> bool {
+        match self {
+            RepKind::IsingCostPhase => key == "gamma",
+            RepKind::MixerRx => key == "beta",
+            RepKind::AngleEncoding => key == "angles",
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for RepKind {

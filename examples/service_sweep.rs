@@ -41,6 +41,20 @@ fn main() -> std::result::Result<(), QmlError> {
     }
     let scan_batch = service.submit_sweep("optimizer", scan)?;
 
+    // Drain the scan on its own first: all nine points share one SYMBOLIC
+    // program, so the parametric plan transpiles once and is re-bound per
+    // point (1 miss, 8 hits).
+    let scan_report = service.run_pending();
+    let scan_stats = service.metrics().gate_cache;
+    println!(
+        "angle-scan gate-plan cache: misses={} hits={} entries={} evictions={}",
+        scan_stats.misses, scan_stats.hits, scan_stats.entries, scan_stats.evictions
+    );
+    println!(
+        "angle-scan drain: {} jobs ({:.0} jobs/s)",
+        scan_report.jobs, scan_report.jobs_per_second
+    );
+
     // Tenant "restarts": one fixed program, eight seeds — a sweep that
     // transpiles exactly once thanks to the shared cache.
     let fixed = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))?;

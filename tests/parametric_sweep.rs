@@ -1,0 +1,217 @@
+//! Integration tests for **parametric transpilation**: a symbolic program is
+//! lowered and transpiled once, and every binding set of a sweep re-binds the
+//! cached plan's slot table instead of re-transpiling.
+//!
+//! Covers the PR's acceptance criteria: an N-point binding sweep over one
+//! symbolic bundle performs exactly 1 gate transpilation (1 miss, N−1 hits),
+//! and bound-late results match bind-first results on identical seeds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use qml_core::backends::{Backend, GateBackend, TranspileCache};
+use qml_core::graph::{cut_value_of_bitstring, cycle};
+use qml_core::prelude::*;
+use qml_core::runtime::BackendRegistry;
+use qml_core::service::{QmlService, ServiceConfig, SweepRequest};
+use qml_core::types::{BindingSet, ParamValue};
+
+fn gate_context(seed: u64, samples: u64) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(samples)
+            .with_seed(seed)
+            .with_target(Target::ring(4))
+            .with_optimization_level(2),
+    )
+}
+
+fn symbolic_qaoa() -> JobBundle {
+    qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 }).unwrap()
+}
+
+fn grid_bindings() -> Vec<BTreeMap<String, ParamValue>> {
+    let mut out = Vec::new();
+    for gi in 1..=3 {
+        for bi in 1..=3 {
+            let mut b = BTreeMap::new();
+            b.insert(
+                "gamma_0".to_string(),
+                ParamValue::Float(std::f64::consts::PI * gi as f64 / 8.0),
+            );
+            b.insert(
+                "beta_0".to_string(),
+                ParamValue::Float(std::f64::consts::FRAC_PI_2 * bi as f64 / 4.0),
+            );
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// The headline acceptance criterion: a 9-point γ/β grid over one symbolic
+/// QAOA bundle transpiles exactly once — 1 gate-plan miss, 8 hits, 1 entry.
+#[test]
+fn nine_point_sweep_transpiles_once() {
+    let mut sweep = SweepRequest::new("grid", symbolic_qaoa()).with_context(gate_context(42, 512));
+    for bindings in grid_bindings() {
+        sweep = sweep.with_binding_set(bindings);
+    }
+    let service = QmlService::with_config(ServiceConfig { workers: 3 });
+    let batch = service.submit_sweep("optimizer", sweep).unwrap();
+    let report = service.run_pending();
+    assert_eq!(report.completed, 9);
+    assert_eq!(report.failed, 0);
+
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.gate_cache.misses, 1,
+        "one transpilation for 9 points"
+    );
+    assert_eq!(metrics.gate_cache.hits, 8);
+    assert_eq!(metrics.gate_cache.entries, 1);
+    assert_eq!(metrics.gate_cache.evictions, 0);
+    assert!((metrics.gate_cache.hit_rate() - 8.0 / 9.0).abs() < 1e-12);
+
+    // The bindings actually reached the circuits: distinct points produce
+    // distinct distributions (same seed, same shots — only angles vary).
+    let jobs = service.batch_jobs(batch);
+    let distinct: std::collections::BTreeSet<_> = jobs
+        .iter()
+        .map(|&id| service.result(id).unwrap().counts)
+        .collect();
+    assert!(
+        distinct.len() > 1,
+        "angle grid must not collapse to one result"
+    );
+}
+
+/// Warm-cache executions reproduce the uncached pipeline bit-for-bit: the
+/// plan bound late is the same circuit the uncached path builds and binds.
+#[test]
+fn cached_parametric_execution_matches_uncached() {
+    let backend = GateBackend::new();
+    let cache = TranspileCache::new();
+    for (i, bindings) in grid_bindings().into_iter().enumerate() {
+        let job = symbolic_qaoa()
+            .with_bindings(BindingSet::from_param_values(&bindings))
+            .with_context(gate_context(7 + i as u64, 256));
+        let cached = backend.execute_cached(&job, &cache).unwrap();
+        let direct = backend.execute(&job).unwrap();
+        assert_eq!(cached.counts, direct.counts, "point {i}");
+        assert_eq!(cached.gate_metrics, direct.gate_metrics);
+    }
+    let stats = cache.gate_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 8);
+}
+
+/// Two sweeps whose programs differ only in symbol spelling share one plan.
+#[test]
+fn symbol_spelling_does_not_split_the_cache() {
+    let backend = GateBackend::new();
+    let cache = TranspileCache::new();
+    // Build the same symbolic structure with different symbol names by
+    // binding through the BindingSet (names only matter for lookup).
+    let a = symbolic_qaoa()
+        .with_bindings(BindingSet::new().with("gamma_0", 0.4).with("beta_0", 0.3))
+        .with_context(gate_context(1, 128));
+    backend.execute_cached(&a, &cache).unwrap();
+    assert_eq!(
+        a.symbolic_program_hash(),
+        symbolic_qaoa().symbolic_program_hash(),
+        "bindings stay out of the symbolic hash"
+    );
+    let b = symbolic_qaoa()
+        .with_bindings(BindingSet::new().with("gamma_0", 1.1).with("beta_0", 0.9))
+        .with_context(gate_context(2, 128));
+    backend.execute_cached(&b, &cache).unwrap();
+    assert_eq!(cache.gate_stats().entries, 1);
+    assert_eq!(cache.gate_stats().hits, 1);
+}
+
+/// A bounded cache under plan churn evicts LRU plans and surfaces the count
+/// through the service metrics.
+#[test]
+fn lru_evictions_surface_in_service_metrics() {
+    let scheduler = qml_core::runtime::Scheduler::new(BackendRegistry::with_default_backends());
+    let runtime = qml_core::runtime::Runtime::with_cache(
+        scheduler,
+        Arc::new(TranspileCache::with_capacity(1)),
+    );
+    let service = QmlService::with_runtime(runtime, ServiceConfig { workers: 2 });
+
+    // Three structurally different programs thrash a capacity-1 plane.
+    for width in [4usize, 6, 8] {
+        let bundle = qaoa_maxcut_program(&cycle(width), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(ContextDescriptor::for_gate(
+                ExecConfig::new("gate.aer_simulator")
+                    .with_samples(32)
+                    .with_seed(1)
+                    .with_target(Target::ring(width)),
+            ));
+        service.submit("tenant", bundle).unwrap();
+    }
+    service.run_pending();
+    let metrics = service.metrics();
+    assert_eq!(metrics.gate_cache.entries, 1, "capacity bound respected");
+    assert!(
+        metrics.gate_cache.evictions >= 2,
+        "LRU evictions must be counted, got {}",
+        metrics.gate_cache.evictions
+    );
+    assert_eq!(metrics.cache.evictions, metrics.gate_cache.evictions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Property (acceptance criterion): for random angle bindings, executing
+    /// a symbolically-transpiled-then-bound circuit yields the same result
+    /// distribution as bind-first-then-transpile on the identical seed path.
+    #[test]
+    fn bound_late_matches_bind_first(
+        gamma in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+        seed in 0u64..1000,
+        level in 0u8..4,
+    ) {
+        let context = ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(256)
+                .with_seed(seed)
+                .with_target(Target::ring(4))
+                .with_optimization_level(level),
+        );
+        let backend = GateBackend::new();
+        let cache = TranspileCache::new();
+
+        // Bind-late: symbolic program + BindingSet through the parametric
+        // cached path (cold, then warm to also exercise the hit path).
+        let late = symbolic_qaoa()
+            .with_bindings(BindingSet::new().with("gamma_0", gamma).with("beta_0", beta))
+            .with_context(context.clone());
+        let cold = backend.execute_cached(&late, &cache).unwrap();
+        let warm = backend.execute_cached(&late, &cache).unwrap();
+        prop_assert_eq!(&cold.counts, &warm.counts);
+
+        // Bind-first: substitute the angles into the operators (the seed
+        // path), then lower + transpile the concrete program.
+        let mut map = BTreeMap::new();
+        map.insert("gamma_0".to_string(), ParamValue::Float(gamma));
+        map.insert("beta_0".to_string(), ParamValue::Float(beta));
+        let first = symbolic_qaoa().bind(&map).with_context(context);
+        let first_result = backend.execute(&first).unwrap();
+
+        // Identical seeds ⇒ identical sampled distributions.
+        prop_assert_eq!(&cold.counts, &first_result.counts);
+
+        // Sanity: the distribution is a genuine QAOA distribution.
+        let graph = cycle(4);
+        let cut = cold.expectation(|w| cut_value_of_bitstring(&graph, w));
+        prop_assert!((0.0..=4.0).contains(&cut));
+    }
+}
