@@ -59,7 +59,7 @@ fn grid() -> Vec<BTreeMap<String, ParamValue>> {
 
 /// Submit + drain the grid as one symbolic sweep with attached binding sets.
 fn run_parametric() -> (f64, u64, u64) {
-    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
     let mut sweep = SweepRequest::new("parametric", symbolic_template()).with_context(context());
     for bindings in grid() {
         sweep = sweep.with_binding_set(bindings);
@@ -75,7 +75,7 @@ fn run_parametric() -> (f64, u64, u64) {
 
 /// Submit + drain the same grid with angles substituted before submission.
 fn run_prebound() -> (f64, u64, u64) {
-    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
     let template = symbolic_template();
     for bindings in grid() {
         service

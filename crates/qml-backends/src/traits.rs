@@ -3,7 +3,7 @@
 //!
 //! Backends are deliberately thin: they receive a complete, validated
 //! [`JobBundle`] (intent + context) and return a uniform
-//! [`ExecutionResult`](crate::results::ExecutionResult). Everything
+//! [`ExecutionResult`]. Everything
 //! device-specific — lowering, transpilation, sampling — happens behind this
 //! trait, which is what makes the upper layers technology-agnostic.
 

@@ -166,7 +166,7 @@ impl Runtime {
     /// returning its bundle. `Err` if the id is unknown, `Ok(None)` if the
     /// job was already claimed — the signal concurrent drains use to skip a
     /// job another drain owns rather than report a phantom failure.
-    fn claim(&self, id: JobId) -> Result<Option<JobBundle>> {
+    pub(crate) fn claim(&self, id: JobId) -> Result<Option<JobBundle>> {
         let mut jobs = self.jobs.lock();
         let job = jobs
             .get_mut(&id)
@@ -192,7 +192,7 @@ impl Runtime {
 
     /// Execute a job already claimed (Running) by the caller and record its
     /// terminal state.
-    fn execute_claimed(
+    pub(crate) fn execute_claimed(
         &self,
         id: JobId,
         bundle: JobBundle,

@@ -10,6 +10,11 @@
 //! * [`Runtime`] — job submission, status tracking, and parallel execution of
 //!   queued jobs on a cost-ranked, work-stealing worker pool that shares one
 //!   transpilation/lowering cache across all executions.
+//! * [`pool`] — the **streaming** executor: a feed-while-running
+//!   [`WorkerPool`] over a shared [`JobSource`] injector, so long-lived
+//!   services accept and execute work continuously instead of draining
+//!   one-shot snapshots ([`Runtime::run_all_detailed`] remains the one-shot
+//!   specialization).
 //! * [`services`] — orthogonal context services (§4.3.1): the QEC service and
 //!   a communication estimator for partitioned (multi-QPU) execution.
 
@@ -17,10 +22,12 @@
 #![forbid(unsafe_code)]
 
 pub mod executor;
+pub mod pool;
 pub mod registry;
 pub mod services;
 
 pub use executor::{Job, JobId, JobOutcome, JobStatus, Runtime};
+pub use pool::{Feed, JobDispatch, JobSource, OutcomeSink, WorkerPool};
 pub use registry::{BackendRegistry, Placement, Scheduler};
 pub use services::{
     estimate_communication, with_communication, CommunicationEstimate, ContextServices,

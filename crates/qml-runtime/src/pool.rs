@@ -1,0 +1,299 @@
+//! A feed-while-running worker pool over a shared job source.
+//!
+//! [`Runtime::run_all_detailed`](crate::Runtime::run_all_detailed) is a
+//! *one-shot* drain: it snapshots the queue, deals the snapshot onto
+//! per-worker deques, and exits when the snapshot is exhausted — work
+//! submitted mid-drain waits for the next drain. A long-running service needs
+//! the opposite shape: workers that live as long as the service does and ask
+//! a shared **injector** for the next job each time they go idle, so new
+//! submissions are picked up immediately.
+//!
+//! This module provides that shape without fixing a queueing policy. The
+//! injector is any [`JobSource`]: each worker repeatedly calls
+//! [`JobSource::next_job`], which either hands out a queued [`JobId`]
+//! ([`Feed::Job`]), asks the worker to back off briefly ([`Feed::Idle`]), or
+//! tells it to exit ([`Feed::Shutdown`]). The policy — FIFO, cost-ranked,
+//! deficit-round-robin across tenants — lives entirely in the source; the
+//! serving tier (`qml-service`) implements fairness there.
+//!
+//! Executed jobs flow through the runtime's usual claim/execute path (shared
+//! transpilation cache included) and are reported to an outcome sink as they
+//! finish, so callers can update metrics live rather than waiting for a
+//! drain to return.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::executor::{JobId, JobOutcome, Runtime};
+use crate::registry::Placement;
+
+/// Shortest idle back-off; doubles per consecutive idle poll up to
+/// [`MAX_IDLE_BACKOFF`], so a service with no queued work converges to a
+/// few source polls per worker per hundred milliseconds instead of a
+/// sustained busy-spin on the source's lock.
+const IDLE_BACKOFF: Duration = Duration::from_micros(500);
+
+/// Longest idle back-off (also the worst-case extra dispatch latency a
+/// long-idle service adds to the next submission).
+const MAX_IDLE_BACKOFF: Duration = Duration::from_millis(10);
+
+/// One dispatched job: its id plus the placement the source already
+/// computed for it, if any (sources that rank jobs by placement cost pass
+/// it along so the worker does not place the bundle a second time).
+#[derive(Debug, Clone)]
+pub struct JobDispatch {
+    /// The job to execute.
+    pub id: JobId,
+    /// A placement computed at admission time, reused for execution.
+    pub placement: Option<Placement>,
+}
+
+impl JobDispatch {
+    /// A dispatch with no precomputed placement (the worker places).
+    pub fn new(id: JobId) -> Self {
+        JobDispatch {
+            id,
+            placement: None,
+        }
+    }
+}
+
+/// What a [`JobSource`] hands a worker that asked for work.
+#[derive(Debug, Clone)]
+pub enum Feed {
+    /// Execute this queued job next.
+    Job(JobDispatch),
+    /// Nothing dispatchable right now; back off briefly and ask again.
+    Idle,
+    /// No more work will ever be dispatched; the worker should exit.
+    Shutdown,
+}
+
+/// A shared injector feeding a [`WorkerPool`].
+///
+/// Implementations own the queueing policy: which job runs next, which
+/// tenant's turn it is, whether a rate limit applies, and when the pool
+/// should shut down. `next_job` is called concurrently from every worker
+/// thread, so implementations synchronize internally.
+pub trait JobSource: Send + Sync {
+    /// Hand the calling worker its next instruction.
+    fn next_job(&self, worker: usize) -> Feed;
+
+    /// Called when a dispatched job could not be claimed (it was already
+    /// executed by another path, e.g. a concurrent one-shot drain). Sources
+    /// tracking in-flight counts use this to release the slot.
+    fn job_skipped(&self, _id: JobId) {}
+}
+
+/// The outcome sink a pool reports finished jobs to, in completion order.
+pub type OutcomeSink = dyn Fn(JobOutcome) + Send + Sync;
+
+/// A long-lived pool of worker threads draining a shared [`JobSource`].
+///
+/// Workers run until the source answers [`Feed::Shutdown`]; dropping the
+/// pool without [`WorkerPool::join`] detaches the threads (they still exit
+/// on the next `Shutdown` answer).
+pub struct WorkerPool {
+    handles: Vec<thread::JoinHandle<usize>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads executing jobs from `source` on `runtime`,
+    /// reporting each finished job to `sink`.
+    ///
+    /// Every dispatched job goes through the runtime's atomic claim, so a
+    /// pool can coexist with one-shot drains and manual
+    /// [`Runtime::run_job`] calls without double-executing anything.
+    pub fn spawn(
+        runtime: &Arc<Runtime>,
+        workers: usize,
+        source: Arc<dyn JobSource>,
+        sink: Arc<OutcomeSink>,
+    ) -> WorkerPool {
+        let handles = (0..workers.max(1))
+            .map(|worker| {
+                let runtime = Arc::clone(runtime);
+                let source = Arc::clone(&source);
+                let sink = Arc::clone(&sink);
+                thread::Builder::new()
+                    .name(format!("qml-worker-{worker}"))
+                    .spawn(move || worker_loop(worker, &runtime, &source, &sink))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Wait for every worker to exit (the source must answer
+    /// [`Feed::Shutdown`] eventually). Returns the total number of jobs the
+    /// pool executed.
+    pub fn join(self) -> usize {
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .sum()
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    runtime: &Arc<Runtime>,
+    source: &Arc<dyn JobSource>,
+    sink: &Arc<OutcomeSink>,
+) -> usize {
+    let mut executed = 0usize;
+    let mut idle_backoff = IDLE_BACKOFF;
+    loop {
+        match source.next_job(worker) {
+            Feed::Shutdown => break,
+            Feed::Idle => {
+                thread::sleep(idle_backoff);
+                idle_backoff = (idle_backoff * 2).min(MAX_IDLE_BACKOFF);
+            }
+            Feed::Job(JobDispatch { id, placement }) => {
+                idle_backoff = IDLE_BACKOFF;
+                // A concurrent drain may have raced us to this job; a lost
+                // claim releases the source's in-flight slot and moves on.
+                let Ok(Some(bundle)) = runtime.claim(id) else {
+                    source.job_skipped(id);
+                    continue;
+                };
+                let placement = placement.or_else(|| runtime.scheduler().place(&bundle).ok());
+                let started = Instant::now();
+                let result = runtime.execute_claimed(id, bundle, placement.as_ref());
+                let duration = started.elapsed();
+                // Attribute the job to its placed backend even when the
+                // execution itself failed.
+                let backend = result
+                    .as_ref()
+                    .ok()
+                    .map(|r| r.backend.clone())
+                    .or_else(|| placement.as_ref().map(|p| p.backend.name().to_string()));
+                executed += 1;
+                sink(JobOutcome {
+                    id,
+                    result,
+                    backend,
+                    duration,
+                    worker,
+                    stolen: false,
+                });
+            }
+        }
+    }
+    executed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+    use qml_graph::cycle;
+    use qml_types::{ContextDescriptor, ExecConfig, JobBundle};
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn gate_bundle(seed: u64) -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(ContextDescriptor::for_gate(
+                ExecConfig::new("gate.aer_simulator")
+                    .with_samples(32)
+                    .with_seed(seed),
+            ))
+    }
+
+    /// A FIFO source that keeps feeding until told to stop, then shuts the
+    /// pool down once its queue is empty.
+    struct FifoSource {
+        queue: Mutex<VecDeque<JobId>>,
+        stopping: AtomicBool,
+    }
+
+    impl FifoSource {
+        fn new() -> Self {
+            FifoSource {
+                queue: Mutex::new(VecDeque::new()),
+                stopping: AtomicBool::new(false),
+            }
+        }
+
+        fn push(&self, id: JobId) {
+            self.queue.lock().push_back(id);
+        }
+    }
+
+    impl JobSource for FifoSource {
+        fn next_job(&self, _worker: usize) -> Feed {
+            if let Some(id) = self.queue.lock().pop_front() {
+                return Feed::Job(JobDispatch::new(id));
+            }
+            if self.stopping.load(Ordering::SeqCst) {
+                Feed::Shutdown
+            } else {
+                Feed::Idle
+            }
+        }
+    }
+
+    #[test]
+    fn pool_executes_jobs_fed_while_running() {
+        let runtime = Arc::new(Runtime::with_default_backends());
+        let source = Arc::new(FifoSource::new());
+        let completed = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let completed = Arc::clone(&completed);
+            Arc::new(move |outcome: JobOutcome| {
+                completed.lock().push((outcome.id, outcome.result.is_ok()));
+            })
+        };
+        let pool = WorkerPool::spawn(&runtime, 2, source.clone(), sink);
+
+        // Feed jobs *after* the pool is already running.
+        let mut ids = Vec::new();
+        for seed in 0..6 {
+            let id = runtime.submit(gate_bundle(seed)).unwrap();
+            source.push(id);
+            ids.push(id);
+        }
+        source.stopping.store(true, Ordering::SeqCst);
+        let executed = pool.join();
+
+        assert_eq!(executed, 6);
+        let mut seen: Vec<JobId> = completed.lock().iter().map(|(id, _)| *id).collect();
+        seen.sort();
+        assert_eq!(seen, ids);
+        assert!(completed.lock().iter().all(|(_, ok)| *ok));
+    }
+
+    #[test]
+    fn already_executed_jobs_are_skipped_not_failed() {
+        let runtime = Arc::new(Runtime::with_default_backends());
+        let source = Arc::new(FifoSource::new());
+        let id = runtime.submit(gate_bundle(1)).unwrap();
+        // Execute through the one-shot path first; the pool must then skip.
+        runtime.run_job(id).unwrap();
+        source.push(id);
+        source.stopping.store(true, Ordering::SeqCst);
+        let sink = Arc::new(|_outcome: JobOutcome| {});
+        let executed = WorkerPool::spawn(&runtime, 1, source, sink).join();
+        assert_eq!(executed, 0, "stale dispatch is skipped, not re-run");
+    }
+
+    #[test]
+    fn shutdown_with_empty_source_exits_immediately() {
+        let runtime = Arc::new(Runtime::with_default_backends());
+        let source = Arc::new(FifoSource::new());
+        source.stopping.store(true, Ordering::SeqCst);
+        let pool = WorkerPool::spawn(&runtime, 3, source, Arc::new(|_| {}));
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.join(), 0);
+    }
+}

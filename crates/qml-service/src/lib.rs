@@ -9,15 +9,24 @@
 //!   binding sets and/or N contexts, expanded into jobs server-side, so a
 //!   variational optimizer ships its circuit once per iteration batch instead
 //!   of once per point.
-//! * [`QmlService`] — the submission queue: per-tenant accounting, batch
-//!   tracking, and a `run_pending` drain that executes everything on the
-//!   runtime's cost-ranked **work-stealing worker pool**.
+//! * [`QmlService`] — submission, batch tracking, and execution. The service
+//!   runs as a **streaming loop**: [`QmlService::start`] spawns a long-lived
+//!   worker pool that accepts `submit`/`submit_sweep` *while running* and is
+//!   shut down through its [`ServiceHandle`] — [`drain`](ServiceHandle::drain)
+//!   finishes admitted work, [`abort`](ServiceHandle::abort) stops at the next
+//!   job boundary. [`QmlService::run_pending`] remains as the one-shot
+//!   submit-then-drain wrapper.
+//! * **Per-tenant fair scheduling** — deficit round robin over cost-ranked
+//!   per-tenant queues, with [`TenantPolicy`] weights, in-flight caps, and
+//!   token-bucket [`RateLimit`]s, so one tenant's thousand-point sweep cannot
+//!   starve another tenant's single job.
 //! * The runtime's shared **transpilation/lowering cache** (see
 //!   [`qml_backends::TranspileCache`]) makes repeated `(program, target)`
 //!   submissions skip `qml-transpile` entirely; hit/miss counters surface in
 //!   the service metrics.
 //! * [`ServiceMetrics`] — a snapshot of throughput, queue depth, cache hit
-//!   rates, and per-backend/per-tenant utilization.
+//!   rates, scheduler-fairness counters, and per-backend/per-tenant
+//!   utilization (including per-tenant wait-time and in-flight gauges).
 //!
 //! ## Example
 //!
@@ -53,9 +62,13 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod scheduler;
 pub mod service;
 pub mod sweep;
 
-pub use metrics::{BackendUtilization, CacheStats, RunSummary, ServiceMetrics, TenantStats};
-pub use service::{BatchId, QmlService, ServiceConfig};
+pub use metrics::{
+    BackendUtilization, CacheStats, RunSummary, SchedulerMetrics, ServiceMetrics, TenantStats,
+};
+pub use scheduler::{RateLimit, TenantPolicy};
+pub use service::{BatchId, QmlService, ServiceConfig, ServiceHandle};
 pub use sweep::SweepRequest;

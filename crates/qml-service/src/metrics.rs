@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+pub use crate::scheduler::SchedulerMetrics;
 pub use qml_backends::CacheStats;
 
 /// Execution totals attributed to one backend.
@@ -16,8 +17,9 @@ pub struct BackendUtilization {
     pub busy_seconds: f64,
 }
 
-/// Submission/completion totals attributed to one tenant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// Submission/completion totals and live scheduler gauges attributed to one
+/// tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct TenantStats {
     /// Jobs the tenant has submitted (directly or via sweeps).
     pub submitted: u64,
@@ -25,12 +27,32 @@ pub struct TenantStats {
     pub completed: u64,
     /// Jobs that finished with an error.
     pub failed: u64,
+    /// Jobs the fair scheduler has handed to workers.
+    pub dispatched: u64,
+    /// Jobs currently executing (gauge; nonzero only while a pool runs).
+    pub in_flight: u64,
+    /// Scheduler visits skipped because the tenant's token bucket was empty.
+    pub throttled: u64,
+    /// Total submit→dispatch wait across all dispatched jobs, in seconds.
+    pub total_wait_seconds: f64,
 }
 
-/// Summary of one `run_pending` drain.
+impl TenantStats {
+    /// Mean submit→dispatch wait per dispatched job, in seconds.
+    pub fn mean_wait_seconds(&self) -> f64 {
+        if self.dispatched == 0 {
+            0.0
+        } else {
+            self.total_wait_seconds / self.dispatched as f64
+        }
+    }
+}
+
+/// Summary of one service run — a `run_pending` drain or a full
+/// streaming-pool lifetime (start → drain/abort).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
-    /// Jobs executed in this drain.
+    /// Jobs executed in this run.
     pub jobs: usize,
     /// Jobs that completed successfully.
     pub completed: usize,
@@ -38,11 +60,16 @@ pub struct RunSummary {
     pub failed: usize,
     /// Worker threads used.
     pub workers: usize,
-    /// Jobs an idle worker stole from a busy worker's deque.
+    /// Jobs an idle worker stole from a busy worker's deque. Always 0 for
+    /// streaming runs: the streaming pool pulls from one shared fair
+    /// scheduler, so there are no per-worker deques to steal from (kept for
+    /// compatibility with the one-shot [`Runtime::run_all_detailed`] path).
+    ///
+    /// [`Runtime::run_all_detailed`]: qml_runtime::Runtime::run_all_detailed
     pub stolen: usize,
-    /// Wall-clock duration of the drain, in seconds.
+    /// Wall-clock duration of the run, in seconds.
     pub wall_seconds: f64,
-    /// Throughput of the drain: jobs per wall-clock second.
+    /// Throughput of the run: jobs per wall-clock second.
     pub jobs_per_second: f64,
 }
 
@@ -63,6 +90,8 @@ pub struct ServiceMetrics {
     pub gate_cache: CacheStats,
     /// Annealing-path (lowering) cache counters.
     pub anneal_cache: CacheStats,
+    /// Fair-scheduler counters (rounds, dispatches, throttles, cap skips).
+    pub scheduler: SchedulerMetrics,
     /// Execution totals per backend name.
     pub per_backend: BTreeMap<String, BackendUtilization>,
     /// Submission totals per tenant.

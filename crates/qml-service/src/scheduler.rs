@@ -1,0 +1,707 @@
+//! Per-tenant fair scheduling: deficit round robin over cost-ranked queues.
+//!
+//! The service's streaming loop must not let one tenant's 1000-point sweep
+//! starve another tenant's single job. The classic answer is **deficit round
+//! robin** (DRR): each tenant owns a queue; the scheduler visits tenants in
+//! rotation, crediting each visited tenant `weight × quantum` of "deficit"
+//! (budget, in descriptor-cost units) and dispatching that tenant's head job
+//! only once the accumulated deficit covers the job's estimated cost. Heavy
+//! jobs therefore consume proportionally more turns, and a tenant with
+//! double the weight gets double the cost-throughput under contention —
+//! while an uncontended tenant still uses the whole pool.
+//!
+//! Layered on the DRR core, per [`TenantPolicy`]:
+//!
+//! * **weight** — the tenant's share of dispatch budget under contention;
+//! * **max in-flight** — a cap on the tenant's concurrently executing jobs,
+//!   so a wide pool cannot be monopolized even between scheduler rounds;
+//! * **token-bucket rate limit** — sustained jobs/second plus a burst
+//!   allowance, enforced while the service is live (a graceful
+//!   [`drain`](crate::ServiceHandle::drain) ignores rate limits so shutdown
+//!   terminates even for throttled tenants; weights and in-flight caps keep
+//!   applying).
+//!
+//! Within one tenant, jobs are kept cost-ranked (longest first): the same
+//! LPT heuristic the one-shot pool used, now applied per tenant so it can
+//! no longer leak across tenant boundaries.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use qml_runtime::{JobDispatch, JobId, Placement};
+
+/// Smallest effective DRR weight; keeps the pass bound finite for
+/// pathological configurations (weight ≤ 0).
+const MIN_WEIGHT: f64 = 1e-3;
+
+/// Upper bound on DRR passes per dispatch attempt. With the quantum equal
+/// to the largest currently queued head cost, any head job becomes
+/// dispatchable within `1 / weight ≤ 1 / MIN_WEIGHT` visits, so this is
+/// never hit by a finite configuration; it is a defensive backstop, not a
+/// tuning knob.
+const MAX_PASSES: usize = 1024;
+
+/// A token-bucket rate limit on one tenant's dispatches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateLimit {
+    /// Sustained dispatch rate, in jobs per second. `0.0` means "burst
+    /// only": the tenant may dispatch up to `burst` jobs and is then
+    /// throttled until the next drain.
+    pub jobs_per_second: f64,
+    /// Bucket capacity: how many dispatches may happen back-to-back before
+    /// the sustained rate applies. Dispatching costs one whole token, so
+    /// values below 1.0 are treated as 1.0 (a bucket that can never reach a
+    /// full token would starve the tenant outright).
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `jobs_per_second` with a burst allowance of the same size
+    /// (at least one job).
+    pub fn per_second(jobs_per_second: f64) -> Self {
+        RateLimit {
+            jobs_per_second,
+            burst: jobs_per_second.max(1.0),
+        }
+    }
+
+    /// Replace the burst allowance, builder-style.
+    pub fn with_burst(mut self, burst: f64) -> Self {
+        self.burst = burst;
+        self
+    }
+
+    /// The bucket capacity actually enforced (see [`RateLimit::burst`]).
+    fn effective_burst(&self) -> f64 {
+        self.burst.max(1.0)
+    }
+}
+
+/// Scheduling policy applied to one tenant (or, via
+/// [`ServiceConfig::default_policy`](crate::ServiceConfig), to every tenant
+/// without an explicit one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantPolicy {
+    /// Relative share of dispatch budget under contention. A weight-2 tenant
+    /// receives twice the cost-throughput of a weight-1 tenant while both
+    /// have work queued. Values ≤ 0 are clamped to a small epsilon.
+    pub weight: f64,
+    /// Maximum number of this tenant's jobs executing concurrently
+    /// (`None` = unlimited). A configured cap of 0 is treated as 1.
+    pub max_in_flight: Option<usize>,
+    /// Token-bucket rate limit (`None` = unlimited).
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            weight: 1.0,
+            max_in_flight: None,
+            rate_limit: None,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// Set the DRR weight, builder-style.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Cap the tenant's concurrently executing jobs, builder-style.
+    pub fn with_max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = Some(max);
+        self
+    }
+
+    /// Attach a token-bucket rate limit, builder-style.
+    pub fn with_rate_limit(mut self, limit: RateLimit) -> Self {
+        self.rate_limit = Some(limit);
+        self
+    }
+}
+
+/// Fairness counters for the scheduler as a whole, surfaced through
+/// [`ServiceMetrics`](crate::ServiceMetrics).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchedulerMetrics {
+    /// Dispatch attempts (each worker call that scanned the tenant rotation).
+    pub rounds: u64,
+    /// Jobs handed to workers.
+    pub dispatched: u64,
+    /// Tenant visits skipped because the tenant's token bucket was empty.
+    pub throttled: u64,
+    /// Tenant visits skipped because the tenant was at its in-flight cap.
+    pub capped: u64,
+    /// Scans that found nothing dispatchable (the caller backed off).
+    pub idle_polls: u64,
+}
+
+/// Live per-tenant gauges owned by the scheduler, merged into
+/// [`TenantStats`](crate::TenantStats) snapshots.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TenantGauges {
+    pub dispatched: u64,
+    pub in_flight: u64,
+    pub throttled: u64,
+    pub total_wait_seconds: f64,
+}
+
+/// One admitted, not-yet-dispatched job.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: JobId,
+    /// The estimated cost of `placement` at admission (0.0 when placement
+    /// failed; such jobs still dispatch and fail at execution).
+    cost: f64,
+    /// The placement computed at admission, handed to the worker so the
+    /// bundle is not placed a second time at execution.
+    placement: Option<Placement>,
+    submitted: Instant,
+}
+
+/// One tenant's queue plus its DRR/rate-limit state.
+#[derive(Debug)]
+struct TenantQueue {
+    policy: TenantPolicy,
+    /// Cost-ranked (descending) pending jobs; FIFO among equal costs.
+    queue: VecDeque<QueuedJob>,
+    /// DRR deficit counter, in cost units.
+    deficit: f64,
+    /// Token bucket fill (only meaningful with a rate limit).
+    tokens: f64,
+    last_refill: Instant,
+    in_flight: usize,
+    dispatched: u64,
+    throttled: u64,
+    total_wait_seconds: f64,
+}
+
+impl TenantQueue {
+    fn new(policy: TenantPolicy, now: Instant) -> Self {
+        let tokens = policy
+            .rate_limit
+            .map(|l| l.effective_burst())
+            .unwrap_or(0.0);
+        TenantQueue {
+            policy,
+            queue: VecDeque::new(),
+            deficit: 0.0,
+            tokens,
+            last_refill: now,
+            in_flight: 0,
+            dispatched: 0,
+            throttled: 0,
+            total_wait_seconds: 0.0,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        if let Some(limit) = self.policy.rate_limit {
+            let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+            self.tokens =
+                (self.tokens + elapsed * limit.jobs_per_second).min(limit.effective_burst());
+            self.last_refill = now;
+        }
+    }
+}
+
+/// Lifecycle phase of the streaming loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// No pool is attached; nothing dispatches.
+    Stopped,
+    /// Live: dispatch under full policy enforcement.
+    Running,
+    /// Graceful shutdown: keep dispatching (rate limits waived) until every
+    /// queue is empty and nothing is in flight, then stop the pool.
+    Draining,
+    /// Hard stop: dispatch nothing further; workers exit at the next job
+    /// boundary and undispatched jobs stay queued for a later restart.
+    Aborting,
+}
+
+/// The scheduler's answer to a worker asking for work (the service adapts
+/// this to [`qml_runtime::Feed`]).
+#[derive(Debug, Clone)]
+pub(crate) enum SchedPoll {
+    Dispatch(JobDispatch),
+    Idle,
+    Shutdown,
+}
+
+/// Deficit-round-robin scheduler state shared by all pool workers.
+#[derive(Debug)]
+pub(crate) struct FairScheduler {
+    pub(crate) mode: Mode,
+    tenants: BTreeMap<Arc<str>, TenantQueue>,
+    /// Visit order; tenants are appended on first admission and never
+    /// removed (an empty queue is skipped in O(1)).
+    rotation: Vec<Arc<str>>,
+    cursor: usize,
+    /// True once the tenant at `cursor` has received its arrival credit for
+    /// the current pointer visit; cleared whenever the pointer advances.
+    /// This is what lets one visit span several `next_job` calls (a heavy
+    /// tenant serves its whole quantum) without re-crediting per call.
+    credited: bool,
+    /// Dispatched-but-unfinished jobs, for in-flight accounting.
+    in_flight: BTreeMap<JobId, Arc<str>>,
+    pub(crate) metrics: SchedulerMetrics,
+}
+
+impl FairScheduler {
+    pub(crate) fn new() -> Self {
+        FairScheduler {
+            mode: Mode::Stopped,
+            tenants: BTreeMap::new(),
+            rotation: Vec::new(),
+            cursor: 0,
+            credited: false,
+            in_flight: BTreeMap::new(),
+            metrics: SchedulerMetrics::default(),
+        }
+    }
+
+    /// Intern a tenant name, creating its queue (under `policy`) on first
+    /// sight. Returns the shared id so the caller can deduplicate its own
+    /// tenant-name storage.
+    pub(crate) fn intern(&mut self, tenant: &str, policy: &TenantPolicy) -> Arc<str> {
+        if let Some((name, _)) = self.tenants.get_key_value(tenant) {
+            return Arc::clone(name);
+        }
+        let name: Arc<str> = Arc::from(tenant);
+        self.tenants.insert(
+            Arc::clone(&name),
+            TenantQueue::new(policy.clone(), Instant::now()),
+        );
+        self.rotation.push(Arc::clone(&name));
+        name
+    }
+
+    /// Admit one job into its tenant's queue, keeping the queue cost-ranked
+    /// (descending; FIFO among equal costs — the per-tenant LPT order).
+    pub(crate) fn admit(
+        &mut self,
+        tenant: &Arc<str>,
+        id: JobId,
+        cost: f64,
+        placement: Option<Placement>,
+    ) {
+        let queue = self
+            .tenants
+            .get_mut(tenant)
+            .expect("tenant interned before admission");
+        let job = QueuedJob {
+            id,
+            cost,
+            placement,
+            submitted: Instant::now(),
+        };
+        // Binary search: the queue is kept sorted by cost descending, and
+        // partition_point places equal costs after their peers (stable FIFO),
+        // so admitting an N-point sweep costs O(N log N) comparisons instead
+        // of O(N^2) — this runs under the scheduler lock workers contend on.
+        let at = queue.queue.partition_point(|q| q.cost >= cost);
+        queue.queue.insert(at, job);
+    }
+
+    /// Release the in-flight slot of a finished (or skipped) job.
+    pub(crate) fn release(&mut self, id: JobId) {
+        if let Some(name) = self.in_flight.remove(&id) {
+            if let Some(tenant) = self.tenants.get_mut(&name) {
+                tenant.in_flight = tenant.in_flight.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Jobs admitted but not yet dispatched.
+    pub(crate) fn queued(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+
+    /// Jobs dispatched but not yet finished.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Snapshot the per-tenant gauges for a metrics merge.
+    pub(crate) fn gauges(&self) -> Vec<(Arc<str>, TenantGauges)> {
+        self.tenants
+            .iter()
+            .map(|(name, t)| {
+                (
+                    Arc::clone(name),
+                    TenantGauges {
+                        dispatched: t.dispatched,
+                        in_flight: t.in_flight as u64,
+                        throttled: t.throttled,
+                        total_wait_seconds: t.total_wait_seconds,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Advance the rotation pointer, clearing the arrival credit.
+    fn advance(&mut self) {
+        let n = self.rotation.len().max(1);
+        self.cursor = (self.cursor + 1) % n;
+        self.credited = false;
+    }
+
+    /// The DRR quantum: the largest *currently queued* head cost (each
+    /// tenant's head is its most expensive pending job, so this is the max
+    /// over all queued jobs). Recomputed per dispatch attempt rather than
+    /// kept as a high-water mark: a historically expensive job must not
+    /// permanently inflate every tenant's per-visit budget, or a whale with
+    /// many cheap jobs could serve `old_max_cost` jobs per visit and starve
+    /// small tenants — the exact failure mode this module exists to prevent.
+    fn quantum(&self) -> f64 {
+        self.tenants
+            .values()
+            .filter_map(|t| t.queue.front())
+            .map(|job| job.cost)
+            .fold(1.0, f64::max)
+    }
+
+    /// One DRR dispatch attempt, shared by every pool worker.
+    ///
+    /// The pointer parks on one tenant at a time. On *arrival* the tenant is
+    /// credited `weight × quantum` of deficit, once; the pointer then stays
+    /// parked while successive calls dispatch that tenant's jobs, each
+    /// spending its estimated cost from the deficit — so a weight-3 tenant
+    /// serves three times the cost of a weight-1 tenant per rotation. The
+    /// pointer advances when the tenant's remaining deficit no longer covers
+    /// its head job (the deficit is *kept*, classic DRR, so heavy jobs
+    /// eventually accumulate enough turns) or when the tenant is vetoed —
+    /// empty queue, in-flight cap, or an empty token bucket (the deficit is
+    /// *reset*: a non-competing tenant must not bank budget for later
+    /// bursts).
+    ///
+    /// A full cycle of vetoes means nothing is dispatchable:
+    /// [`SchedPoll::Idle`] — or [`SchedPoll::Shutdown`] once a drain has
+    /// emptied every queue with nothing left in flight. Cycles containing a
+    /// deficit-blocked tenant repeat (each arrival strictly grows that
+    /// deficit, so the loop terminates within `1/weight` cycles).
+    pub(crate) fn next_job(&mut self, now: Instant) -> SchedPoll {
+        self.metrics.rounds += 1;
+        match self.mode {
+            Mode::Stopped | Mode::Aborting => return SchedPoll::Shutdown,
+            Mode::Running | Mode::Draining => {}
+        }
+        let drain = self.mode == Mode::Draining;
+        let n = self.rotation.len();
+        let quantum = self.quantum();
+        let mut consecutive_vetoes = 0usize;
+        for _visit in 0..n.saturating_mul(MAX_PASSES) {
+            let name = Arc::clone(&self.rotation[self.cursor]);
+            let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
+            // Veto checks: a vetoed tenant is not competing this round.
+            let vetoed = if tenant.queue.is_empty() {
+                true
+            } else if tenant
+                .policy
+                .max_in_flight
+                .is_some_and(|cap| tenant.in_flight >= cap.max(1))
+            {
+                self.metrics.capped += 1;
+                true
+            } else if !drain && tenant.policy.rate_limit.is_some() {
+                tenant.refill(now);
+                if tenant.tokens < 1.0 {
+                    tenant.throttled += 1;
+                    self.metrics.throttled += 1;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if vetoed {
+                tenant.deficit = 0.0;
+                consecutive_vetoes += 1;
+                if consecutive_vetoes >= n {
+                    break;
+                }
+                self.advance();
+                continue;
+            }
+            consecutive_vetoes = 0;
+            if !self.credited {
+                tenant.deficit += tenant.policy.weight.max(MIN_WEIGHT) * quantum;
+                self.credited = true;
+            }
+            let head_cost = tenant.queue.front().expect("non-empty queue").cost;
+            if tenant.deficit < head_cost {
+                // Blocked by deficit: keep it and move on; the next arrival
+                // credits more.
+                self.advance();
+                continue;
+            }
+            let job = tenant.queue.pop_front().expect("non-empty queue");
+            tenant.deficit -= job.cost;
+            if tenant.queue.is_empty() {
+                tenant.deficit = 0.0;
+            }
+            if !drain && tenant.policy.rate_limit.is_some() {
+                tenant.tokens -= 1.0;
+            }
+            tenant.in_flight += 1;
+            tenant.dispatched += 1;
+            tenant.total_wait_seconds += now.duration_since(job.submitted).as_secs_f64();
+            self.metrics.dispatched += 1;
+            self.in_flight.insert(job.id, name);
+            return SchedPoll::Dispatch(JobDispatch {
+                id: job.id,
+                placement: job.placement,
+            });
+        }
+        if drain && self.queued() == 0 && self.in_flight.is_empty() {
+            return SchedPoll::Shutdown;
+        }
+        self.metrics.idle_polls += 1;
+        SchedPoll::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched_with(policies: &[(&str, TenantPolicy)]) -> (FairScheduler, Vec<Arc<str>>) {
+        let mut sched = FairScheduler::new();
+        sched.mode = Mode::Running;
+        let names = policies
+            .iter()
+            .map(|(name, policy)| sched.intern(name, policy))
+            .collect();
+        (sched, names)
+    }
+
+    #[test]
+    fn interning_deduplicates_names() {
+        let (mut sched, names) = sched_with(&[("alice", TenantPolicy::default())]);
+        let again = sched.intern("alice", &TenantPolicy::default());
+        assert!(Arc::ptr_eq(&names[0], &again));
+    }
+
+    #[test]
+    fn round_robin_alternates_between_equal_tenants() {
+        let (mut sched, names) = sched_with(&[
+            ("a", TenantPolicy::default()),
+            ("b", TenantPolicy::default()),
+        ]);
+        // a gets jobs 0..4, b gets 10..14, all equal cost.
+        for i in 0..4 {
+            sched.admit(&names[0], JobId(i), 1.0, None);
+            sched.admit(&names[1], JobId(10 + i), 1.0, None);
+        }
+        let now = Instant::now();
+        let mut order = Vec::new();
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            sched.release(dispatch.id);
+            order.push(dispatch.id.0 / 10); // 0 = tenant a, 1 = tenant b
+        }
+        // Strict alternation: no tenant dispatches twice in a row while the
+        // other has work.
+        for pair in order.windows(2) {
+            assert_ne!(pair[0], pair[1], "alternation broken: {order:?}");
+        }
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    fn single_job_tenant_preempts_a_long_sweep() {
+        let (mut sched, names) = sched_with(&[
+            ("whale", TenantPolicy::default()),
+            ("minnow", TenantPolicy::default()),
+        ]);
+        for i in 0..100 {
+            sched.admit(&names[0], JobId(i), 5.0, None);
+        }
+        sched.admit(&names[1], JobId(1000), 5.0, None);
+        let now = Instant::now();
+        let mut dispatched_before_minnow = 0;
+        loop {
+            match sched.next_job(now) {
+                SchedPoll::Dispatch(JobDispatch {
+                    id: JobId(1000), ..
+                }) => break,
+                SchedPoll::Dispatch(dispatch) => {
+                    sched.release(dispatch.id);
+                    dispatched_before_minnow += 1;
+                }
+                other => panic!("unexpected poll {other:?}"),
+            }
+        }
+        assert!(
+            dispatched_before_minnow <= 2,
+            "minnow waited behind {dispatched_before_minnow} whale jobs"
+        );
+    }
+
+    #[test]
+    fn weights_bias_the_dispatch_ratio() {
+        let (mut sched, names) = sched_with(&[
+            ("heavy", TenantPolicy::default().with_weight(3.0)),
+            ("light", TenantPolicy::default()),
+        ]);
+        for i in 0..60 {
+            sched.admit(&names[0], JobId(i), 1.0, None);
+            sched.admit(&names[1], JobId(100 + i), 1.0, None);
+        }
+        let now = Instant::now();
+        let mut heavy_in_first_40 = 0;
+        for _ in 0..40 {
+            match sched.next_job(now) {
+                SchedPoll::Dispatch(dispatch) => {
+                    sched.release(dispatch.id);
+                    if dispatch.id.0 < 100 {
+                        heavy_in_first_40 += 1;
+                    }
+                }
+                other => panic!("unexpected poll {other:?}"),
+            }
+        }
+        // 3:1 weights → roughly 30 of the first 40 dispatches are heavy's.
+        assert!(
+            (25..=35).contains(&heavy_in_first_40),
+            "expected ~30 heavy dispatches, got {heavy_in_first_40}"
+        );
+    }
+
+    #[test]
+    fn in_flight_cap_blocks_further_dispatches() {
+        let (mut sched, names) =
+            sched_with(&[("capped", TenantPolicy::default().with_max_in_flight(1))]);
+        sched.admit(&names[0], JobId(0), 1.0, None);
+        sched.admit(&names[0], JobId(1), 1.0, None);
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert!(
+            matches!(sched.next_job(now), SchedPoll::Idle),
+            "cap of 1 respected"
+        );
+        assert!(sched.metrics.capped > 0);
+        sched.release(first.id);
+        assert!(matches!(sched.next_job(now), SchedPoll::Dispatch(_)));
+    }
+
+    #[test]
+    fn burst_only_rate_limit_throttles_after_burst() {
+        let (mut sched, names) = sched_with(&[(
+            "limited",
+            TenantPolicy::default().with_rate_limit(RateLimit {
+                jobs_per_second: 0.0,
+                burst: 2.0,
+            }),
+        )]);
+        for i in 0..5 {
+            sched.admit(&names[0], JobId(i), 1.0, None);
+        }
+        let now = Instant::now();
+        for _ in 0..2 {
+            let SchedPoll::Dispatch(dispatch) = sched.next_job(now) else {
+                panic!("burst tokens should dispatch");
+            };
+            sched.release(dispatch.id);
+        }
+        assert!(matches!(sched.next_job(now), SchedPoll::Idle));
+        assert!(sched.metrics.throttled > 0);
+        // A drain waives the rate limit so shutdown terminates.
+        sched.mode = Mode::Draining;
+        assert!(matches!(sched.next_job(now), SchedPoll::Dispatch(_)));
+    }
+
+    #[test]
+    fn drain_shuts_down_only_when_empty_and_nothing_in_flight() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        sched.admit(&names[0], JobId(0), 1.0, None);
+        sched.mode = Mode::Draining;
+        let now = Instant::now();
+        let SchedPoll::Dispatch(dispatch) = sched.next_job(now) else {
+            panic!("drain dispatches pending work");
+        };
+        // Still in flight: other workers idle rather than exit.
+        assert!(matches!(sched.next_job(now), SchedPoll::Idle));
+        sched.release(dispatch.id);
+        assert!(matches!(sched.next_job(now), SchedPoll::Shutdown));
+    }
+
+    #[test]
+    fn abort_stops_dispatching_immediately() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        sched.admit(&names[0], JobId(0), 1.0, None);
+        sched.mode = Mode::Aborting;
+        assert!(matches!(
+            sched.next_job(Instant::now()),
+            SchedPoll::Shutdown
+        ));
+        assert_eq!(sched.queued(), 1, "aborted work stays queued");
+    }
+
+    #[test]
+    fn historical_expensive_job_does_not_inflate_the_quantum() {
+        // A cost-500 job once existed and was dispatched long ago. Later a
+        // whale queues many cost-1 jobs and a minnow queues one: the quantum
+        // must reflect the *current* queues (1.0), so the whale serves ~one
+        // job per visit and the minnow still preempts within a couple of
+        // dispatches — a stale high-water quantum would let the whale serve
+        // hundreds per visit.
+        let (mut sched, names) = sched_with(&[
+            ("whale", TenantPolicy::default()),
+            ("minnow", TenantPolicy::default()),
+        ]);
+        let now = Instant::now();
+        sched.admit(&names[0], JobId(9999), 500.0, None);
+        let SchedPoll::Dispatch(big) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        sched.release(big.id);
+
+        for i in 0..300 {
+            sched.admit(&names[0], JobId(i), 1.0, None);
+        }
+        sched.admit(&names[1], JobId(1000), 1.0, None);
+        let mut whale_before_minnow = 0;
+        loop {
+            match sched.next_job(now) {
+                SchedPoll::Dispatch(JobDispatch {
+                    id: JobId(1000), ..
+                }) => break,
+                SchedPoll::Dispatch(dispatch) => {
+                    sched.release(dispatch.id);
+                    whale_before_minnow += 1;
+                }
+                other => panic!("unexpected poll {other:?}"),
+            }
+        }
+        assert!(
+            whale_before_minnow <= 2,
+            "stale quantum: {whale_before_minnow} whale jobs before the minnow"
+        );
+    }
+
+    #[test]
+    fn cost_ranked_within_a_tenant() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        sched.admit(&names[0], JobId(0), 1.0, None);
+        sched.admit(&names[0], JobId(1), 9.0, None);
+        sched.admit(&names[0], JobId(2), 4.0, None);
+        let now = Instant::now();
+        let mut order = Vec::new();
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            sched.release(dispatch.id);
+            order.push(dispatch.id.0);
+        }
+        assert_eq!(order, vec![1, 2, 0], "longest-first within the tenant");
+    }
+}

@@ -1,44 +1,78 @@
-//! The submission queue and batch executor.
+//! The submission queue, the streaming service loop, and graceful shutdown.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use qml_backends::ExecutionResult;
-use qml_runtime::{JobId, JobStatus, Runtime};
-use qml_types::{JobBundle, Result};
+use qml_runtime::{Feed, JobId, JobOutcome, JobSource, JobStatus, Runtime, WorkerPool};
+use qml_types::{JobBundle, QmlError, Result};
 
 use crate::metrics::{BackendUtilization, RunSummary, ServiceMetrics, TenantStats};
+use crate::scheduler::{FairScheduler, Mode, SchedPoll, TenantPolicy};
 use crate::sweep::SweepRequest;
 
 /// Identifier of a submitted batch (single bundles get one too).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BatchId(pub u64);
 
-/// Service construction parameters.
+/// Service construction parameters: pool width plus the per-tenant
+/// scheduling policies the fair scheduler enforces.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads used by `run_pending` drains.
+    /// Worker threads in the streaming pool (and in `run_pending` drains).
     pub workers: usize,
+    /// Policy applied to tenants without an explicit entry in
+    /// [`ServiceConfig::tenant_policies`].
+    pub default_policy: TenantPolicy,
+    /// Per-tenant policy overrides (weight, in-flight cap, rate limit).
+    pub tenant_policies: BTreeMap<String, TenantPolicy>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig {
-            workers: std::thread::available_parallelism()
+        ServiceConfig::with_workers(
+            std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(2)
                 .min(8),
+        )
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration with the given pool width and default policies.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            default_policy: TenantPolicy::default(),
+            tenant_policies: BTreeMap::new(),
         }
+    }
+
+    /// Attach a per-tenant policy override, builder-style.
+    pub fn with_tenant_policy(mut self, tenant: impl Into<String>, policy: TenantPolicy) -> Self {
+        self.tenant_policies.insert(tenant.into(), policy);
+        self
+    }
+
+    /// The policy governing `tenant`.
+    pub fn policy_for(&self, tenant: &str) -> &TenantPolicy {
+        self.tenant_policies
+            .get(tenant)
+            .unwrap_or(&self.default_policy)
     }
 }
 
 /// One tracked batch: its jobs and owner.
 #[derive(Debug, Clone)]
 struct BatchRecord {
-    tenant: String,
+    tenant: Arc<str>,
     job_ids: Vec<JobId>,
 }
 
@@ -46,25 +80,146 @@ struct BatchRecord {
 struct ServiceState {
     next_batch: u64,
     batches: BTreeMap<BatchId, BatchRecord>,
-    job_tenant: BTreeMap<JobId, String>,
+    job_tenant: BTreeMap<JobId, Arc<str>>,
     jobs_submitted: u64,
     jobs_completed: u64,
     jobs_failed: u64,
     per_backend: BTreeMap<String, BackendUtilization>,
-    per_tenant: BTreeMap<String, TenantStats>,
+    per_tenant: BTreeMap<Arc<str>, TenantStats>,
     last_run: Option<RunSummary>,
 }
 
-/// The multi-tenant batch-execution service.
-///
-/// Submissions (single bundles or [`SweepRequest`]s) are validated and
-/// expanded eagerly, queued on the underlying [`Runtime`], and executed by
-/// [`QmlService::run_pending`] on the runtime's cost-ranked work-stealing
-/// pool, sharing its transpilation/lowering cache across all tenants.
-pub struct QmlService {
-    runtime: Runtime,
+/// Jobs executed by one pool run, for its [`RunSummary`].
+#[derive(Default)]
+struct PoolCounters {
+    jobs: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// The shared core behind every [`QmlService`] clone and every pool worker.
+struct ServiceInner {
+    runtime: Arc<Runtime>,
     config: ServiceConfig,
     state: Mutex<ServiceState>,
+    sched: Mutex<FairScheduler>,
+}
+
+impl ServiceInner {
+    /// Fold one finished job into the service metrics, then release its
+    /// in-flight slot. Called from pool workers as jobs complete (the locks
+    /// are taken sequentially, never nested). Order matters: the state fold
+    /// happens *before* the scheduler release, so once `wait_idle` observes
+    /// quiescence every finished job is already visible in `metrics()`.
+    fn record_outcome(&self, outcome: &JobOutcome, counters: &PoolCounters) {
+        counters.jobs.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock();
+        let tenant = state.job_tenant.get(&outcome.id).cloned();
+        // Backend attribution covers failed executions too: the pool reports
+        // the placed backend even when the run errored.
+        if let Some(backend) = &outcome.backend {
+            let util = state.per_backend.entry(backend.clone()).or_default();
+            util.jobs += 1;
+            util.busy_seconds += outcome.duration.as_secs_f64();
+        }
+        match &outcome.result {
+            Ok(_) => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                state.jobs_completed += 1;
+                if let Some(tenant) = tenant {
+                    state.per_tenant.entry(tenant).or_default().completed += 1;
+                }
+            }
+            Err(_) => {
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+                state.jobs_failed += 1;
+                if let Some(tenant) = tenant {
+                    state.per_tenant.entry(tenant).or_default().failed += 1;
+                }
+            }
+        }
+        drop(state);
+        self.sched.lock().release(outcome.id);
+    }
+}
+
+/// Pool workers pull their next job straight from the fair scheduler.
+impl JobSource for ServiceInner {
+    fn next_job(&self, _worker: usize) -> Feed {
+        match self.sched.lock().next_job(Instant::now()) {
+            SchedPoll::Dispatch(dispatch) => Feed::Job(dispatch),
+            SchedPoll::Idle => Feed::Idle,
+            SchedPoll::Shutdown => Feed::Shutdown,
+        }
+    }
+
+    fn job_skipped(&self, id: JobId) {
+        self.sched.lock().release(id);
+    }
+}
+
+/// The multi-tenant execution service.
+///
+/// Submissions (single bundles or [`SweepRequest`]s) are validated and
+/// expanded eagerly, recorded on the underlying [`Runtime`], and admitted to
+/// a **per-tenant fair scheduler** (deficit round robin over cost-ranked
+/// queues, with optional weights, in-flight caps, and token-bucket rate
+/// limits — see [`TenantPolicy`]). Execution happens either
+///
+/// * **streaming** — [`QmlService::start`] spawns a long-lived worker pool
+///   that keeps accepting `submit`/`submit_sweep` *while running* and is shut
+///   down gracefully through the returned [`ServiceHandle`]; or
+/// * **one-shot** — [`QmlService::run_pending`], a thin submit-then-drain
+///   wrapper over the same machinery.
+///
+/// All executions share the runtime's transpilation/lowering cache across
+/// tenants. `QmlService` is cheaply cloneable; clones share all state, which
+/// is how submitter threads hand jobs to a running service:
+///
+/// ```
+/// use qml_service::{QmlService, ServiceConfig};
+/// use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+/// use qml_graph::cycle;
+/// use qml_types::{ContextDescriptor, ExecConfig, Target};
+///
+/// let service = QmlService::with_config(ServiceConfig::with_workers(2));
+/// let handle = service.start()?;            // pool is now live
+///
+/// // Submit from another thread *while the service runs*.
+/// let submitter = {
+///     let service = service.clone();
+///     std::thread::spawn(move || {
+///         let program = qaoa_maxcut_program(
+///             &cycle(4),
+///             &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]),
+///         )
+///         .unwrap();
+///         let context = ContextDescriptor::for_gate(
+///             ExecConfig::new("gate.aer_simulator")
+///                 .with_samples(64)
+///                 .with_seed(7)
+///                 .with_target(Target::ring(4)),
+///         );
+///         service.submit("live-tenant", program.with_context(context)).unwrap()
+///     })
+/// };
+/// let (_batch, job) = submitter.join().unwrap();
+///
+/// let summary = handle.drain();             // finish everything, then stop
+/// assert_eq!(summary.completed, 1);
+/// assert_eq!(service.result(job).unwrap().shots, 64);
+/// # Ok::<(), qml_types::QmlError>(())
+/// ```
+pub struct QmlService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Clone for QmlService {
+    fn clone(&self) -> Self {
+        QmlService {
+            inner: Arc::clone(&self.inner),
+        }
+    }
 }
 
 impl Default for QmlService {
@@ -88,28 +243,33 @@ impl QmlService {
     /// cache, ...).
     pub fn with_runtime(runtime: Runtime, config: ServiceConfig) -> Self {
         QmlService {
-            runtime,
-            config,
-            state: Mutex::new(ServiceState::default()),
+            inner: Arc::new(ServiceInner {
+                runtime: Arc::new(runtime),
+                config,
+                state: Mutex::new(ServiceState::default()),
+                sched: Mutex::new(FairScheduler::new()),
+            }),
         }
     }
 
     /// The underlying runtime.
     pub fn runtime(&self) -> &Runtime {
-        &self.runtime
+        &self.inner.runtime
     }
 
     /// Submit one bundle for a tenant. Returns the batch (of size one) and
-    /// the job id.
+    /// the job id. Accepted while a streaming pool is running: the job is
+    /// picked up by the fair scheduler without any drain/restart.
     pub fn submit(&self, tenant: &str, bundle: JobBundle) -> Result<(BatchId, JobId)> {
         let batch = self.submit_jobs(tenant, vec![bundle])?;
-        let job = self.state.lock().batches[&batch].job_ids[0];
+        let job = self.inner.state.lock().batches[&batch].job_ids[0];
         Ok((batch, job))
     }
 
     /// Expand and submit a parameter sweep for a tenant. The whole sweep is
     /// validated before any job is queued: a malformed sweep is rejected
-    /// atomically.
+    /// atomically. Like [`QmlService::submit`], sweeps are accepted while
+    /// the service is running.
     pub fn submit_sweep(&self, tenant: &str, sweep: SweepRequest) -> Result<BatchId> {
         let jobs = sweep.expand()?;
         self.submit_jobs(tenant, jobs)
@@ -120,32 +280,55 @@ impl QmlService {
         for bundle in &bundles {
             bundle.validate()?;
         }
-        let mut job_ids = Vec::with_capacity(bundles.len());
+        // Place each job once, before taking any lock: the fair scheduler
+        // spends DRR deficit in estimated-cost units, and the placement is
+        // carried to the worker so the bundle is never placed twice.
+        let mut jobs = Vec::with_capacity(bundles.len());
         for bundle in bundles {
-            job_ids.push(self.runtime.submit(bundle)?);
+            let placement = self.inner.runtime.scheduler().place(&bundle).ok();
+            let cost = placement.as_ref().map(|p| p.estimated_cost).unwrap_or(0.0);
+            let id = self.inner.runtime.submit(bundle)?;
+            jobs.push((id, cost, placement));
         }
-        let mut state = self.state.lock();
-        let id = BatchId(state.next_batch);
-        state.next_batch += 1;
-        state.jobs_submitted += job_ids.len() as u64;
-        let tenant_stats = state.per_tenant.entry(tenant.to_string()).or_default();
-        tenant_stats.submitted += job_ids.len() as u64;
-        for job in &job_ids {
-            state.job_tenant.insert(*job, tenant.to_string());
+        // Record batch/tenant bookkeeping *before* admitting anything to the
+        // fair scheduler: a running pool may dispatch and finish a job the
+        // instant it is admitted, and record_outcome must already find its
+        // tenant. Locks are taken sequentially, never nested.
+        let tenant: Arc<str> = self
+            .inner
+            .sched
+            .lock()
+            .intern(tenant, self.inner.config.policy_for(tenant));
+        let batch = {
+            let mut state = self.inner.state.lock();
+            let id = BatchId(state.next_batch);
+            state.next_batch += 1;
+            state.jobs_submitted += jobs.len() as u64;
+            let tenant_stats = state.per_tenant.entry(Arc::clone(&tenant)).or_default();
+            tenant_stats.submitted += jobs.len() as u64;
+            for (job, _, _) in &jobs {
+                state.job_tenant.insert(*job, Arc::clone(&tenant));
+            }
+            state.batches.insert(
+                id,
+                BatchRecord {
+                    tenant: Arc::clone(&tenant),
+                    job_ids: jobs.iter().map(|(id, _, _)| *id).collect(),
+                },
+            );
+            id
+        };
+        let mut sched = self.inner.sched.lock();
+        for (id, cost, placement) in jobs {
+            sched.admit(&tenant, id, cost, placement);
         }
-        state.batches.insert(
-            id,
-            BatchRecord {
-                tenant: tenant.to_string(),
-                job_ids,
-            },
-        );
-        Ok(id)
+        Ok(batch)
     }
 
     /// Jobs of a batch, in expansion order (empty for unknown batches).
     pub fn batch_jobs(&self, batch: BatchId) -> Vec<JobId> {
-        self.state
+        self.inner
+            .state
             .lock()
             .batches
             .get(&batch)
@@ -155,99 +338,229 @@ impl QmlService {
 
     /// Status of a job.
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
-        self.runtime.status(id)
+        self.inner.runtime.status(id)
     }
 
     /// Result of a completed job.
     pub fn result(&self, id: JobId) -> Option<ExecutionResult> {
-        self.runtime.result(id)
+        self.inner.runtime.result(id)
     }
 
-    /// Execute every queued job on the work-stealing pool and fold the
-    /// outcomes into the service metrics. Returns the drain summary.
-    pub fn run_pending(&self) -> RunSummary {
-        let started = Instant::now();
-        let outcomes = self.runtime.run_all_detailed(self.config.workers);
-        let wall_seconds = started.elapsed().as_secs_f64();
-
-        let mut state = self.state.lock();
-        let mut completed = 0usize;
-        let mut failed = 0usize;
-        let mut stolen = 0usize;
-        for outcome in &outcomes {
-            let tenant = state.job_tenant.get(&outcome.id).cloned();
-            // Backend attribution covers failed executions too: the pool
-            // reports the placed backend even when the run errored.
-            if let Some(backend) = &outcome.backend {
-                let util = state.per_backend.entry(backend.clone()).or_default();
-                util.jobs += 1;
-                util.busy_seconds += outcome.duration.as_secs_f64();
+    /// Start the streaming service loop: a long-lived pool of
+    /// [`ServiceConfig::workers`] threads that executes admitted jobs
+    /// continuously under the fair scheduler and keeps accepting
+    /// submissions while running.
+    ///
+    /// Returns a [`ServiceHandle`] whose [`drain`](ServiceHandle::drain) /
+    /// [`abort`](ServiceHandle::abort) shut the loop down gracefully. At
+    /// most one pool may run at a time; starting a second is an error.
+    pub fn start(&self) -> Result<ServiceHandle> {
+        {
+            let mut sched = self.inner.sched.lock();
+            if sched.mode != Mode::Stopped {
+                return Err(QmlError::Validation(
+                    "service is already running a streaming pool".into(),
+                ));
             }
-            match &outcome.result {
-                Ok(_) => {
-                    completed += 1;
-                    state.jobs_completed += 1;
-                    if let Some(tenant) = tenant {
-                        state.per_tenant.entry(tenant).or_default().completed += 1;
-                    }
-                }
-                Err(_) => {
-                    failed += 1;
-                    state.jobs_failed += 1;
-                    if let Some(tenant) = tenant {
-                        state.per_tenant.entry(tenant).or_default().failed += 1;
-                    }
-                }
-            }
-            stolen += usize::from(outcome.stolen);
+            sched.mode = Mode::Running;
         }
-        let summary = RunSummary {
-            jobs: outcomes.len(),
-            completed,
-            failed,
-            workers: self.config.workers,
-            stolen,
-            wall_seconds,
-            jobs_per_second: if wall_seconds > 0.0 {
-                outcomes.len() as f64 / wall_seconds
-            } else {
-                0.0
-            },
+        let counters = Arc::new(PoolCounters::default());
+        let sink = {
+            let inner = Arc::clone(&self.inner);
+            let counters = Arc::clone(&counters);
+            Arc::new(move |outcome: JobOutcome| inner.record_outcome(&outcome, &counters))
         };
-        state.last_run = Some(summary);
-        summary
+        let source: Arc<dyn JobSource> = Arc::clone(&self.inner) as Arc<dyn JobSource>;
+        let pool = WorkerPool::spawn(&self.inner.runtime, self.inner.config.workers, source, sink);
+        Ok(ServiceHandle {
+            inner: Arc::clone(&self.inner),
+            workers: pool.workers(),
+            pool: Some(pool),
+            counters,
+            started: Instant::now(),
+        })
+    }
+
+    /// Execute every queued job and fold the outcomes into the service
+    /// metrics. A thin submit-then-drain wrapper over the streaming loop:
+    /// equivalent to [`QmlService::start`] followed immediately by
+    /// [`ServiceHandle::drain`]. Returns the drain summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a streaming pool is already running — drain it (or abort
+    /// it) through its [`ServiceHandle`] instead.
+    pub fn run_pending(&self) -> RunSummary {
+        self.start()
+            .expect("run_pending requires no streaming pool to be active")
+            .drain()
+    }
+
+    /// Block until `job` reaches a terminal state ([`JobStatus::Completed`]
+    /// or [`JobStatus::Failed`]) or `timeout` elapses, returning the last
+    /// observed status (`None` for unknown ids). Intended for callers of a
+    /// *running* service; without a pool this only times out.
+    pub fn wait_for(&self, job: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(job);
+            match status {
+                Some(JobStatus::Completed) | Some(JobStatus::Failed(_)) | None => return status,
+                _ if Instant::now() >= deadline => return status,
+                _ => thread::sleep(Duration::from_micros(500)),
+            }
+        }
+    }
+
+    /// Block until the service is quiescent — no job admitted to the fair
+    /// scheduler is queued or in flight — or `timeout` elapses. Returns
+    /// true if quiescence was reached.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let sched = self.inner.sched.lock();
+                if sched.queued() == 0 && sched.in_flight() == 0 {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_micros(500));
+        }
     }
 
     /// A point-in-time snapshot of service health.
     pub fn metrics(&self) -> ServiceMetrics {
-        let cache = self.runtime.cache();
-        let state = self.state.lock();
+        let cache = self.inner.runtime.cache();
+        // Locks are taken one at a time (scheduler gauges first, then the
+        // submission/outcome state), never nested.
+        let (scheduler, gauges) = {
+            let sched = self.inner.sched.lock();
+            (sched.metrics, sched.gauges())
+        };
+        let state = self.inner.state.lock();
+        let mut per_tenant: BTreeMap<String, TenantStats> = state
+            .per_tenant
+            .iter()
+            .map(|(name, stats)| (name.to_string(), *stats))
+            .collect();
+        for (name, gauge) in gauges {
+            let stats = per_tenant.entry(name.to_string()).or_default();
+            stats.dispatched = gauge.dispatched;
+            stats.in_flight = gauge.in_flight;
+            stats.throttled = gauge.throttled;
+            stats.total_wait_seconds = gauge.total_wait_seconds;
+        }
         ServiceMetrics {
             jobs_submitted: state.jobs_submitted,
             jobs_completed: state.jobs_completed,
             jobs_failed: state.jobs_failed,
-            queue_depth: self.runtime.queue_depth(),
+            queue_depth: self.inner.runtime.queue_depth(),
             cache: cache.stats(),
             gate_cache: cache.gate_stats(),
             anneal_cache: cache.anneal_stats(),
+            scheduler,
             per_backend: state.per_backend.clone(),
-            per_tenant: state.per_tenant.clone(),
+            per_tenant,
             last_run: state.last_run,
         }
     }
 
-    /// Tenant that submitted a job (if known).
-    pub fn tenant_of(&self, id: JobId) -> Option<String> {
-        self.state.lock().job_tenant.get(&id).cloned()
+    /// Tenant that submitted a job (if known). The returned id is shared
+    /// with the service's own tenant table — no per-call allocation.
+    pub fn tenant_of(&self, id: JobId) -> Option<Arc<str>> {
+        self.inner.state.lock().job_tenant.get(&id).cloned()
     }
 
-    /// Tenant that owns a batch (if known).
-    pub fn batch_tenant(&self, batch: BatchId) -> Option<String> {
-        self.state
+    /// Tenant that owns a batch (if known). Shared id, no per-call
+    /// allocation.
+    pub fn batch_tenant(&self, batch: BatchId) -> Option<Arc<str>> {
+        self.inner
+            .state
             .lock()
             .batches
             .get(&batch)
-            .map(|b| b.tenant.clone())
+            .map(|b| Arc::clone(&b.tenant))
+    }
+}
+
+/// Control handle for a running streaming pool (returned by
+/// [`QmlService::start`]).
+///
+/// Exactly one of [`drain`](ServiceHandle::drain) /
+/// [`abort`](ServiceHandle::abort) should end the run. Dropping the handle
+/// without either aborts the pool (current jobs finish, the rest stay
+/// queued) so worker threads are never leaked.
+pub struct ServiceHandle {
+    inner: Arc<ServiceInner>,
+    pool: Option<WorkerPool>,
+    counters: Arc<PoolCounters>,
+    started: Instant,
+    workers: usize,
+}
+
+impl ServiceHandle {
+    /// Graceful shutdown: execute everything admitted (rate limits are
+    /// waived so throttled tenants cannot stall shutdown; weights and
+    /// in-flight caps still apply), wait for in-flight work, stop the pool.
+    /// Jobs submitted directly to the underlying [`Runtime`] — bypassing the
+    /// fair scheduler — are swept by a one-shot drain at the end, so nothing
+    /// queued anywhere is left behind. Returns the summary of the whole run.
+    pub fn drain(mut self) -> RunSummary {
+        self.shutdown(Mode::Draining)
+    }
+
+    /// Hard stop: workers finish the job they are on and exit at the next
+    /// job boundary. Undispatched jobs stay queued and run on the next
+    /// [`QmlService::start`] or [`QmlService::run_pending`]. Returns the
+    /// summary of the run so far.
+    pub fn abort(mut self) -> RunSummary {
+        self.shutdown(Mode::Aborting)
+    }
+
+    fn shutdown(&mut self, mode: Mode) -> RunSummary {
+        self.inner.sched.lock().mode = mode;
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        if mode == Mode::Draining && self.inner.runtime.queue_depth() > 0 {
+            // Jobs submitted directly to `service.runtime()` bypass the fair
+            // scheduler, but a drain still owes them execution — run_pending
+            // drained the whole runtime queue before the streaming loop
+            // existed, and that contract is kept. Sweep the leftovers with
+            // the runtime's one-shot pool and fold them into this summary.
+            for outcome in self.inner.runtime.run_all_detailed(self.workers) {
+                self.inner.record_outcome(&outcome, &self.counters);
+            }
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let jobs = self.counters.jobs.load(Ordering::Relaxed) as usize;
+        let summary = RunSummary {
+            jobs,
+            completed: self.counters.completed.load(Ordering::Relaxed) as usize,
+            failed: self.counters.failed.load(Ordering::Relaxed) as usize,
+            workers: self.workers,
+            stolen: 0,
+            wall_seconds,
+            jobs_per_second: if wall_seconds > 0.0 {
+                jobs as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        };
+        self.inner.state.lock().last_run = Some(summary);
+        self.inner.sched.lock().mode = Mode::Stopped;
+        summary
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if self.pool.is_some() {
+            self.shutdown(Mode::Aborting);
+        }
     }
 }
 
@@ -273,7 +586,7 @@ mod tests {
 
     #[test]
     fn single_submission_round_trip() {
-        let service = QmlService::with_config(ServiceConfig { workers: 2 });
+        let service = QmlService::with_config(ServiceConfig::with_workers(2));
         let (batch, job) = service
             .submit("alice", gate_program().with_context(gate_context(1)))
             .unwrap();
@@ -289,7 +602,7 @@ mod tests {
 
     #[test]
     fn per_tenant_and_per_backend_accounting() {
-        let service = QmlService::with_config(ServiceConfig { workers: 2 });
+        let service = QmlService::with_config(ServiceConfig::with_workers(2));
         service
             .submit("alice", gate_program().with_context(gate_context(1)))
             .unwrap();
@@ -308,14 +621,17 @@ mod tests {
         let metrics = service.metrics();
         assert_eq!(metrics.per_tenant["alice"].completed, 1);
         assert_eq!(metrics.per_tenant["bob"].completed, 1);
+        assert_eq!(metrics.per_tenant["alice"].dispatched, 1);
+        assert_eq!(metrics.per_tenant["alice"].in_flight, 0);
         assert_eq!(metrics.per_backend["qml-gate-simulator"].jobs, 1);
         assert_eq!(metrics.per_backend["qml-simulated-annealer"].jobs, 1);
         assert!(metrics.per_backend["qml-gate-simulator"].busy_seconds > 0.0);
+        assert_eq!(metrics.scheduler.dispatched, 2);
     }
 
     #[test]
     fn invalid_sweep_is_rejected_atomically() {
-        let service = QmlService::with_config(ServiceConfig { workers: 1 });
+        let service = QmlService::with_config(ServiceConfig::with_workers(1));
         let sweep = SweepRequest::new(
             "bad",
             qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 }).unwrap(),
@@ -327,7 +643,7 @@ mod tests {
 
     #[test]
     fn metrics_snapshot_reports_last_run() {
-        let service = QmlService::with_config(ServiceConfig { workers: 2 });
+        let service = QmlService::with_config(ServiceConfig::with_workers(2));
         let mut sweep = SweepRequest::new("seeds", gate_program());
         for seed in 0..6 {
             sweep = sweep.with_context(gate_context(seed));
@@ -340,5 +656,87 @@ mod tests {
         assert_eq!(metrics.last_run, Some(report));
         assert_eq!(metrics.gate_cache.misses, 1);
         assert_eq!(metrics.gate_cache.hits, 5);
+    }
+
+    #[test]
+    fn tenant_ids_are_interned_not_cloned() {
+        let service = QmlService::with_config(ServiceConfig::with_workers(1));
+        let (batch_a, job_a) = service
+            .submit("alice", gate_program().with_context(gate_context(1)))
+            .unwrap();
+        let (_, job_b) = service
+            .submit("alice", gate_program().with_context(gate_context(2)))
+            .unwrap();
+        let a = service.tenant_of(job_a).unwrap();
+        let b = service.tenant_of(job_b).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one shared allocation per tenant");
+        let batch = service.batch_tenant(batch_a).unwrap();
+        assert!(Arc::ptr_eq(&a, &batch));
+    }
+
+    #[test]
+    fn start_twice_is_rejected() {
+        let service = QmlService::with_config(ServiceConfig::with_workers(1));
+        let handle = service.start().unwrap();
+        assert!(service.start().is_err());
+        handle.drain();
+        // After a shutdown the service can be started again.
+        service.start().unwrap().drain();
+    }
+
+    #[test]
+    fn runtime_direct_submissions_still_drain() {
+        // Jobs handed straight to the runtime bypass the fair scheduler;
+        // run_pending (and any drain) must still execute them.
+        let service = QmlService::with_config(ServiceConfig::with_workers(2));
+        let direct = service
+            .runtime()
+            .submit(gate_program().with_context(gate_context(7)))
+            .unwrap();
+        service
+            .submit("alice", gate_program().with_context(gate_context(8)))
+            .unwrap();
+        let report = service.run_pending();
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(service.status(direct), Some(JobStatus::Completed));
+        assert_eq!(service.metrics().queue_depth, 0);
+    }
+
+    #[test]
+    fn sub_unit_burst_does_not_starve_a_rate_limited_tenant() {
+        // burst = 0.25 can never hold a whole token; it must behave as 1.0
+        // rather than silently zeroing the tenant's throughput.
+        use crate::scheduler::RateLimit;
+        let config = ServiceConfig::with_workers(1).with_tenant_policy(
+            "drip",
+            TenantPolicy::default().with_rate_limit(RateLimit::per_second(1000.0).with_burst(0.25)),
+        );
+        let service = QmlService::with_config(config);
+        for seed in 0..3 {
+            service
+                .submit("drip", gate_program().with_context(gate_context(seed)))
+                .unwrap();
+        }
+        let handle = service.start().unwrap();
+        assert!(
+            service.wait_idle(std::time::Duration::from_secs(30)),
+            "sub-unit burst must not starve the tenant"
+        );
+        assert_eq!(handle.drain().completed, 3);
+    }
+
+    #[test]
+    fn dropping_the_handle_aborts_instead_of_leaking() {
+        let service = QmlService::with_config(ServiceConfig::with_workers(1));
+        {
+            let _handle = service.start().unwrap();
+        }
+        // Pool is gone: a fresh start succeeds and drains cleanly.
+        service
+            .submit("alice", gate_program().with_context(gate_context(1)))
+            .unwrap();
+        let report = service.run_pending();
+        assert_eq!(report.completed, 1);
     }
 }

@@ -19,6 +19,42 @@ use qml_types::{BindingSet, ContextDescriptor, JobBundle, ParamValue, QmlError, 
 /// dimension defaulting to a single neutral element when empty (no bindings /
 /// the base bundle's own context). Typical sweeps vary one dimension and
 /// leave the other singular.
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use qml_service::SweepRequest;
+/// use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule};
+/// use qml_graph::cycle;
+/// use qml_types::{ContextDescriptor, ExecConfig, ParamValue, Target};
+///
+/// // One symbolic QAOA intent, three angle points, one context.
+/// let template =
+///     qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Symbolic { layers: 1 })?;
+/// let mut sweep = SweepRequest::new("angle-scan", template).with_context(
+///     ContextDescriptor::for_gate(
+///         ExecConfig::new("gate.aer_simulator")
+///             .with_samples(128)
+///             .with_seed(7)
+///             .with_target(Target::ring(4)),
+///     ),
+/// );
+/// for gamma in [0.2, 0.4, 0.6] {
+///     let mut point = BTreeMap::new();
+///     point.insert("gamma_0".to_string(), ParamValue::Float(gamma));
+///     point.insert("beta_0".to_string(), ParamValue::Float(0.3));
+///     sweep = sweep.with_binding_set(point);
+/// }
+///
+/// let jobs = sweep.expand()?;
+/// assert_eq!(jobs.len(), 3);
+/// // The points stay symbolic (values ride as BindingSets), so the whole
+/// // sweep shares ONE symbolic program — and one cached transpiled plan.
+/// assert!(jobs.iter().all(|j| j.bindings.is_some()));
+/// assert!(jobs
+///     .iter()
+///     .all(|j| j.symbolic_program_hash() == jobs[0].symbolic_program_hash()));
+/// # Ok::<(), qml_types::QmlError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepRequest {
     /// Human-readable sweep name; expanded jobs are named `{name}#{index}`.

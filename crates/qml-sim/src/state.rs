@@ -285,7 +285,7 @@ impl StateVector {
     }
 
     /// Exact outcome distribution of the listed qubits (marginalized over the
-    /// rest), keyed by the same bitstring convention as [`sample_counts`].
+    /// rest), keyed by the same bitstring convention as [`StateVector::sample_counts`].
     pub fn marginal_probabilities(
         &self,
         qubits: &[usize],

@@ -20,6 +20,23 @@ use crate::params::ParamValue;
 ///
 /// Ordered (BTreeMap) so the serialized form and the
 /// [`fingerprint`](BindingSet::fingerprint) are reproducible.
+///
+/// ```
+/// use qml_types::BindingSet;
+///
+/// let point = BindingSet::new().with("gamma_0", 0.4).with("beta_0", 0.3);
+/// assert_eq!(point.get("gamma_0"), Some(0.4));
+///
+/// // values_for orders values by a plan's slot table, erroring on gaps.
+/// let slots = ["beta_0".to_string(), "gamma_0".to_string()];
+/// assert_eq!(point.values_for(&slots)?, vec![0.3, 0.4]);
+///
+/// // The fingerprint is value-sensitive: two jobs with equal symbolic
+/// // programs and equal fingerprints realize the same concrete circuit.
+/// let other = BindingSet::new().with("gamma_0", 0.5).with("beta_0", 0.3);
+/// assert_ne!(point.fingerprint(), other.fingerprint());
+/// # Ok::<(), qml_types::QmlError>(())
+/// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct BindingSet {

@@ -1,6 +1,6 @@
 //! Job bundles: packaging intent + context for submission (paper §4.4).
 //!
-//! "A packaging utility ... combine[s] the quantum data type, operators, and
+//! "A packaging utility ... combine\[s\] the quantum data type, operators, and
 //! optional context into a submission bundle (`job.json`)." A [`JobBundle`]
 //! is that artifact. Its validation enforces the cross-descriptor rules the
 //! paper requires of the algorithmic libraries: registers referenced by

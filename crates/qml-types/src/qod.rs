@@ -2,8 +2,8 @@
 //!
 //! An operator descriptor names a *logical transformation* — a QFT, a modular
 //! adder, an Ising cost layer — with its parameters, an optional
-//! device-independent [`CostHint`](crate::cost::CostHint) and an optional
-//! [`ResultSchema`](crate::result_schema::ResultSchema). It contains no gates,
+//! device-independent [`CostHint`] and an optional
+//! [`ResultSchema`]. It contains no gates,
 //! pulses or device details; lower layers decide how to realize it.
 
 use serde::de::Error as _;

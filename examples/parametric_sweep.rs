@@ -59,7 +59,7 @@ fn main() -> std::result::Result<(), QmlError> {
         template.canonical_symbols()
     );
 
-    let service = QmlService::with_config(ServiceConfig { workers: 4 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(4));
     let mut sweep = SweepRequest::new("gamma-beta-grid", template).with_context(ring_context());
     for bindings in &points {
         sweep = sweep.with_binding_set(bindings.clone());
@@ -94,7 +94,7 @@ fn main() -> std::result::Result<(), QmlError> {
     );
 
     // --- Pre-bound contrast: same grid, angles substituted up front. ------
-    let prebound_service = QmlService::with_config(ServiceConfig { workers: 4 });
+    let prebound_service = QmlService::with_config(ServiceConfig::with_workers(4));
     let template = qaoa_maxcut_program(&graph, &QaoaSchedule::Symbolic { layers: 1 })?;
     for bindings in &points {
         prebound_service.submit(

@@ -13,7 +13,7 @@ use qml_core::types::ParamValue;
 
 fn main() -> std::result::Result<(), QmlError> {
     let graph = cycle(4);
-    let service = QmlService::with_config(ServiceConfig { workers: 4 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(4));
 
     // Tenant "optimizer": one symbolic QAOA intent, nine angle points. The
     // bundle ships once; the service binds each grid point server-side.

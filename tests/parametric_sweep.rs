@@ -59,7 +59,7 @@ fn nine_point_sweep_transpiles_once() {
     for bindings in grid_bindings() {
         sweep = sweep.with_binding_set(bindings);
     }
-    let service = QmlService::with_config(ServiceConfig { workers: 3 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(3));
     let batch = service.submit_sweep("optimizer", sweep).unwrap();
     let report = service.run_pending();
     assert_eq!(report.completed, 9);
@@ -141,7 +141,7 @@ fn lru_evictions_surface_in_service_metrics() {
         scheduler,
         Arc::new(TranspileCache::with_capacity(1)),
     );
-    let service = QmlService::with_runtime(runtime, ServiceConfig { workers: 2 });
+    let service = QmlService::with_runtime(runtime, ServiceConfig::with_workers(2));
 
     // Three structurally different programs thrash a capacity-1 plane.
     for width in [4usize, 6, 8] {

@@ -45,7 +45,7 @@ fn sweep_expansion_binds_angles_server_side() {
         sweep = sweep.with_binding_set(bindings);
     }
 
-    let service = QmlService::with_config(ServiceConfig { workers: 3 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(3));
     let batch = service.submit_sweep("optimizer", sweep).unwrap();
     let jobs = service.batch_jobs(batch);
     assert_eq!(jobs.len(), 3);
@@ -73,7 +73,7 @@ fn repeated_contexts_hit_the_transpile_cache() {
     for seed in 0..8 {
         sweep = sweep.with_context(gate_context(seed, 128));
     }
-    let service = QmlService::with_config(ServiceConfig { workers: 4 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(4));
     service.submit_sweep("tenant", sweep).unwrap();
     let report = service.run_pending();
     assert_eq!(report.completed, 8);
@@ -94,7 +94,7 @@ fn anneal_lowering_is_cached_too() {
             AnnealConfig::with_reads(reads),
         ));
     }
-    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
     service.submit_sweep("tenant", sweep).unwrap();
     let report = service.run_pending();
     assert_eq!(report.completed, 4);
@@ -113,7 +113,7 @@ fn concurrent_execution_is_deterministic() {
         for seed in 0..6 {
             sweep = sweep.with_context(gate_context(seed, 256));
         }
-        let service = QmlService::with_config(ServiceConfig { workers });
+        let service = QmlService::with_config(ServiceConfig::with_workers(workers));
         let batch = service.submit_sweep("tenant", sweep).unwrap();
         service.run_pending();
         service
@@ -135,7 +135,7 @@ fn concurrent_execution_is_deterministic() {
 fn failed_jobs_stay_isolated_within_a_batch() {
     // A mixed batch in which one job cannot be realized (QAOA forced onto
     // the annealer): the bad job fails, every other job completes.
-    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
     let (_, good_gate) = service
         .submit("tenant", fixed_qaoa().with_context(gate_context(1, 64)))
         .unwrap();
@@ -178,7 +178,7 @@ fn failed_jobs_stay_isolated_within_a_batch() {
 fn multi_tenant_sweeps_share_the_cache() {
     // Two tenants submitting the same program benefit from each other's
     // transpilation — the cache is a service-wide resource.
-    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
     let mut sweep_a = SweepRequest::new("a", fixed_qaoa());
     let mut sweep_b = SweepRequest::new("b", fixed_qaoa());
     for seed in 0..3 {
@@ -201,7 +201,7 @@ fn multi_tenant_sweeps_share_the_cache() {
 
 #[test]
 fn queue_depth_tracks_pending_and_drains() {
-    let service = QmlService::with_config(ServiceConfig { workers: 2 });
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
     let mut sweep = SweepRequest::new("depth", fixed_qaoa());
     for seed in 0..5 {
         sweep = sweep.with_context(gate_context(seed, 32));
