@@ -7,6 +7,8 @@
 //! annealer, and decode the aggregated samples through the same explicit
 //! result schema the gate path uses.
 
+use std::sync::Arc;
+
 use qml_anneal::{AnnealParams, SimulatedAnnealer};
 use qml_types::{AnnealConfig, DecodedCounts, ExecConfig, JobBundle, QmlError, Result};
 
@@ -51,6 +53,28 @@ impl AnnealBackend {
         Ok(exec)
     }
 
+    /// The plan-cache key of a (validated) bundle under its context.
+    fn plan_key(bundle: &JobBundle, exec: Option<&ExecConfig>) -> AnnealPlanKey {
+        let context = bundle.context.clone().unwrap_or_default();
+        AnnealPlanKey {
+            // The realized program: attached bindings participate in
+            // `program_hash`, so two binding sets of one symbolic problem
+            // lower to (and cache) distinct BQMs.
+            program: bundle.program_hash(),
+            schedule: Self::schedule_fingerprint(exec, context.anneal.as_ref()),
+        }
+    }
+
+    /// The deterministic realization phase: lower the bundle to a BQM plan.
+    fn build_plan(bundle: &JobBundle) -> Result<AnnealPlan> {
+        let lowered = lower_to_bqm(bundle)?;
+        Ok(AnnealPlan {
+            bqm: lowered.bqm,
+            register: lowered.register,
+            schema: lowered.schema,
+        })
+    }
+
     /// Sample a lowered plan under the bundle's annealer policy and decode.
     fn run_plan(
         &self,
@@ -59,7 +83,11 @@ impl AnnealBackend {
         plan: &AnnealPlan,
     ) -> Result<ExecutionResult> {
         let context = bundle.context.clone().unwrap_or_default();
-        let params = Self::params(exec.as_ref(), context.anneal.as_ref());
+        let params = Self::params(
+            exec.as_ref(),
+            context.anneal.as_ref(),
+            bundle.program_hash(),
+        );
         let sample_set = SimulatedAnnealer::new().sample(&plan.bqm, &params);
 
         // The sample set's bitstrings are in variable order; permute them
@@ -123,8 +151,16 @@ impl AnnealBackend {
         hash
     }
 
-    /// Derive sampler parameters from the context blocks.
-    fn params(exec: Option<&ExecConfig>, anneal: Option<&AnnealConfig>) -> AnnealParams {
+    /// Derive sampler parameters from the context blocks. `default_seed` —
+    /// the submitting bundle's program hash — seeds unseeded runs, so two
+    /// distinct unseeded problems never share Metropolis noise (a flat
+    /// default of 0 made every unseeded sweep point sample-correlated);
+    /// explicit seeds behave exactly as before.
+    fn params(
+        exec: Option<&ExecConfig>,
+        anneal: Option<&AnnealConfig>,
+        default_seed: u64,
+    ) -> AnnealParams {
         let num_reads = anneal
             .map(|a| a.num_reads)
             .or_else(|| exec.map(|e| e.samples))
@@ -133,7 +169,7 @@ impl AnnealBackend {
         let seed = anneal
             .and_then(|a| a.seed)
             .or_else(|| exec.and_then(|e| e.seed))
-            .unwrap_or(0);
+            .unwrap_or(default_seed);
         let mut params = AnnealParams::with_reads(num_reads)
             .with_sweeps(num_sweeps)
             .with_seed(seed);
@@ -159,12 +195,7 @@ impl Backend for AnnealBackend {
 
     fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult> {
         let exec = self.prepare(bundle)?;
-        let lowered = lower_to_bqm(bundle)?;
-        let plan = AnnealPlan {
-            bqm: lowered.bqm,
-            register: lowered.register,
-            schema: lowered.schema,
-        };
+        let plan = Self::build_plan(bundle)?;
         self.run_plan(bundle, exec, &plan)
     }
 
@@ -174,23 +205,52 @@ impl Backend for AnnealBackend {
         cache: &TranspileCache,
     ) -> Result<ExecutionResult> {
         let exec = self.prepare(bundle)?;
-        let context = bundle.context.clone().unwrap_or_default();
-        let key = AnnealPlanKey {
-            // The realized program: attached bindings participate in
-            // `program_hash`, so two binding sets of one symbolic problem
-            // lower to (and cache) distinct BQMs.
-            program: bundle.program_hash(),
-            schedule: Self::schedule_fingerprint(exec.as_ref(), context.anneal.as_ref()),
-        };
-        let plan = cache.anneal_plan(key, || {
-            let lowered = lower_to_bqm(bundle)?;
-            Ok(AnnealPlan {
-                bqm: lowered.bqm,
-                register: lowered.register,
-                schema: lowered.schema,
-            })
-        })?;
+        let key = Self::plan_key(bundle, exec.as_ref());
+        let plan = cache.anneal_plan(key, || Self::build_plan(bundle))?;
         self.run_plan(bundle, exec, &plan)
+    }
+
+    /// Device-level batching: group members by plan key (realized program ×
+    /// annealer-schedule fingerprint), lower each group's BQM **once**, then
+    /// sample per member under its own read policy. A shot ladder — one
+    /// problem resubmitted with varying `num_reads` — shares one BQM and one
+    /// schedule across the whole group even on a cold cache.
+    ///
+    /// Cache counters stay member-accurate (one lookup per member), so a
+    /// cold group of N reports exactly 1 miss and N−1 hits, identical to the
+    /// sequential path.
+    fn execute_batch(
+        &self,
+        bundles: &[JobBundle],
+        cache: &TranspileCache,
+    ) -> Vec<Result<ExecutionResult>> {
+        crate::traits::execute_grouped(
+            bundles,
+            |bundle| {
+                let exec = self.prepare(bundle)?;
+                Ok((Self::plan_key(bundle, exec.as_ref()), exec))
+            },
+            |key, bundle, _exec, shared| match shared {
+                None => cache.anneal_plan(key, || Self::build_plan(bundle)),
+                Some(plan) => {
+                    let reinsert = Arc::clone(plan);
+                    cache.anneal_plan(key, move || Ok(reinsert.as_ref().clone()))
+                }
+            },
+            |bundle, exec, plan| self.run_plan(bundle, exec.clone(), plan),
+        )
+    }
+
+    /// Annealing bundles batch when they share a lowered BQM and an annealer
+    /// schedule: the batch key is exactly the plan-cache key. The read
+    /// policy (`num_reads`, seed) stays out, so shot ladders group.
+    fn batch_key(&self, bundle: &JobBundle) -> Option<u64> {
+        let exec = self.prepare(bundle).ok()?;
+        let key = Self::plan_key(bundle, exec.as_ref());
+        Some(qml_types::bundle::fnv1a64_words(&[
+            key.program,
+            key.schedule,
+        ]))
     }
 }
 

@@ -7,6 +7,10 @@
 //! device-specific — lowering, transpilation, sampling — happens behind this
 //! trait, which is what makes the upper layers technology-agnostic.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use qml_types::{JobBundle, Result};
 
 use crate::cache::TranspileCache;
@@ -46,9 +50,21 @@ pub trait Backend: Send + Sync {
 
     /// Execute a batch of bundles against this backend, sharing one cache.
     ///
-    /// Backends with device-level batching (circuit merging, shared calibration
-    /// windows) can override this; the default executes sequentially through
-    /// [`Backend::execute_cached`] and returns per-bundle outcomes in order.
+    /// Backends with device-level batching (circuit merging, shared annealer
+    /// schedules, calibration windows) override this to group plan-compatible
+    /// members — same [`Backend::batch_key`] — and realize each group's plan
+    /// **once**, even on a cold cache, before binding/sampling per member.
+    /// The built-in gate and annealing backends do exactly that. Contract,
+    /// regardless of implementation:
+    ///
+    /// * outcomes are returned in submission order (`result[i]` belongs to
+    ///   `bundles[i]`);
+    /// * per-member results are bit-identical to what
+    ///   [`Backend::execute_cached`] would produce for that bundle alone;
+    /// * a failing member yields `Err` at its own position and never poisons
+    ///   the rest of its group.
+    ///
+    /// The default executes sequentially through [`Backend::execute_cached`].
     fn execute_batch(
         &self,
         bundles: &[JobBundle],
@@ -58,6 +74,22 @@ pub trait Backend: Send + Sync {
             .iter()
             .map(|bundle| self.execute_cached(bundle, cache))
             .collect()
+    }
+
+    /// A stable grouping key for device-level batching: two bundles with the
+    /// same key **on the same backend** share one realized plan, so callers
+    /// (the service's fair scheduler) may coalesce them into a single
+    /// [`Backend::execute_batch`] call. `None` — the default — means this
+    /// backend does not batch the bundle (or cannot realize it at all), and
+    /// the bundle always dispatches solo.
+    ///
+    /// The key must be at least as fine as the backend's realization-cache
+    /// key: bundles that would realize different plans must never share a
+    /// batch key. Keys need not be unique across backends — callers fold in
+    /// the backend identity themselves.
+    fn batch_key(&self, bundle: &JobBundle) -> Option<u64> {
+        let _ = bundle;
+        None
     }
 
     /// A rough, device-independent score for how expensive this bundle would
@@ -71,6 +103,72 @@ pub trait Backend: Send + Sync {
             .map(|hint| hint.scheduling_weight())
             .sum()
     }
+}
+
+/// The group-by-key batch driver shared by the built-in backends'
+/// [`Backend::execute_batch`] overrides.
+///
+/// * `prepare` validates one member and returns its plan key plus whatever
+///   per-member state `run` needs; a member that fails to prepare gets `Err`
+///   at its own slot and never joins a group.
+/// * `fetch` performs that member's **single** cache lookup. It receives the
+///   group's already-realized plan (if any): passing it back as the build
+///   closure re-inserts a flat clone when the entry was evicted mid-batch,
+///   so a group can never realize its plan twice — while cache counters stay
+///   member-accurate (a cold group of N is 1 miss + N−1 hits). If the first
+///   member's build fails, the next member retries with its own build,
+///   mirroring sequential semantics (failed builds are not cached).
+/// * `run` executes one member against the shared plan.
+///
+/// Outcomes are returned in `bundles` order.
+pub(crate) fn execute_grouped<K, P, Plan>(
+    bundles: &[JobBundle],
+    mut prepare: impl FnMut(&JobBundle) -> Result<(K, P)>,
+    mut fetch: impl FnMut(K, &JobBundle, &P, Option<&Arc<Plan>>) -> Result<Arc<Plan>>,
+    mut run: impl FnMut(&JobBundle, &P, &Plan) -> Result<ExecutionResult>,
+) -> Vec<Result<ExecutionResult>>
+where
+    K: std::hash::Hash + Eq + Copy,
+{
+    let mut results: Vec<Option<Result<ExecutionResult>>> = Vec::with_capacity(bundles.len());
+    results.resize_with(bundles.len(), || None);
+    let mut prepared: Vec<Option<P>> = Vec::with_capacity(bundles.len());
+    prepared.resize_with(bundles.len(), || None);
+    let mut groups: Vec<(K, Vec<usize>)> = Vec::new();
+    let mut group_of: HashMap<K, usize> = HashMap::new();
+    for (i, bundle) in bundles.iter().enumerate() {
+        match prepare(bundle) {
+            Ok((key, prep)) => {
+                prepared[i] = Some(prep);
+                match group_of.entry(key) {
+                    Entry::Occupied(slot) => groups[*slot.get()].1.push(i),
+                    Entry::Vacant(slot) => {
+                        slot.insert(groups.len());
+                        groups.push((key, vec![i]));
+                    }
+                }
+            }
+            Err(err) => results[i] = Some(Err(err)),
+        }
+    }
+    for (key, members) in groups {
+        // The group's shared realization, set by the first member whose
+        // fetch succeeds (even if its own run then fails).
+        let mut shared: Option<Arc<Plan>> = None;
+        for i in members {
+            let bundle = &bundles[i];
+            let prep = prepared[i].as_ref().expect("grouped members are prepared");
+            let outcome = fetch(key, bundle, prep, shared.as_ref()).and_then(|plan| {
+                shared.get_or_insert_with(|| Arc::clone(&plan));
+                run(bundle, prep, &plan)
+            });
+            results[i] = Some(outcome);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every member resolved"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -70,6 +70,20 @@ pub struct JobOutcome {
     pub stolen: bool,
 }
 
+/// Record a claimed job's terminal state from its execution outcome — the
+/// single transition shared by the solo and batched execution paths.
+fn record_terminal(job: &mut Job, outcome: &Result<ExecutionResult>) {
+    match outcome {
+        Ok(result) => {
+            job.status = JobStatus::Completed;
+            job.result = Some(result.clone());
+        }
+        Err(err) => {
+            job.status = JobStatus::Failed(err.to_string());
+        }
+    }
+}
+
 /// The middle-layer runtime: a scheduler, a job store, and a shared
 /// transpilation/lowering cache.
 pub struct Runtime {
@@ -204,16 +218,39 @@ impl Runtime {
         };
         let mut jobs = self.jobs.lock();
         let job = jobs.get_mut(&id).expect("job disappeared while running");
-        match &outcome {
-            Ok(result) => {
-                job.status = JobStatus::Completed;
-                job.result = Some(result.clone());
-            }
-            Err(err) => {
-                job.status = JobStatus::Failed(err.to_string());
-            }
-        }
+        record_terminal(job, &outcome);
         outcome
+    }
+
+    /// Execute a micro-batch of already-claimed jobs through the backend's
+    /// device-level batch path ([`qml_backends::Backend::execute_batch`]) and
+    /// record each member's terminal state. Outcomes are returned in input
+    /// order; one failing member never poisons the rest.
+    ///
+    /// All members are expected to share the (optional) placement — the
+    /// service's fair scheduler only coalesces jobs with one batch key, which
+    /// implies one backend. Without a placement the whole batch falls back to
+    /// per-member scheduled execution.
+    pub(crate) fn execute_claimed_batch(
+        &self,
+        claimed: Vec<(JobId, JobBundle)>,
+        placement: Option<&Placement>,
+    ) -> Vec<(JobId, Result<ExecutionResult>)> {
+        let (ids, bundles): (Vec<JobId>, Vec<JobBundle>) = claimed.into_iter().unzip();
+        let results: Vec<Result<ExecutionResult>> = match placement {
+            Some(placement) => placement.backend.execute_batch(&bundles, &self.cache),
+            None => bundles
+                .iter()
+                .map(|bundle| self.scheduler.execute_cached(bundle, &self.cache))
+                .collect(),
+        };
+        let mut jobs = self.jobs.lock();
+        for (id, outcome) in ids.iter().zip(&results) {
+            let job = jobs.get_mut(id).expect("job disappeared while running");
+            record_terminal(job, outcome);
+        }
+        drop(jobs);
+        ids.into_iter().zip(results).collect()
     }
 
     /// Execute every queued job on the work-stealing pool with at most

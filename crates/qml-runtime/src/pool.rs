@@ -38,24 +38,50 @@ const IDLE_BACKOFF: Duration = Duration::from_micros(500);
 /// long-idle service adds to the next submission).
 const MAX_IDLE_BACKOFF: Duration = Duration::from_millis(10);
 
-/// One dispatched job: its id plus the placement the source already
-/// computed for it, if any (sources that rank jobs by placement cost pass
-/// it along so the worker does not place the bundle a second time).
+/// One dispatched unit of work: a head job, optionally coalesced with
+/// further plan-compatible jobs (a **micro-batch**), plus the placement the
+/// source already computed for it, if any (sources that rank jobs by
+/// placement cost pass it along so the worker does not place the bundle a
+/// second time).
 #[derive(Debug, Clone)]
 pub struct JobDispatch {
-    /// The job to execute.
+    /// The (head) job to execute.
     pub id: JobId,
-    /// A placement computed at admission time, reused for execution.
+    /// Additional jobs coalesced into this dispatch by the source. All
+    /// members share the head's backend and realization-plan key, so the
+    /// worker executes `[id, rest...]` through one
+    /// [`Backend::execute_batch`](qml_backends::Backend::execute_batch)
+    /// call; outcomes reach the sink per member, in this order.
+    pub rest: Vec<JobId>,
+    /// A placement computed at admission time, reused for execution (and
+    /// shared by every batched member).
     pub placement: Option<Placement>,
 }
 
 impl JobDispatch {
-    /// A dispatch with no precomputed placement (the worker places).
+    /// A solo dispatch with no precomputed placement (the worker places).
     pub fn new(id: JobId) -> Self {
         JobDispatch {
             id,
+            rest: Vec::new(),
             placement: None,
         }
+    }
+
+    /// Every job in this dispatch: the head, then the coalesced members.
+    pub fn ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        std::iter::once(self.id).chain(self.rest.iter().copied())
+    }
+
+    /// Number of jobs in this dispatch (head + coalesced members).
+    pub fn len(&self) -> usize {
+        1 + self.rest.len()
+    }
+
+    /// Always false: a dispatch carries at least its head job. Provided for
+    /// `len`/`is_empty` symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
     }
 }
 
@@ -156,34 +182,49 @@ fn worker_loop(
                 thread::sleep(idle_backoff);
                 idle_backoff = (idle_backoff * 2).min(MAX_IDLE_BACKOFF);
             }
-            Feed::Job(JobDispatch { id, placement }) => {
+            Feed::Job(dispatch) => {
+                // Solo dispatch or micro-batch — one path: claim every
+                // member in order (a concurrent drain may have raced us to a
+                // job; lost claims release the source's in-flight slot and
+                // are skipped individually), execute the survivors through
+                // the backend's device-level batch path, and stream
+                // per-member outcomes to the sink in dispatch order.
                 idle_backoff = IDLE_BACKOFF;
-                // A concurrent drain may have raced us to this job; a lost
-                // claim releases the source's in-flight slot and moves on.
-                let Ok(Some(bundle)) = runtime.claim(id) else {
-                    source.job_skipped(id);
+                let mut claimed = Vec::with_capacity(dispatch.len());
+                for id in dispatch.ids() {
+                    match runtime.claim(id) {
+                        Ok(Some(bundle)) => claimed.push((id, bundle)),
+                        _ => source.job_skipped(id),
+                    }
+                }
+                if claimed.is_empty() {
                     continue;
-                };
-                let placement = placement.or_else(|| runtime.scheduler().place(&bundle).ok());
+                }
+                let placement = dispatch
+                    .placement
+                    .or_else(|| runtime.scheduler().place(&claimed[0].1).ok());
                 let started = Instant::now();
-                let result = runtime.execute_claimed(id, bundle, placement.as_ref());
-                let duration = started.elapsed();
-                // Attribute the job to its placed backend even when the
-                // execution itself failed.
-                let backend = result
-                    .as_ref()
-                    .ok()
-                    .map(|r| r.backend.clone())
-                    .or_else(|| placement.as_ref().map(|p| p.backend.name().to_string()));
-                executed += 1;
-                sink(JobOutcome {
-                    id,
-                    result,
-                    backend,
-                    duration,
-                    worker,
-                    stolen: false,
-                });
+                let outcomes = runtime.execute_claimed_batch(claimed, placement.as_ref());
+                // The batch executed as one unit; attribute an even share of
+                // its wall-clock to each member so per-backend busy-seconds
+                // stay meaningful.
+                let share = started.elapsed() / outcomes.len().max(1) as u32;
+                for (id, result) in outcomes {
+                    let backend = result
+                        .as_ref()
+                        .ok()
+                        .map(|r| r.backend.clone())
+                        .or_else(|| placement.as_ref().map(|p| p.backend.name().to_string()));
+                    executed += 1;
+                    sink(JobOutcome {
+                        id,
+                        result,
+                        backend,
+                        duration: share,
+                        worker,
+                        stolen: false,
+                    });
+                }
             }
         }
     }
@@ -285,6 +326,71 @@ mod tests {
         let sink = Arc::new(|_outcome: JobOutcome| {});
         let executed = WorkerPool::spawn(&runtime, 1, source, sink).join();
         assert_eq!(executed, 0, "stale dispatch is skipped, not re-run");
+    }
+
+    /// A source that hands out its whole queue as one micro-batch.
+    struct OneBatchSource {
+        ids: Mutex<Vec<JobId>>,
+    }
+
+    impl JobSource for OneBatchSource {
+        fn next_job(&self, _worker: usize) -> Feed {
+            let mut ids = self.ids.lock();
+            if ids.is_empty() {
+                return Feed::Shutdown;
+            }
+            let id = ids.remove(0);
+            let rest = ids.drain(..).collect();
+            Feed::Job(JobDispatch {
+                id,
+                rest,
+                placement: None,
+            })
+        }
+    }
+
+    #[test]
+    fn batched_dispatch_streams_every_member_in_order() {
+        let runtime = Arc::new(Runtime::with_default_backends());
+        let ids: Vec<JobId> = (0..4)
+            .map(|seed| runtime.submit(gate_bundle(seed)).unwrap())
+            .collect();
+        let source = Arc::new(OneBatchSource {
+            ids: Mutex::new(ids.clone()),
+        });
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |outcome: JobOutcome| {
+                seen.lock().push((outcome.id, outcome.result.is_ok()));
+            })
+        };
+        let executed = WorkerPool::spawn(&runtime, 1, source, sink).join();
+        assert_eq!(executed, 4);
+        let seen = seen.lock();
+        assert_eq!(
+            seen.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            ids,
+            "outcomes reach the sink in dispatch order"
+        );
+        assert!(seen.iter().all(|(_, ok)| *ok));
+    }
+
+    #[test]
+    fn batched_dispatch_skips_already_executed_members() {
+        let runtime = Arc::new(Runtime::with_default_backends());
+        let ids: Vec<JobId> = (0..3)
+            .map(|seed| runtime.submit(gate_bundle(seed)).unwrap())
+            .collect();
+        // The middle member races a one-shot execution and loses its claim;
+        // the rest of the batch is unaffected.
+        runtime.run_job(ids[1]).unwrap();
+        let source = Arc::new(OneBatchSource {
+            ids: Mutex::new(ids.clone()),
+        });
+        let sink = Arc::new(|_outcome: JobOutcome| {});
+        let executed = WorkerPool::spawn(&runtime, 1, source, sink).join();
+        assert_eq!(executed, 2, "lost claims are skipped, not re-run");
     }
 
     #[test]

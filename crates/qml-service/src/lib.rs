@@ -20,6 +20,12 @@
 //!   per-tenant queues, with [`TenantPolicy`] weights, in-flight caps, and
 //!   token-bucket [`RateLimit`]s, so one tenant's thousand-point sweep cannot
 //!   starve another tenant's single job.
+//! * **Micro-batched dispatch** — up to [`ServiceConfig::max_batch`]
+//!   plan-compatible jobs of one tenant coalesce into a single device-level
+//!   [`execute_batch`](qml_backends::Backend::execute_batch) call (one
+//!   transpilation/lowering per group even on a cold cache), with deficit,
+//!   tokens, and in-flight slots still spent per member so fairness
+//!   accounting is unchanged.
 //! * The runtime's shared **transpilation/lowering cache** (see
 //!   [`qml_backends::TranspileCache`]) makes repeated `(program, target)`
 //!   submissions skip `qml-transpile` entirely; hit/miss counters surface in
@@ -70,5 +76,5 @@ pub use metrics::{
     BackendUtilization, CacheStats, RunSummary, SchedulerMetrics, ServiceMetrics, TenantStats,
 };
 pub use scheduler::{RateLimit, TenantPolicy};
-pub use service::{BatchId, QmlService, ServiceConfig, ServiceHandle};
+pub use service::{BatchId, QmlService, ServiceConfig, ServiceHandle, DEFAULT_MAX_BATCH};
 pub use sweep::SweepRequest;

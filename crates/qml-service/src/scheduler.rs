@@ -37,6 +37,22 @@ use qml_runtime::{JobDispatch, JobId, Placement};
 /// pathological configurations (weight ≤ 0).
 const MIN_WEIGHT: f64 = 1e-3;
 
+/// Floor applied to every admitted job's cost estimate. A job whose
+/// placement failed (or whose descriptors carry no cost hints) estimates
+/// 0.0 — and a zero-cost job spends **zero deficit**, so one tenant's
+/// hint-less queue would drain entirely in a single parked visit, the exact
+/// monopoly DRR exists to prevent. Flooring at the quantum's own base unit
+/// (1.0, see [`FairScheduler::quantum`]) makes a hint-less job cost exactly
+/// one visit's budget.
+pub(crate) const MIN_JOB_COST: f64 = 1.0;
+
+/// How many queued jobs (beyond the head) one dispatch may inspect while
+/// coalescing a micro-batch. Same-plan jobs share a cost estimate and the
+/// queue is cost-ranked, so compatible jobs sit contiguously near the head;
+/// the window only bounds the pathological interleaved case, which runs
+/// under the scheduler lock every worker contends on.
+const MAX_BATCH_SCAN: usize = 64;
+
 /// Upper bound on DRR passes per dispatch attempt. With the quantum equal
 /// to the largest currently queued head cost, any head job becomes
 /// dispatchable within `1 / weight ≤ 1 / MIN_WEIGHT` visits, so this is
@@ -140,6 +156,30 @@ pub struct SchedulerMetrics {
     pub capped: u64,
     /// Scans that found nothing dispatchable (the caller backed off).
     pub idle_polls: u64,
+    /// Micro-batches formed: dispatches that coalesced ≥ 2 plan-compatible
+    /// jobs into one device-level `execute_batch` call.
+    #[serde(default)]
+    pub batches: u64,
+    /// Jobs dispatched as members of a micro-batch (heads included).
+    /// `dispatched - batched_jobs` is the solo-dispatch count.
+    #[serde(default)]
+    pub batched_jobs: u64,
+}
+
+impl SchedulerMetrics {
+    /// Mean number of jobs per formed micro-batch (0.0 before any batch).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+
+    /// Jobs dispatched solo (not part of any micro-batch).
+    pub fn solo_jobs(&self) -> u64 {
+        self.dispatched.saturating_sub(self.batched_jobs)
+    }
 }
 
 /// Live per-tenant gauges owned by the scheduler, merged into
@@ -156,12 +196,17 @@ pub(crate) struct TenantGauges {
 #[derive(Debug, Clone)]
 struct QueuedJob {
     id: JobId,
-    /// The estimated cost of `placement` at admission (0.0 when placement
-    /// failed; such jobs still dispatch and fail at execution).
+    /// The estimated cost of `placement` at admission, floored at
+    /// [`MIN_JOB_COST`] (placement failures estimate 0.0 before the floor;
+    /// such jobs still dispatch and fail at execution).
     cost: f64,
     /// The placement computed at admission, handed to the worker so the
     /// bundle is not placed a second time at execution.
     placement: Option<Placement>,
+    /// Device-level batching key ([`qml_backends::Backend::batch_key`] folded
+    /// with the backend identity): queued jobs of one tenant sharing a key
+    /// may be coalesced into a single dispatch. `None` never coalesces.
+    batch_key: Option<u64>,
     submitted: Instant,
 }
 
@@ -239,6 +284,9 @@ pub(crate) enum SchedPoll {
 #[derive(Debug)]
 pub(crate) struct FairScheduler {
     pub(crate) mode: Mode,
+    /// Largest number of plan-compatible jobs one dispatch may coalesce
+    /// (1 disables micro-batching).
+    max_batch: usize,
     tenants: BTreeMap<Arc<str>, TenantQueue>,
     /// Visit order; tenants are appended on first admission and never
     /// removed (an empty queue is skipped in O(1)).
@@ -255,9 +303,10 @@ pub(crate) struct FairScheduler {
 }
 
 impl FairScheduler {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(max_batch: usize) -> Self {
         FairScheduler {
             mode: Mode::Stopped,
+            max_batch: max_batch.max(1),
             tenants: BTreeMap::new(),
             rotation: Vec::new(),
             cursor: 0,
@@ -284,22 +333,28 @@ impl FairScheduler {
     }
 
     /// Admit one job into its tenant's queue, keeping the queue cost-ranked
-    /// (descending; FIFO among equal costs — the per-tenant LPT order).
+    /// (descending; FIFO among equal costs — the per-tenant LPT order). The
+    /// cost is floored at [`MIN_JOB_COST`] so zero-cost estimates (failed
+    /// placements, hint-less descriptors) still spend DRR deficit — a
+    /// zero-cost queue must not drain in a single parked visit.
     pub(crate) fn admit(
         &mut self,
         tenant: &Arc<str>,
         id: JobId,
         cost: f64,
         placement: Option<Placement>,
+        batch_key: Option<u64>,
     ) {
         let queue = self
             .tenants
             .get_mut(tenant)
             .expect("tenant interned before admission");
+        let cost = cost.max(MIN_JOB_COST);
         let job = QueuedJob {
             id,
             cost,
             placement,
+            batch_key,
             submitted: Instant::now(),
         };
         // Binary search: the queue is kept sorted by cost descending, and
@@ -446,9 +501,6 @@ impl FairScheduler {
             }
             let job = tenant.queue.pop_front().expect("non-empty queue");
             tenant.deficit -= job.cost;
-            if tenant.queue.is_empty() {
-                tenant.deficit = 0.0;
-            }
             if !drain && tenant.policy.rate_limit.is_some() {
                 tenant.tokens -= 1.0;
             }
@@ -456,9 +508,15 @@ impl FairScheduler {
             tenant.dispatched += 1;
             tenant.total_wait_seconds += now.duration_since(job.submitted).as_secs_f64();
             self.metrics.dispatched += 1;
-            self.in_flight.insert(job.id, name);
+            self.in_flight.insert(job.id, Arc::clone(&name));
+            let rest = self.coalesce(&name, &job, now, drain);
+            let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
+            if tenant.queue.is_empty() {
+                tenant.deficit = 0.0;
+            }
             return SchedPoll::Dispatch(JobDispatch {
                 id: job.id,
+                rest,
                 placement: job.placement,
             });
         }
@@ -468,6 +526,87 @@ impl FairScheduler {
         self.metrics.idle_polls += 1;
         SchedPoll::Idle
     }
+
+    /// Opportunistically extend a just-dispatched head job into a
+    /// **micro-batch**: pop further queued jobs of the same tenant that share
+    /// the head's batch key (same backend, same realization plan), spending
+    /// deficit and rate-limit tokens and taking in-flight slots **per
+    /// member**, exactly as solo dispatches would — fairness accounting is
+    /// unchanged; the batch merely rides one worker round-trip and one
+    /// device-level `execute_batch` call.
+    ///
+    /// Under contention (any other tenant has queued work) a member is only
+    /// taken while the tenant's remaining deficit covers its cost, so DRR
+    /// weights keep their exact meaning: a weight-3 tenant coalesces up to
+    /// three cost units per visit where a weight-1 tenant dispatches solo.
+    /// An **uncontended** tenant batches up to `max_batch` regardless of
+    /// deficit — there is nobody to be fair to — with the deficit clamped at
+    /// zero so no debt leaks into the next contended period.
+    fn coalesce(
+        &mut self,
+        name: &Arc<str>,
+        head: &QueuedJob,
+        now: Instant,
+        drain: bool,
+    ) -> Vec<JobId> {
+        let mut rest = Vec::new();
+        let Some(key) = head.batch_key else {
+            return rest;
+        };
+        if self.max_batch <= 1 {
+            return rest;
+        }
+        let contended = self
+            .tenants
+            .iter()
+            .any(|(other, t)| !Arc::ptr_eq(other, name) && !t.queue.is_empty());
+        let tenant = self.tenants.get_mut(name).expect("tenant exists");
+        let mut idx = 0usize;
+        let mut scanned = 0usize;
+        while rest.len() + 1 < self.max_batch
+            && idx < tenant.queue.len()
+            && scanned < MAX_BATCH_SCAN
+        {
+            scanned += 1;
+            if tenant.queue[idx].batch_key != Some(key) {
+                idx += 1;
+                continue;
+            }
+            if contended && tenant.deficit < tenant.queue[idx].cost {
+                break;
+            }
+            if tenant
+                .policy
+                .max_in_flight
+                .is_some_and(|cap| tenant.in_flight >= cap.max(1))
+            {
+                break;
+            }
+            if !drain && tenant.policy.rate_limit.is_some() {
+                tenant.refill(now);
+                if tenant.tokens < 1.0 {
+                    break;
+                }
+                tenant.tokens -= 1.0;
+            }
+            let member = tenant.queue.remove(idx).expect("index in bounds");
+            tenant.deficit -= member.cost;
+            if !contended {
+                tenant.deficit = tenant.deficit.max(0.0);
+            }
+            tenant.in_flight += 1;
+            tenant.dispatched += 1;
+            tenant.total_wait_seconds += now.duration_since(member.submitted).as_secs_f64();
+            self.metrics.dispatched += 1;
+            self.in_flight.insert(member.id, Arc::clone(name));
+            rest.push(member.id);
+        }
+        if !rest.is_empty() {
+            self.metrics.batches += 1;
+            self.metrics.batched_jobs += rest.len() as u64 + 1;
+        }
+        rest
+    }
 }
 
 #[cfg(test)]
@@ -475,7 +614,7 @@ mod tests {
     use super::*;
 
     fn sched_with(policies: &[(&str, TenantPolicy)]) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new();
+        let mut sched = FairScheduler::new(8);
         sched.mode = Mode::Running;
         let names = policies
             .iter()
@@ -499,8 +638,8 @@ mod tests {
         ]);
         // a gets jobs 0..4, b gets 10..14, all equal cost.
         for i in 0..4 {
-            sched.admit(&names[0], JobId(i), 1.0, None);
-            sched.admit(&names[1], JobId(10 + i), 1.0, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None);
+            sched.admit(&names[1], JobId(10 + i), 1.0, None, None);
         }
         let now = Instant::now();
         let mut order = Vec::new();
@@ -523,9 +662,9 @@ mod tests {
             ("minnow", TenantPolicy::default()),
         ]);
         for i in 0..100 {
-            sched.admit(&names[0], JobId(i), 5.0, None);
+            sched.admit(&names[0], JobId(i), 5.0, None, None);
         }
-        sched.admit(&names[1], JobId(1000), 5.0, None);
+        sched.admit(&names[1], JobId(1000), 5.0, None, None);
         let now = Instant::now();
         let mut dispatched_before_minnow = 0;
         loop {
@@ -553,8 +692,8 @@ mod tests {
             ("light", TenantPolicy::default()),
         ]);
         for i in 0..60 {
-            sched.admit(&names[0], JobId(i), 1.0, None);
-            sched.admit(&names[1], JobId(100 + i), 1.0, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None);
+            sched.admit(&names[1], JobId(100 + i), 1.0, None, None);
         }
         let now = Instant::now();
         let mut heavy_in_first_40 = 0;
@@ -580,8 +719,8 @@ mod tests {
     fn in_flight_cap_blocks_further_dispatches() {
         let (mut sched, names) =
             sched_with(&[("capped", TenantPolicy::default().with_max_in_flight(1))]);
-        sched.admit(&names[0], JobId(0), 1.0, None);
-        sched.admit(&names[0], JobId(1), 1.0, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None);
+        sched.admit(&names[0], JobId(1), 1.0, None, None);
         let now = Instant::now();
         let SchedPoll::Dispatch(first) = sched.next_job(now) else {
             panic!("expected dispatch");
@@ -605,7 +744,7 @@ mod tests {
             }),
         )]);
         for i in 0..5 {
-            sched.admit(&names[0], JobId(i), 1.0, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None);
         }
         let now = Instant::now();
         for _ in 0..2 {
@@ -624,7 +763,7 @@ mod tests {
     #[test]
     fn drain_shuts_down_only_when_empty_and_nothing_in_flight() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None);
         sched.mode = Mode::Draining;
         let now = Instant::now();
         let SchedPoll::Dispatch(dispatch) = sched.next_job(now) else {
@@ -639,7 +778,7 @@ mod tests {
     #[test]
     fn abort_stops_dispatching_immediately() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None);
         sched.mode = Mode::Aborting;
         assert!(matches!(
             sched.next_job(Instant::now()),
@@ -661,16 +800,16 @@ mod tests {
             ("minnow", TenantPolicy::default()),
         ]);
         let now = Instant::now();
-        sched.admit(&names[0], JobId(9999), 500.0, None);
+        sched.admit(&names[0], JobId(9999), 500.0, None, None);
         let SchedPoll::Dispatch(big) = sched.next_job(now) else {
             panic!("expected dispatch");
         };
         sched.release(big.id);
 
         for i in 0..300 {
-            sched.admit(&names[0], JobId(i), 1.0, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None);
         }
-        sched.admit(&names[1], JobId(1000), 1.0, None);
+        sched.admit(&names[1], JobId(1000), 1.0, None, None);
         let mut whale_before_minnow = 0;
         loop {
             match sched.next_job(now) {
@@ -691,11 +830,158 @@ mod tests {
     }
 
     #[test]
+    fn zero_cost_jobs_still_spend_deficit_no_monopoly() {
+        // Regression: hint-less bundles (and failed placements) admit with a
+        // 0.0 cost estimate. Before the MIN_JOB_COST floor such jobs spent
+        // zero deficit, so the first-visited tenant's queue drained entirely
+        // in one parked visit — the exact monopoly DRR exists to prevent.
+        // With the floor, dispatch order interleaves strictly.
+        let (mut sched, names) = sched_with(&[
+            ("hintless", TenantPolicy::default()),
+            ("normal", TenantPolicy::default()),
+        ]);
+        for i in 0..6 {
+            sched.admit(&names[0], JobId(i), 0.0, None, None);
+            sched.admit(&names[1], JobId(100 + i), 1.0, None, None);
+        }
+        let now = Instant::now();
+        let mut order = Vec::new();
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            sched.release(dispatch.id);
+            order.push(dispatch.id.0 / 100); // 0 = hintless, 1 = normal
+        }
+        assert_eq!(order.len(), 12);
+        for pair in order.windows(2) {
+            assert_ne!(
+                pair[0], pair[1],
+                "hint-less tenant monopolized the rotation: {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn uncontended_tenant_coalesces_up_to_max_batch() {
+        // A solo tenant has nobody to be fair to: plan-compatible jobs
+        // coalesce into micro-batches of max_batch regardless of deficit.
+        let (mut sched, names) = sched_with(&[("solo", TenantPolicy::default())]);
+        for i in 0..10 {
+            sched.admit(&names[0], JobId(i), 1.0, None, Some(42));
+        }
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.len(), 8, "uncontended batches to the cap");
+        assert_eq!(
+            first.ids().collect::<Vec<_>>(),
+            (0..8).map(JobId).collect::<Vec<_>>(),
+            "members coalesce in queue order"
+        );
+        for id in first.ids() {
+            sched.release(id);
+        }
+        let SchedPoll::Dispatch(second) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(second.len(), 2, "the remainder forms the next batch");
+        assert_eq!(sched.metrics.batches, 2);
+        assert_eq!(sched.metrics.batched_jobs, 10);
+        assert_eq!(sched.metrics.dispatched, 10, "accounting is per member");
+        assert!((sched.metrics.mean_batch_size() - 5.0).abs() < 1e-12);
+        assert_eq!(sched.metrics.solo_jobs(), 0);
+    }
+
+    #[test]
+    fn contended_batches_stay_within_the_drr_budget() {
+        // Under contention a batch may only spend the deficit its tenant was
+        // credited: weight 3 affords three equal-cost members per visit,
+        // weight 1 dispatches solo — the ratio weights promise is untouched.
+        let (mut sched, names) = sched_with(&[
+            ("heavy", TenantPolicy::default().with_weight(3.0)),
+            ("light", TenantPolicy::default()),
+        ]);
+        for i in 0..9 {
+            sched.admit(&names[0], JobId(i), 1.0, None, Some(1));
+        }
+        for i in 0..3 {
+            sched.admit(&names[1], JobId(100 + i), 1.0, None, Some(2));
+        }
+        let now = Instant::now();
+        let SchedPoll::Dispatch(heavy) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(heavy.len(), 3, "weight-3 budget covers three members");
+        heavy.ids().for_each(|id| sched.release(id));
+        let SchedPoll::Dispatch(light) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(light.len(), 1, "weight-1 tenant dispatches solo");
+        sched.release(light.id);
+    }
+
+    #[test]
+    fn different_batch_keys_never_coalesce() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        sched.admit(&names[0], JobId(0), 1.0, None, Some(7));
+        sched.admit(&names[0], JobId(1), 1.0, None, Some(8));
+        sched.admit(&names[0], JobId(2), 1.0, None, Some(7));
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        // Key 7 members coalesce across the interleaved key-8 job...
+        assert_eq!(first.ids().collect::<Vec<_>>(), vec![JobId(0), JobId(2)]);
+        first.ids().for_each(|id| sched.release(id));
+        // ...which then dispatches alone.
+        let SchedPoll::Dispatch(second) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(second.ids().collect::<Vec<_>>(), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn rate_limited_batches_spend_one_token_per_member() {
+        let (mut sched, names) = sched_with(&[(
+            "limited",
+            TenantPolicy::default().with_rate_limit(RateLimit {
+                jobs_per_second: 0.0,
+                burst: 3.0,
+            }),
+        )]);
+        for i in 0..6 {
+            sched.admit(&names[0], JobId(i), 1.0, None, Some(5));
+        }
+        let now = Instant::now();
+        let SchedPoll::Dispatch(burst) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(burst.len(), 3, "the batch stops at the token budget");
+        assert!(matches!(sched.next_job(now), SchedPoll::Idle));
+    }
+
+    #[test]
+    fn capped_tenant_batches_stop_at_the_in_flight_cap() {
+        let (mut sched, names) =
+            sched_with(&[("capped", TenantPolicy::default().with_max_in_flight(2))]);
+        for i in 0..6 {
+            sched.admit(&names[0], JobId(i), 1.0, None, Some(5));
+        }
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.len(), 2, "cap of 2 bounds the batch");
+        assert!(matches!(sched.next_job(now), SchedPoll::Idle));
+        first.ids().for_each(|id| sched.release(id));
+        assert!(matches!(sched.next_job(now), SchedPoll::Dispatch(_)));
+    }
+
+    #[test]
     fn cost_ranked_within_a_tenant() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None);
-        sched.admit(&names[0], JobId(1), 9.0, None);
-        sched.admit(&names[0], JobId(2), 4.0, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None);
+        sched.admit(&names[0], JobId(1), 9.0, None, None);
+        sched.admit(&names[0], JobId(2), 4.0, None, None);
         let now = Instant::now();
         let mut order = Vec::new();
         while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {

@@ -27,12 +27,22 @@ pub struct BatchId(pub u64);
 pub struct ServiceConfig {
     /// Worker threads in the streaming pool (and in `run_pending` drains).
     pub workers: usize,
+    /// Largest number of plan-compatible jobs the fair scheduler may
+    /// coalesce into one device-level dispatch (see the micro-batching notes
+    /// on [`QmlService`]). `1` disables batching; the default is
+    /// [`DEFAULT_MAX_BATCH`].
+    pub max_batch: usize,
     /// Policy applied to tenants without an explicit entry in
     /// [`ServiceConfig::tenant_policies`].
     pub default_policy: TenantPolicy,
     /// Per-tenant policy overrides (weight, in-flight cap, rate limit).
     pub tenant_policies: BTreeMap<String, TenantPolicy>,
 }
+
+/// Default [`ServiceConfig::max_batch`]: large enough that sweep traffic
+/// amortizes dispatch and realization overhead, small enough that a batch
+/// does not serialize a whole sweep onto one worker of a small pool.
+pub const DEFAULT_MAX_BATCH: usize = 8;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -50,9 +60,17 @@ impl ServiceConfig {
     pub fn with_workers(workers: usize) -> Self {
         ServiceConfig {
             workers,
+            max_batch: DEFAULT_MAX_BATCH,
             default_policy: TenantPolicy::default(),
             tenant_policies: BTreeMap::new(),
         }
+    }
+
+    /// Cap (or disable, with `1`) micro-batching, builder-style. Values of 0
+    /// are treated as 1.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
     }
 
     /// Attach a per-tenant policy override, builder-style.
@@ -172,6 +190,17 @@ impl JobSource for ServiceInner {
 /// * **one-shot** — [`QmlService::run_pending`], a thin submit-then-drain
 ///   wrapper over the same machinery.
 ///
+/// **Micro-batching.** When the scheduler picks a tenant, it opportunistically
+/// coalesces up to [`ServiceConfig::max_batch`] queued jobs of that tenant
+/// that share a device-level batch key — same backend, same realization plan
+/// (see [`qml_backends::Backend::batch_key`]) — into one dispatch, executed
+/// through the backend's `execute_batch`: one transpilation/lowering serves
+/// the whole group even on a cold cache. Fairness accounting is unchanged
+/// (deficit, rate-limit tokens, and in-flight slots are spent per member), so
+/// under contention batches stay within the tenant's DRR budget, while an
+/// uncontended tenant batches up to the cap. Formation counts surface in
+/// [`SchedulerMetrics`](crate::SchedulerMetrics).
+///
 /// All executions share the runtime's transpilation/lowering cache across
 /// tenants. `QmlService` is cheaply cloneable; clones share all state, which
 /// is how submitter threads hand jobs to a running service:
@@ -242,12 +271,13 @@ impl QmlService {
     /// A service over a caller-provided runtime (custom backends, shared
     /// cache, ...).
     pub fn with_runtime(runtime: Runtime, config: ServiceConfig) -> Self {
+        let sched = FairScheduler::new(config.max_batch);
         QmlService {
             inner: Arc::new(ServiceInner {
                 runtime: Arc::new(runtime),
                 config,
                 state: Mutex::new(ServiceState::default()),
-                sched: Mutex::new(FairScheduler::new()),
+                sched: Mutex::new(sched),
             }),
         }
     }
@@ -282,13 +312,23 @@ impl QmlService {
         }
         // Place each job once, before taking any lock: the fair scheduler
         // spends DRR deficit in estimated-cost units, and the placement is
-        // carried to the worker so the bundle is never placed twice.
+        // carried to the worker so the bundle is never placed twice. The
+        // placed backend also stamps its device-level batch key (plan
+        // identity folded with the backend name) so the scheduler can
+        // coalesce plan-compatible jobs into micro-batches.
         let mut jobs = Vec::with_capacity(bundles.len());
         for bundle in bundles {
             let placement = self.inner.runtime.scheduler().place(&bundle).ok();
             let cost = placement.as_ref().map(|p| p.estimated_cost).unwrap_or(0.0);
+            let batch_key = placement.as_ref().and_then(|p| {
+                use qml_types::bundle::{fnv1a64_init, fnv1a64_update};
+                let key = p.backend.batch_key(&bundle)?;
+                let mut hash = fnv1a64_update(fnv1a64_init(), p.backend.name().as_bytes());
+                hash = fnv1a64_update(hash, &key.to_le_bytes());
+                Some(hash)
+            });
             let id = self.inner.runtime.submit(bundle)?;
-            jobs.push((id, cost, placement));
+            jobs.push((id, cost, placement, batch_key));
         }
         // Record batch/tenant bookkeeping *before* admitting anything to the
         // fair scheduler: a running pool may dispatch and finish a job the
@@ -306,21 +346,21 @@ impl QmlService {
             state.jobs_submitted += jobs.len() as u64;
             let tenant_stats = state.per_tenant.entry(Arc::clone(&tenant)).or_default();
             tenant_stats.submitted += jobs.len() as u64;
-            for (job, _, _) in &jobs {
+            for (job, ..) in &jobs {
                 state.job_tenant.insert(*job, Arc::clone(&tenant));
             }
             state.batches.insert(
                 id,
                 BatchRecord {
                     tenant: Arc::clone(&tenant),
-                    job_ids: jobs.iter().map(|(id, _, _)| *id).collect(),
+                    job_ids: jobs.iter().map(|(id, ..)| *id).collect(),
                 },
             );
             id
         };
         let mut sched = self.inner.sched.lock();
-        for (id, cost, placement) in jobs {
-            sched.admit(&tenant, id, cost, placement);
+        for (id, cost, placement, batch_key) in jobs {
+            sched.admit(&tenant, id, cost, placement, batch_key);
         }
         Ok(batch)
     }

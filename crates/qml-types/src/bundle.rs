@@ -69,6 +69,14 @@ pub fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Fold a sequence of 64-bit words into one FNV-1a hash — the shared helper
+/// behind compound keys (batch keys, plan keys) built from other hashes.
+pub fn fnv1a64_words(words: &[u64]) -> u64 {
+    words.iter().fold(fnv1a64_init(), |hash, w| {
+        fnv1a64_update(hash, &w.to_le_bytes())
+    })
+}
+
 impl JobBundle {
     /// Create a bundle from intent artifacts, without a context.
     pub fn new(

@@ -25,7 +25,13 @@ fn main() -> std::result::Result<(), QmlError> {
     let graph = cycle(4);
     let program = qaoa_maxcut_program(&graph, &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))?;
 
-    let service = QmlService::with_config(ServiceConfig::with_workers(2));
+    // max_batch 1: this example demonstrates per-job DRR interleaving, so
+    // micro-batching is pinned off — with batching on, an uncontended whale
+    // can have its whole sweep claimed in a few batch dispatches before the
+    // minnow's submitter thread is even scheduled, which is correct (it was
+    // uncontended) but not the fairness story shown here. The batching
+    // walkthrough lives in `examples/batched_sweep.rs`.
+    let service = QmlService::with_config(ServiceConfig::with_workers(2).with_max_batch(1));
 
     // The service loop starts with an empty queue: workers are live and
     // waiting for work to stream in.

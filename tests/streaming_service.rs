@@ -70,7 +70,13 @@ fn jobs_submitted_while_running_complete_without_restart() {
 
 #[test]
 fn small_tenant_is_not_starved_by_a_big_sweep() {
-    let service = QmlService::with_config(ServiceConfig::with_workers(2));
+    // max_batch 1: this test proves per-job DRR interleaving. With batching
+    // on, an uncontended whale may have its whole sweep claimed in a handful
+    // of batch dispatches before the minnow's submission lands — correct
+    // (nobody else was queued when the batches formed) but a race against
+    // the assertions below; micro-batch fairness has its own tests in
+    // `tests/batched_execution.rs` and the scheduler unit tests.
+    let service = QmlService::with_config(ServiceConfig::with_workers(2).with_max_batch(1));
 
     // Tenant "whale": a 48-point seeded sweep, admitted before the pool
     // starts so its queue is deep from the first dispatch.
@@ -198,11 +204,22 @@ fn drain_finishes_all_admitted_work() {
 
 #[test]
 fn abort_stops_at_the_next_job_boundary_and_restart_resumes() {
-    let service = QmlService::with_config(ServiceConfig::with_workers(1));
+    // max_batch = 1: abort stops at the next *dispatch* boundary, and a
+    // micro-batch is one dispatch — an uncontended tenant would drain all 12
+    // jobs in two batches, racing the queue-depth assertion below. Solo
+    // dispatches make the boundary a single job, which is what this test is
+    // about.
+    let service = QmlService::with_config(ServiceConfig::with_workers(1).with_max_batch(1));
     let mut jobs = Vec::new();
+    // 8192-sample jobs: each takes long enough that the polling thread below
+    // reliably lands its abort before the single worker drains all twelve (a
+    // 512-sample queue could empty inside one oversleep of the 200µs poll).
     for seed in 0..12 {
         let (_, job) = service
-            .submit("tenant", fixed_qaoa().with_context(gate_context(seed, 512)))
+            .submit(
+                "tenant",
+                fixed_qaoa().with_context(gate_context(seed, 8192)),
+            )
             .unwrap();
         jobs.push(job);
     }
