@@ -1,0 +1,88 @@
+//! Scheduler *accuracy*, benchmarked alongside throughput: how far the fair
+//! scheduler's charged costs sit from measured busy-seconds, cold
+//! (descriptor-estimate pricing) versus warm (online cost-model pricing).
+//!
+//! Two rounds of the same 32-job seeded grid run through one service. Round
+//! 1 admits every job at its placement estimate — the gap to measured
+//! busy-seconds lands in `SchedulerMetrics::estimate_error_units`. Round 2
+//! resubmits the same plan after its outcomes were measured, so admissions
+//! charge the EWMA prediction and the per-job error must collapse. Run with:
+//! `cargo bench -p qml-bench --bench estimate_error`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_core::prelude::*;
+use qml_core::types::{ContextDescriptor, ExecConfig, Target};
+use qml_service::{QmlService, ServiceConfig};
+
+const NODES: usize = 8;
+const POINTS: u64 = 32;
+
+fn context(seed: u64) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(2048)
+            .with_seed(seed)
+            .with_target(Target::ring(NODES))
+            .with_optimization_level(2),
+    )
+}
+
+fn template() -> JobBundle {
+    qaoa_maxcut_program(
+        &qml_core::graph::cycle(NODES),
+        &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]),
+    )
+    .expect("valid QAOA bundle")
+}
+
+/// Run two identical rounds through one service; returns the mean absolute
+/// estimate error (cost units per job) of each round plus round-2 jobs/s.
+fn run_rounds() -> (f64, f64, f64) {
+    let service = QmlService::with_config(ServiceConfig::with_workers(2));
+    let submit_round = |base: u64| {
+        for seed in 0..POINTS {
+            service
+                .submit("bench", template().with_context(context(base + seed)))
+                .expect("job accepted");
+        }
+    };
+    submit_round(0);
+    let round1 = service.run_pending();
+    assert_eq!(round1.failed, 0);
+    let after1 = service.metrics().scheduler;
+    let cold = after1.estimate_error_units / after1.cost_samples as f64;
+
+    submit_round(1000);
+    let round2 = service.run_pending();
+    assert_eq!(round2.failed, 0);
+    let total = service.metrics().scheduler;
+    let warm = (total.estimate_error_units - after1.estimate_error_units)
+        / (total.cost_samples - after1.cost_samples) as f64;
+    (cold, warm, round2.jobs_per_second)
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline numbers outside the harness — these are what BENCH_*.json
+    // style scrapes track: scheduler accuracy next to throughput.
+    let (cold, warm, jps) = run_rounds();
+    println!(
+        "[estimate-error] cold (estimate-priced) {cold:.2} cost units/job, \
+         warm (model-priced) {warm:.2} units/job, warm throughput {jps:.0} jobs/s",
+    );
+    println!(
+        "[estimate-error] model-priced admissions cut the mean |error| {:.1}x",
+        cold / warm.max(1e-9),
+    );
+    assert!(
+        warm < cold,
+        "cost-model pricing must beat static estimates (cold {cold:.3}, warm {warm:.3})"
+    );
+
+    let mut group = c.benchmark_group("estimate_error");
+    group.sample_size(10);
+    group.bench_function("two_round_grid32", |b| b.iter(run_rounds));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

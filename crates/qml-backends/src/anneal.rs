@@ -224,6 +224,18 @@ impl Backend for AnnealBackend {
         bundles: &[JobBundle],
         cache: &TranspileCache,
     ) -> Vec<Result<ExecutionResult>> {
+        self.execute_batch_timed(bundles, cache).0
+    }
+
+    /// The timed batch path: each member's sampling wall-clock is measured
+    /// individually (a 4096-read member reports a correspondingly larger
+    /// duration than a 16-read member of the same group), and the group's
+    /// one BQM lowering counts as shared time.
+    fn execute_batch_timed(
+        &self,
+        bundles: &[JobBundle],
+        cache: &TranspileCache,
+    ) -> (Vec<Result<ExecutionResult>>, crate::BatchTimings) {
         crate::traits::execute_grouped(
             bundles,
             |bundle| {

@@ -238,6 +238,18 @@ impl Backend for GateBackend {
         bundles: &[JobBundle],
         cache: &TranspileCache,
     ) -> Vec<Result<ExecutionResult>> {
+        self.execute_batch_timed(bundles, cache).0
+    }
+
+    /// The timed batch path: per-member bind + sample wall-clock is measured
+    /// individually, and group plan realizations count as shared time — so a
+    /// shot ladder's members report honest, unequal durations instead of an
+    /// even split of the batch's wall-clock.
+    fn execute_batch_timed(
+        &self,
+        bundles: &[JobBundle],
+        cache: &TranspileCache,
+    ) -> (Vec<Result<ExecutionResult>>, crate::BatchTimings) {
         crate::traits::execute_grouped(
             bundles,
             |bundle| {

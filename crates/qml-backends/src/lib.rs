@@ -26,4 +26,4 @@ pub use cache::{
 pub use gate::{listing4_context, GateBackend, DEFAULT_GATE_ENGINE};
 pub use lowering::{lower_to_bqm, lower_to_circuit, LoweredBqm, LoweredCircuit};
 pub use results::{EnergyStats, ExecutionResult};
-pub use traits::Backend;
+pub use traits::{Backend, BatchTimings};

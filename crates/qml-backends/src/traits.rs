@@ -10,11 +10,57 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qml_types::{JobBundle, Result};
 
 use crate::cache::TranspileCache;
 use crate::results::ExecutionResult;
+
+/// Per-member wall-clock breakdown of one [`Backend::execute_batch_timed`]
+/// call.
+///
+/// A micro-batch executes as one backend call, but fairness and utilization
+/// accounting need *honest per-job* durations — splitting the batch's
+/// wall-clock evenly across members is fiction whenever members differ
+/// (e.g. a shot ladder). The breakdown separates the cost nobody owns
+/// individually (realizing the group's shared plans) from each member's own
+/// bind + sample time, so callers can attribute the shared part
+/// proportionally.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTimings {
+    /// Time spent realizing shared plans (transpilation / lowering / cache
+    /// fetches) across the whole call — work owned by groups, not by any
+    /// single member.
+    pub shared: Duration,
+    /// Each member's own bind + sample wall-clock, in `bundles` order.
+    pub members: Vec<Duration>,
+}
+
+impl BatchTimings {
+    /// `members[i]` plus a share of [`BatchTimings::shared`] proportional to
+    /// `members[i]`'s weight among all member durations — the honest
+    /// attribution of the whole call's wall-clock to member `i`. When every
+    /// member's own time is zero (degenerate resolution), the shared cost is
+    /// split evenly.
+    pub fn attributed(&self) -> Vec<Duration> {
+        let total: f64 = self.members.iter().map(|d| d.as_secs_f64()).sum();
+        let shared = self.shared.as_secs_f64();
+        let n = self.members.len().max(1) as f64;
+        self.members
+            .iter()
+            .map(|d| {
+                let own = d.as_secs_f64();
+                let share = if total > 0.0 {
+                    shared * (own / total)
+                } else {
+                    shared / n
+                };
+                Duration::from_secs_f64(own + share)
+            })
+            .collect()
+    }
+}
 
 /// A backend able to realize and execute middle-layer job bundles.
 pub trait Backend: Send + Sync {
@@ -76,6 +122,31 @@ pub trait Backend: Send + Sync {
             .collect()
     }
 
+    /// Execute a batch like [`Backend::execute_batch`], additionally
+    /// reporting the wall-clock breakdown: shared realization time plus each
+    /// member's own bind + sample time (see [`BatchTimings`]).
+    ///
+    /// The default wraps [`Backend::execute_batch`] — preserving any
+    /// third-party batching override — and, lacking finer information,
+    /// attributes the call evenly across members with no shared component.
+    /// The built-in gate and annealing backends override this with real
+    /// per-member timing; their `execute_batch` is the projection of this
+    /// method onto results.
+    fn execute_batch_timed(
+        &self,
+        bundles: &[JobBundle],
+        cache: &TranspileCache,
+    ) -> (Vec<Result<ExecutionResult>>, BatchTimings) {
+        let started = Instant::now();
+        let results = self.execute_batch(bundles, cache);
+        let share = started.elapsed() / bundles.len().max(1) as u32;
+        let timings = BatchTimings {
+            shared: Duration::ZERO,
+            members: vec![share; bundles.len()],
+        };
+        (results, timings)
+    }
+
     /// A stable grouping key for device-level batching: two bundles with the
     /// same key **on the same backend** share one realized plan, so callers
     /// (the service's fair scheduler) may coalesce them into a single
@@ -120,23 +191,32 @@ pub trait Backend: Send + Sync {
 ///   mirroring sequential semantics (failed builds are not cached).
 /// * `run` executes one member against the shared plan.
 ///
-/// Outcomes are returned in `bundles` order.
+/// Outcomes are returned in `bundles` order, alongside the wall-clock
+/// breakdown: cache fetches / plan realizations count toward
+/// [`BatchTimings::shared`] (a group's realization belongs to the group, not
+/// to whichever member happened to go first), while each member's `prepare`
+/// and `run` time is its own.
 pub(crate) fn execute_grouped<K, P, Plan>(
     bundles: &[JobBundle],
     mut prepare: impl FnMut(&JobBundle) -> Result<(K, P)>,
     mut fetch: impl FnMut(K, &JobBundle, &P, Option<&Arc<Plan>>) -> Result<Arc<Plan>>,
     mut run: impl FnMut(&JobBundle, &P, &Plan) -> Result<ExecutionResult>,
-) -> Vec<Result<ExecutionResult>>
+) -> (Vec<Result<ExecutionResult>>, BatchTimings)
 where
     K: std::hash::Hash + Eq + Copy,
 {
     let mut results: Vec<Option<Result<ExecutionResult>>> = Vec::with_capacity(bundles.len());
     results.resize_with(bundles.len(), || None);
+    let mut timings = BatchTimings {
+        shared: Duration::ZERO,
+        members: vec![Duration::ZERO; bundles.len()],
+    };
     let mut prepared: Vec<Option<P>> = Vec::with_capacity(bundles.len());
     prepared.resize_with(bundles.len(), || None);
     let mut groups: Vec<(K, Vec<usize>)> = Vec::new();
     let mut group_of: HashMap<K, usize> = HashMap::new();
     for (i, bundle) in bundles.iter().enumerate() {
+        let started = Instant::now();
         match prepare(bundle) {
             Ok((key, prep)) => {
                 prepared[i] = Some(prep);
@@ -150,6 +230,7 @@ where
             }
             Err(err) => results[i] = Some(Err(err)),
         }
+        timings.members[i] += started.elapsed();
     }
     for (key, members) in groups {
         // The group's shared realization, set by the first member whose
@@ -158,17 +239,24 @@ where
         for i in members {
             let bundle = &bundles[i];
             let prep = prepared[i].as_ref().expect("grouped members are prepared");
-            let outcome = fetch(key, bundle, prep, shared.as_ref()).and_then(|plan| {
+            let fetch_started = Instant::now();
+            let plan = fetch(key, bundle, prep, shared.as_ref());
+            timings.shared += fetch_started.elapsed();
+            let outcome = plan.and_then(|plan| {
                 shared.get_or_insert_with(|| Arc::clone(&plan));
-                run(bundle, prep, &plan)
+                let run_started = Instant::now();
+                let outcome = run(bundle, prep, &plan);
+                timings.members[i] += run_started.elapsed();
+                outcome
             });
             results[i] = Some(outcome);
         }
     }
-    results
+    let results = results
         .into_iter()
         .map(|r| r.expect("every member resolved"))
-        .collect()
+        .collect();
+    (results, timings)
 }
 
 #[cfg(test)]

@@ -223,26 +223,40 @@ impl Runtime {
     }
 
     /// Execute a micro-batch of already-claimed jobs through the backend's
-    /// device-level batch path ([`qml_backends::Backend::execute_batch`]) and
-    /// record each member's terminal state. Outcomes are returned in input
-    /// order; one failing member never poisons the rest.
+    /// device-level batch path
+    /// ([`qml_backends::Backend::execute_batch_timed`]) and record each
+    /// member's terminal state. Outcomes are returned in input order with an
+    /// **honest per-member duration**: each member's own bind + sample time
+    /// plus a share of the group's one plan realization proportional to that
+    /// time — never an even split of the batch's wall-clock, which is
+    /// fiction whenever members differ (e.g. a shot ladder). One failing
+    /// member never poisons the rest.
     ///
     /// All members are expected to share the (optional) placement — the
     /// service's fair scheduler only coalesces jobs with one batch key, which
     /// implies one backend. Without a placement the whole batch falls back to
-    /// per-member scheduled execution.
+    /// per-member scheduled execution, timed individually.
     pub(crate) fn execute_claimed_batch(
         &self,
         claimed: Vec<(JobId, JobBundle)>,
         placement: Option<&Placement>,
-    ) -> Vec<(JobId, Result<ExecutionResult>)> {
+    ) -> Vec<(JobId, Result<ExecutionResult>, Duration)> {
         let (ids, bundles): (Vec<JobId>, Vec<JobBundle>) = claimed.into_iter().unzip();
-        let results: Vec<Result<ExecutionResult>> = match placement {
-            Some(placement) => placement.backend.execute_batch(&bundles, &self.cache),
+        let (results, durations): (Vec<Result<ExecutionResult>>, Vec<Duration>) = match placement {
+            Some(placement) => {
+                let (results, timings) =
+                    placement.backend.execute_batch_timed(&bundles, &self.cache);
+                let durations = timings.attributed();
+                (results, durations)
+            }
             None => bundles
                 .iter()
-                .map(|bundle| self.scheduler.execute_cached(bundle, &self.cache))
-                .collect(),
+                .map(|bundle| {
+                    let started = Instant::now();
+                    let result = self.scheduler.execute_cached(bundle, &self.cache);
+                    (result, started.elapsed())
+                })
+                .unzip(),
         };
         let mut jobs = self.jobs.lock();
         for (id, outcome) in ids.iter().zip(&results) {
@@ -250,7 +264,10 @@ impl Runtime {
             record_terminal(job, outcome);
         }
         drop(jobs);
-        ids.into_iter().zip(results).collect()
+        ids.into_iter()
+            .zip(results.into_iter().zip(durations))
+            .map(|(id, (result, duration))| (id, result, duration))
+            .collect()
     }
 
     /// Execute every queued job on the work-stealing pool with at most

@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::executor::{JobId, JobOutcome, Runtime};
 use crate::registry::Placement;
@@ -203,13 +203,13 @@ fn worker_loop(
                 let placement = dispatch
                     .placement
                     .or_else(|| runtime.scheduler().place(&claimed[0].1).ok());
-                let started = Instant::now();
+                // The batch executes as one backend call, but each member's
+                // duration is measured individually (bind + sample, plus a
+                // proportional share of the group's one plan realization) —
+                // an even split would misreport per-job cost and per-backend
+                // busy-seconds whenever members differ, e.g. a shot ladder.
                 let outcomes = runtime.execute_claimed_batch(claimed, placement.as_ref());
-                // The batch executed as one unit; attribute an even share of
-                // its wall-clock to each member so per-backend busy-seconds
-                // stay meaningful.
-                let share = started.elapsed() / outcomes.len().max(1) as u32;
-                for (id, result) in outcomes {
+                for (id, result, duration) in outcomes {
                     let backend = result
                         .as_ref()
                         .ok()
@@ -220,7 +220,7 @@ fn worker_loop(
                         id,
                         result,
                         backend,
-                        duration: share,
+                        duration,
                         worker,
                         stolen: false,
                     });
@@ -374,6 +374,54 @@ mod tests {
             "outcomes reach the sink in dispatch order"
         );
         assert!(seen.iter().all(|(_, ok)| *ok));
+    }
+
+    #[test]
+    fn batch_members_report_honest_unequal_durations() {
+        use qml_algorithms::maxcut_ising_program;
+        use qml_types::AnnealConfig;
+
+        // A shot ladder: one Ising problem at 16 reads and at 4096 reads,
+        // coalesced into a single micro-batch (one shared BQM lowering).
+        // Before per-member timing, both outcomes reported the same even
+        // split of the batch wall-clock — fiction, since the 4096-read
+        // member does ~256× the sampling work.
+        let runtime = Arc::new(Runtime::with_default_backends());
+        let ladder = |reads: u64| {
+            maxcut_ising_program(&cycle(4))
+                .unwrap()
+                .with_context(ContextDescriptor::for_anneal(
+                    "anneal.neal_simulator",
+                    AnnealConfig::with_reads(reads),
+                ))
+        };
+        let small = runtime.submit(ladder(16)).unwrap();
+        let large = runtime.submit(ladder(4096)).unwrap();
+        let source = Arc::new(OneBatchSource {
+            ids: Mutex::new(vec![small, large]),
+        });
+        let durations = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let durations = Arc::clone(&durations);
+            Arc::new(move |outcome: JobOutcome| {
+                assert!(outcome.result.is_ok(), "{:?}", outcome.result);
+                durations.lock().push((outcome.id, outcome.duration));
+            })
+        };
+        let executed = WorkerPool::spawn(&runtime, 1, source, sink).join();
+        assert_eq!(executed, 2);
+        let durations = durations.lock();
+        let small_dur = durations.iter().find(|(id, _)| *id == small).unwrap().1;
+        let large_dur = durations.iter().find(|(id, _)| *id == large).unwrap().1;
+        assert_ne!(
+            small_dur, large_dur,
+            "batch members must not report an even wall-clock split"
+        );
+        assert!(
+            large_dur > small_dur * 2,
+            "a 256× sampling workload must be attributed a larger duration \
+             (got {small_dur:?} vs {large_dur:?})"
+        );
     }
 
     #[test]

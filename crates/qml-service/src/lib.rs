@@ -20,6 +20,13 @@
 //!   per-tenant queues, with [`TenantPolicy`] weights, in-flight caps, and
 //!   token-bucket [`RateLimit`]s, so one tenant's thousand-point sweep cannot
 //!   starve another tenant's single job.
+//! * **Measured-cost fairness** — deficit is reconciled against *observed*
+//!   busy-seconds, not placement guesses: an online per-plan-key
+//!   [`CostModel`] (EWMA of measured durations) prices admissions and
+//!   lazily reprices queued jobs, and every recorded outcome charges the
+//!   clamped estimate error back to the tenant's deficit
+//!   ([`ServiceConfig::cost_ewma_alpha`] / ·`charge_back_clamp`), so a
+//!   systematically under-estimated workload cannot hog device time.
 //! * **Micro-batched dispatch** — up to [`ServiceConfig::max_batch`]
 //!   plan-compatible jobs of one tenant coalesce into a single device-level
 //!   [`execute_batch`](qml_backends::Backend::execute_batch) call (one
@@ -67,14 +74,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cost_model;
 pub mod metrics;
 pub mod scheduler;
 pub mod service;
 pub mod sweep;
 
+pub use cost_model::{CostModel, COST_UNITS_PER_SECOND, DEFAULT_COST_EWMA_ALPHA};
 pub use metrics::{
     BackendUtilization, CacheStats, RunSummary, SchedulerMetrics, ServiceMetrics, TenantStats,
 };
 pub use scheduler::{RateLimit, TenantPolicy};
-pub use service::{BatchId, QmlService, ServiceConfig, ServiceHandle, DEFAULT_MAX_BATCH};
+pub use service::{
+    BatchId, QmlService, ServiceConfig, ServiceHandle, DEFAULT_CHARGE_BACK_CLAMP, DEFAULT_MAX_BATCH,
+};
 pub use sweep::SweepRequest;

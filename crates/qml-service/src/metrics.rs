@@ -35,6 +35,11 @@ pub struct TenantStats {
     pub throttled: u64,
     /// Total submit→dispatch wait across all dispatched jobs, in seconds.
     pub total_wait_seconds: f64,
+    /// Total **measured** busy wall-clock across the tenant's finished jobs,
+    /// in seconds — the quantity measured-cost fairness equalizes per unit
+    /// weight (absent from pre-measured snapshots, hence the default).
+    #[serde(default)]
+    pub busy_seconds: f64,
 }
 
 impl TenantStats {

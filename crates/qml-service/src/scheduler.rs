@@ -24,6 +24,20 @@
 //! Within one tenant, jobs are kept cost-ranked (longest first): the same
 //! LPT heuristic the one-shot pool used, now applied per tenant so it can
 //! no longer leak across tenant boundaries.
+//!
+//! **Measured-cost fairness.** Deficit used to be spent purely in
+//! placement-estimate units fixed at admission — so a tenant whose jobs were
+//! systematically under-estimated silently received a multiple of its fair
+//! share of device time. Two feedback loops close that gap:
+//!
+//! * an online [`CostModel`](crate::cost_model) (EWMA of measured
+//!   busy-seconds per plan key) consulted at admission — and lazily
+//!   repricing queued jobs at dispatch — so a plan with history is charged
+//!   its *measured* cost; and
+//! * **deficit charge-back** on every recorded outcome: the tenant's deficit
+//!   is corrected by `(measured − charged)` cost units (clamped per job),
+//!   so misestimates cannot compound across rotations — weighted fairness
+//!   holds in busy-seconds, not in guess units.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -32,6 +46,9 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use qml_runtime::{JobDispatch, JobId, Placement};
+use qml_types::MeasuredCost;
+
+use crate::cost_model::{CostModel, COST_UNITS_PER_SECOND};
 
 /// Smallest effective DRR weight; keeps the pass bound finite for
 /// pathological configurations (weight ≤ 0).
@@ -164,6 +181,19 @@ pub struct SchedulerMetrics {
     /// `dispatched - batched_jobs` is the solo-dispatch count.
     #[serde(default)]
     pub batched_jobs: u64,
+    /// Outcomes with a measured duration folded into the cost model and the
+    /// estimate-error gauges.
+    #[serde(default)]
+    pub cost_samples: u64,
+    /// Total absolute estimate error across all measured outcomes, in cost
+    /// units (`|measured − estimated|`, measured at
+    /// [`COST_UNITS_PER_SECOND`] units per busy-second).
+    #[serde(default)]
+    pub estimate_error_units: f64,
+    /// Total magnitude of applied deficit charge-backs, in cost units
+    /// (post-clamp; 0 while estimates are accurate).
+    #[serde(default)]
+    pub charge_back_units: f64,
 }
 
 impl SchedulerMetrics {
@@ -180,6 +210,17 @@ impl SchedulerMetrics {
     pub fn solo_jobs(&self) -> u64 {
         self.dispatched.saturating_sub(self.batched_jobs)
     }
+
+    /// Mean absolute estimate error per measured outcome, in cost units
+    /// (0.0 before any measurement). The scheduler's accuracy gauge: large
+    /// values mean DRR budgets were charged far from what jobs really cost.
+    pub fn mean_abs_estimate_error(&self) -> f64 {
+        if self.cost_samples == 0 {
+            0.0
+        } else {
+            self.estimate_error_units / self.cost_samples as f64
+        }
+    }
 }
 
 /// Live per-tenant gauges owned by the scheduler, merged into
@@ -190,6 +231,7 @@ pub(crate) struct TenantGauges {
     pub in_flight: u64,
     pub throttled: u64,
     pub total_wait_seconds: f64,
+    pub busy_seconds: f64,
 }
 
 /// One admitted, not-yet-dispatched job.
@@ -225,6 +267,8 @@ struct TenantQueue {
     dispatched: u64,
     throttled: u64,
     total_wait_seconds: f64,
+    /// Measured busy wall-clock attributed to this tenant's finished jobs.
+    busy_seconds: f64,
 }
 
 impl TenantQueue {
@@ -243,17 +287,58 @@ impl TenantQueue {
             dispatched: 0,
             throttled: 0,
             total_wait_seconds: 0.0,
+            busy_seconds: 0.0,
         }
     }
 
+    /// Advance the token bucket to `now`. Monotone by construction: a stale
+    /// `now` (older than the last refill — e.g. an instant captured before
+    /// another thread's refill was serialized ahead of it) adds nothing and
+    /// **keeps** `last_refill`, so the already-credited interval can never
+    /// be double-counted by a later, fresher call.
     fn refill(&mut self, now: Instant) {
         if let Some(limit) = self.policy.rate_limit {
-            let elapsed = now.duration_since(self.last_refill).as_secs_f64();
-            self.tokens =
-                (self.tokens + elapsed * limit.jobs_per_second).min(limit.effective_burst());
-            self.last_refill = now;
+            let elapsed = now
+                .saturating_duration_since(self.last_refill)
+                .as_secs_f64();
+            if elapsed > 0.0 {
+                self.tokens =
+                    (self.tokens + elapsed * limit.jobs_per_second).min(limit.effective_burst());
+                self.last_refill = now;
+            }
         }
     }
+
+    /// Forfeit banked DRR credit while **keeping debt**: a vetoed or
+    /// drained tenant must not hoard budget for later bursts, but a deficit
+    /// driven negative by measured-cost charge-back is real over-consumption
+    /// and must survive until the tenant has paid it off.
+    fn forfeit_credit(&mut self) {
+        self.deficit = self.deficit.min(0.0);
+    }
+}
+
+/// What the scheduler remembers about a dispatched-but-unfinished job: who
+/// to release, what was charged, and which plan-cost entry to feed.
+#[derive(Debug, Clone)]
+struct InFlight {
+    tenant: Arc<str>,
+    /// The cost charged against the tenant's deficit at dispatch.
+    cost: f64,
+    batch_key: Option<u64>,
+}
+
+/// The cost a queued job is charged **now**: the cost model's current
+/// prediction for its plan key when one exists, else the cost fixed at
+/// admission. Jobs queue for whole rotations while measurements stream in;
+/// spending the *live* prediction (rather than the admission-time guess)
+/// keeps the quantum and every deficit debit in measured units as soon as a
+/// plan has history — without an O(queue) reprice pass per observation.
+fn effective_cost(model: &CostModel, job: &QueuedJob) -> f64 {
+    job.batch_key
+        .and_then(|key| model.predict_seconds(key))
+        .map(|seconds| (seconds * COST_UNITS_PER_SECOND).max(MIN_JOB_COST))
+        .unwrap_or(job.cost)
 }
 
 /// Lifecycle phase of the streaming loop.
@@ -297,13 +382,27 @@ pub(crate) struct FairScheduler {
     /// This is what lets one visit span several `next_job` calls (a heavy
     /// tenant serves its whole quantum) without re-crediting per call.
     credited: bool,
-    /// Dispatched-but-unfinished jobs, for in-flight accounting.
-    in_flight: BTreeMap<JobId, Arc<str>>,
+    /// Dispatched-but-unfinished jobs: in-flight accounting plus the charged
+    /// cost and plan key needed to reconcile the outcome's measured cost.
+    in_flight: BTreeMap<JobId, InFlight>,
+    /// Online EWMA of measured busy-seconds per plan key, consulted at
+    /// admission (see [`FairScheduler::admit`]).
+    cost_model: CostModel,
+    /// Per-job bound on the deficit charge-back, as a multiple of the job's
+    /// charged cost; `≤ 0` disables charge-back entirely.
+    charge_back_clamp: f64,
+    /// Number of tenants whose queues are currently non-empty, so the hot
+    /// poll path's contention checks are O(1) instead of O(tenants).
+    nonempty: usize,
+    /// Memoized [`FairScheduler::quantum`], invalidated (set to `None`) by
+    /// every queue removal and raised in place by admissions — an idle poll
+    /// storm recomputes nothing.
+    cached_quantum: Option<f64>,
     pub(crate) metrics: SchedulerMetrics,
 }
 
 impl FairScheduler {
-    pub(crate) fn new(max_batch: usize) -> Self {
+    pub(crate) fn new(max_batch: usize, ewma_alpha: f64, charge_back_clamp: f64) -> Self {
         FairScheduler {
             mode: Mode::Stopped,
             max_batch: max_batch.max(1),
@@ -312,8 +411,33 @@ impl FairScheduler {
             cursor: 0,
             credited: false,
             in_flight: BTreeMap::new(),
+            cost_model: CostModel::new(ewma_alpha),
+            charge_back_clamp,
+            nonempty: 0,
+            cached_quantum: Some(1.0),
             metrics: SchedulerMetrics::default(),
         }
+    }
+
+    /// The model's predicted cost (in deficit units) for a plan key, if it
+    /// has one — what the next admission of this plan will be charged.
+    #[cfg(test)]
+    pub(crate) fn predicted_cost(&self, batch_key: u64) -> Option<f64> {
+        self.cost_model
+            .predict_seconds(batch_key)
+            .map(|s| (s * COST_UNITS_PER_SECOND).max(MIN_JOB_COST))
+    }
+
+    /// A tenant's current DRR deficit (test observability).
+    #[cfg(test)]
+    pub(crate) fn deficit_of(&self, tenant: &Arc<str>) -> f64 {
+        self.tenants[tenant].deficit
+    }
+
+    /// The cost the tenant's head job was admitted at (test observability).
+    #[cfg(test)]
+    pub(crate) fn head_cost_of(&self, tenant: &Arc<str>) -> Option<f64> {
+        self.tenants[tenant].queue.front().map(|j| j.cost)
     }
 
     /// Intern a tenant name, creating its queue (under `policy`) on first
@@ -333,23 +457,51 @@ impl FairScheduler {
     }
 
     /// Admit one job into its tenant's queue, keeping the queue cost-ranked
-    /// (descending; FIFO among equal costs — the per-tenant LPT order). The
-    /// cost is floored at [`MIN_JOB_COST`] so zero-cost estimates (failed
-    /// placements, hint-less descriptors) still spend DRR deficit — a
-    /// zero-cost queue must not drain in a single parked visit.
+    /// (descending; FIFO among equal costs — the per-tenant LPT order).
+    ///
+    /// The cost charged against the tenant's deficit is resolved in order of
+    /// trust:
+    ///
+    /// 1. the **cost model's measured prediction** for the job's plan key —
+    ///    a plan with execution history admits at what it actually costs;
+    /// 2. an explicit **`duration_us` cost hint** (`hint_seconds`), which
+    ///    also seeds the model so the first measured outcome refines rather
+    ///    than replaces it;
+    /// 3. the static **placement estimate** (descriptor scheduling weight).
+    ///
+    /// Whatever wins is floored at [`MIN_JOB_COST`] so zero-cost estimates
+    /// (failed placements, hint-less descriptors) still spend DRR deficit —
+    /// a zero-cost queue must not drain in a single parked visit.
     pub(crate) fn admit(
         &mut self,
         tenant: &Arc<str>,
         id: JobId,
         cost: f64,
+        hint_seconds: Option<f64>,
         placement: Option<Placement>,
         batch_key: Option<u64>,
     ) {
+        // A disabled model (alpha ≤ 0) bypasses the whole measured-cost
+        // path, hints included: admissions are pure estimate-unit, exactly
+        // the pre-measured scheduler.
+        let cost = match batch_key.filter(|_| !self.cost_model.is_disabled()) {
+            Some(key) => match self.cost_model.predict_seconds(key) {
+                Some(seconds) => seconds * COST_UNITS_PER_SECOND,
+                None => match hint_seconds {
+                    Some(hint) => {
+                        self.cost_model.seed(key, hint);
+                        hint * COST_UNITS_PER_SECOND
+                    }
+                    None => cost,
+                },
+            },
+            None => cost,
+        }
+        .max(MIN_JOB_COST);
         let queue = self
             .tenants
             .get_mut(tenant)
             .expect("tenant interned before admission");
-        let cost = cost.max(MIN_JOB_COST);
         let job = QueuedJob {
             id,
             cost,
@@ -357,19 +509,112 @@ impl FairScheduler {
             batch_key,
             submitted: Instant::now(),
         };
+        if queue.queue.is_empty() {
+            self.nonempty += 1;
+        }
         // Binary search: the queue is kept sorted by cost descending, and
         // partition_point places equal costs after their peers (stable FIFO),
         // so admitting an N-point sweep costs O(N log N) comparisons instead
         // of O(N^2) — this runs under the scheduler lock workers contend on.
         let at = queue.queue.partition_point(|q| q.cost >= cost);
         queue.queue.insert(at, job);
+        // An admission can only raise the max head cost, so the memoized
+        // quantum is updated in place instead of invalidated.
+        if let Some(quantum) = self.cached_quantum {
+            self.cached_quantum = Some(quantum.max(cost));
+        }
     }
 
-    /// Release the in-flight slot of a finished (or skipped) job.
+    /// Release the in-flight slot of a **skipped** job (lost claim): no
+    /// measurement exists, so neither the cost model nor the deficit is
+    /// touched. Finished jobs go through [`FairScheduler::record_outcome`].
     pub(crate) fn release(&mut self, id: JobId) {
-        if let Some(name) = self.in_flight.remove(&id) {
-            if let Some(tenant) = self.tenants.get_mut(&name) {
+        if let Some(flight) = self.in_flight.remove(&id) {
+            if let Some(tenant) = self.tenants.get_mut(&flight.tenant) {
                 tenant.in_flight = tenant.in_flight.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Reconcile a finished job's **measured** busy-seconds against what its
+    /// dispatch was charged, then release its in-flight slot.
+    ///
+    /// Three things happen, in order:
+    ///
+    /// * the measurement feeds the per-plan-key cost model, so future
+    ///   admissions of this plan are charged what it actually costs;
+    /// * the estimate-error gauges update
+    ///   ([`SchedulerMetrics::cost_samples`] /
+    ///   [`SchedulerMetrics::estimate_error_units`], and the tenant's
+    ///   busy-seconds);
+    /// * **charge-back**: the tenant's deficit is corrected by
+    ///   `measured − estimated` cost units, clamped to
+    ///   `charge_back_clamp × estimated` per job (one wild outlier — a page
+    ///   fault storm, a cold JIT — must not bankrupt a tenant for many
+    ///   rotations; the cost model still absorbs the full observation). Net
+    ///   effect: the tenant ends up having spent its *measured* cost, so a
+    ///   systematic under-estimate can no longer compound into a fairness
+    ///   hole across rotations.
+    ///
+    /// Charge-back only applies while the tenant is **contended** (some
+    /// other tenant has queued work). An uncontended tenant's corrections
+    /// are meaningless — there is nobody to be fair to — and letting them
+    /// accumulate would bank unbounded credit (over-estimated jobs) or debt
+    /// (under-estimated jobs) that distorts fairness the moment a competitor
+    /// arrives, the mirror image of the banked-budget problem deficit resets
+    /// exist to prevent.
+    ///
+    /// `ok` marks whether the job *succeeded*. A failed job's duration is
+    /// failure latency, not execution cost — a member that dies in
+    /// microseconds at bind time must not deflate its plan's EWMA (and
+    /// under-charge every later admission of that key), must not count as
+    /// an accuracy sample, and earns no charge-back refund (fail-fast spam
+    /// at refunded cost would be a monopoly of its own). Failed jobs still
+    /// release their slot and accrue their measured busy-seconds.
+    pub(crate) fn record_outcome(&mut self, id: JobId, seconds: f64, ok: bool) {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return self.release(id);
+        }
+        let Some(flight) = self.in_flight.remove(&id) else {
+            return;
+        };
+        if ok {
+            if let Some(key) = flight.batch_key {
+                self.cost_model.observe(key, seconds);
+                // The observation can reprice any queued head of this plan,
+                // so the memoized quantum is stale. Outcomes arrive at the
+                // same rate as dispatches, so this keeps the rescan
+                // amortized O(1) per job — idle polls still never rescan.
+                self.cached_quantum = None;
+            }
+        }
+        // Floor the measured side at MIN_JOB_COST (expressed in seconds),
+        // exactly as admission floors every charge: without it, sub-floor
+        // jobs would be partially refunded and a fast queue could again
+        // drain in one parked visit — the monopoly the floor exists to
+        // prevent.
+        let measured = MeasuredCost::new(
+            flight.batch_key,
+            flight.cost,
+            seconds.max(MIN_JOB_COST / COST_UNITS_PER_SECOND),
+        );
+        let error = measured.error_units(COST_UNITS_PER_SECOND);
+        if ok {
+            self.metrics.cost_samples += 1;
+            self.metrics.estimate_error_units += error.abs();
+        }
+        let Some(tenant) = self.tenants.get_mut(&flight.tenant) else {
+            return;
+        };
+        tenant.in_flight = tenant.in_flight.saturating_sub(1);
+        tenant.busy_seconds += seconds;
+        let contended = self.nonempty > usize::from(!tenant.queue.is_empty());
+        let clamp = self.charge_back_clamp * flight.cost;
+        if ok && contended && clamp > 0.0 {
+            let delta = error.clamp(-clamp, clamp);
+            if delta != 0.0 {
+                tenant.deficit -= delta;
+                self.metrics.charge_back_units += delta.abs();
             }
         }
     }
@@ -396,6 +641,7 @@ impl FairScheduler {
                         in_flight: t.in_flight as u64,
                         throttled: t.throttled,
                         total_wait_seconds: t.total_wait_seconds,
+                        busy_seconds: t.busy_seconds,
                     },
                 )
             })
@@ -411,17 +657,43 @@ impl FairScheduler {
 
     /// The DRR quantum: the largest *currently queued* head cost (each
     /// tenant's head is its most expensive pending job, so this is the max
-    /// over all queued jobs). Recomputed per dispatch attempt rather than
-    /// kept as a high-water mark: a historically expensive job must not
-    /// permanently inflate every tenant's per-visit budget, or a whale with
-    /// many cheap jobs could serve `old_max_cost` jobs per visit and starve
-    /// small tenants — the exact failure mode this module exists to prevent.
-    fn quantum(&self) -> f64 {
-        self.tenants
+    /// over all queued jobs). Reflects the current queues rather than a
+    /// high-water mark: a historically expensive job must not permanently
+    /// inflate every tenant's per-visit budget, or a whale with many cheap
+    /// jobs could serve `old_max_cost` jobs per visit and starve small
+    /// tenants — the exact failure mode this module exists to prevent.
+    ///
+    /// Memoized: admissions raise the cached value in place; removals and
+    /// cost-model observations (which can reprice any queued head)
+    /// invalidate it. Only the first dispatch attempt after either pays the
+    /// O(tenants) rescan — every idle poll (the hot path all workers execute
+    /// whenever nothing is dispatchable) is O(1).
+    fn quantum(&mut self) -> f64 {
+        if let Some(quantum) = self.cached_quantum {
+            return quantum;
+        }
+        let model = &self.cost_model;
+        let quantum = self
+            .tenants
             .values()
             .filter_map(|t| t.queue.front())
-            .map(|job| job.cost)
-            .fold(1.0, f64::max)
+            .map(|job| effective_cost(model, job))
+            .fold(1.0, f64::max);
+        self.cached_quantum = Some(quantum);
+        quantum
+    }
+
+    /// Remove and return the job at `index` of `name`'s queue, maintaining
+    /// the non-empty-tenant counter and invalidating the memoized quantum —
+    /// the single mutation path for queue removals.
+    fn take_job(&mut self, name: &Arc<str>, index: usize) -> QueuedJob {
+        let tenant = self.tenants.get_mut(name).expect("tenant exists");
+        let job = tenant.queue.remove(index).expect("index in bounds");
+        if tenant.queue.is_empty() {
+            self.nonempty -= 1;
+        }
+        self.cached_quantum = None;
+        job
     }
 
     /// One DRR dispatch attempt, shared by every pool worker.
@@ -479,7 +751,9 @@ impl FairScheduler {
                 false
             };
             if vetoed {
-                tenant.deficit = 0.0;
+                // A vetoed tenant is not competing: forfeit banked credit
+                // (debt from measured-cost charge-back survives).
+                tenant.forfeit_credit();
                 consecutive_vetoes += 1;
                 if consecutive_vetoes >= n {
                     break;
@@ -492,27 +766,42 @@ impl FairScheduler {
                 tenant.deficit += tenant.policy.weight.max(MIN_WEIGHT) * quantum;
                 self.credited = true;
             }
-            let head_cost = tenant.queue.front().expect("non-empty queue").cost;
+            let head_cost = effective_cost(
+                &self.cost_model,
+                tenant.queue.front().expect("non-empty queue"),
+            );
             if tenant.deficit < head_cost {
                 // Blocked by deficit: keep it and move on; the next arrival
                 // credits more.
                 self.advance();
                 continue;
             }
-            let job = tenant.queue.pop_front().expect("non-empty queue");
-            tenant.deficit -= job.cost;
-            if !drain && tenant.policy.rate_limit.is_some() {
+            let spend_token = !drain && tenant.policy.rate_limit.is_some();
+            let job = self.take_job(&name, 0);
+            let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
+            tenant.deficit -= head_cost;
+            if spend_token {
                 tenant.tokens -= 1.0;
             }
             tenant.in_flight += 1;
             tenant.dispatched += 1;
-            tenant.total_wait_seconds += now.duration_since(job.submitted).as_secs_f64();
+            // Saturating: `submitted` stamps are taken under the same lock,
+            // but a caller-supplied stale `now` must clamp a "negative" wait
+            // to zero rather than corrupt the gauge.
+            tenant.total_wait_seconds += now.saturating_duration_since(job.submitted).as_secs_f64();
             self.metrics.dispatched += 1;
-            self.in_flight.insert(job.id, Arc::clone(&name));
-            let rest = self.coalesce(&name, &job, now, drain);
+            self.in_flight.insert(
+                job.id,
+                InFlight {
+                    tenant: Arc::clone(&name),
+                    cost: head_cost,
+                    batch_key: job.batch_key,
+                },
+            );
+            let rest = self.coalesce(&name, &job, drain);
             let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
             if tenant.queue.is_empty() {
-                tenant.deficit = 0.0;
+                tenant.forfeit_credit();
             }
             return SchedPoll::Dispatch(JobDispatch {
                 id: job.id,
@@ -541,14 +830,15 @@ impl FairScheduler {
     /// three cost units per visit where a weight-1 tenant dispatches solo.
     /// An **uncontended** tenant batches up to `max_batch` regardless of
     /// deficit — there is nobody to be fair to — with the deficit clamped at
-    /// zero so no debt leaks into the next contended period.
-    fn coalesce(
-        &mut self,
-        name: &Arc<str>,
-        head: &QueuedJob,
-        now: Instant,
-        drain: bool,
-    ) -> Vec<JobId> {
+    /// zero so no batching debt leaks into the next contended period.
+    ///
+    /// Clock discipline: the caller's `now` is *not* reused here. Member
+    /// token refills and wait-time accounting read a **fresh instant** taken
+    /// after the head's bookkeeping, so a member admitted between the
+    /// caller's clock read and this scan can never observe a `now` older
+    /// than its own `submitted` stamp (its wait would clamp to zero and, in
+    /// older std, panicked), and refill arithmetic never runs backwards.
+    fn coalesce(&mut self, name: &Arc<str>, head: &QueuedJob, drain: bool) -> Vec<JobId> {
         let mut rest = Vec::new();
         let Some(key) = head.batch_key else {
             return rest;
@@ -556,23 +846,28 @@ impl FairScheduler {
         if self.max_batch <= 1 {
             return rest;
         }
-        let contended = self
-            .tenants
-            .iter()
-            .any(|(other, t)| !Arc::ptr_eq(other, name) && !t.queue.is_empty());
+        let now = Instant::now();
+        // O(1) contention check: some *other* tenant has queued work iff the
+        // non-empty count exceeds this tenant's own contribution.
         let tenant = self.tenants.get_mut(name).expect("tenant exists");
+        let contended = self.nonempty > usize::from(!tenant.queue.is_empty());
         let mut idx = 0usize;
         let mut scanned = 0usize;
-        while rest.len() + 1 < self.max_batch
-            && idx < tenant.queue.len()
-            && scanned < MAX_BATCH_SCAN
-        {
+        loop {
+            let tenant = self.tenants.get_mut(name).expect("tenant exists");
+            if rest.len() + 1 >= self.max_batch
+                || idx >= tenant.queue.len()
+                || scanned >= MAX_BATCH_SCAN
+            {
+                break;
+            }
             scanned += 1;
             if tenant.queue[idx].batch_key != Some(key) {
                 idx += 1;
                 continue;
             }
-            if contended && tenant.deficit < tenant.queue[idx].cost {
+            let member_cost = effective_cost(&self.cost_model, &tenant.queue[idx]);
+            if contended && tenant.deficit < member_cost {
                 break;
             }
             if tenant
@@ -589,16 +884,26 @@ impl FairScheduler {
                 }
                 tenant.tokens -= 1.0;
             }
-            let member = tenant.queue.remove(idx).expect("index in bounds");
-            tenant.deficit -= member.cost;
+            let member = self.take_job(name, idx);
+            let tenant = self.tenants.get_mut(name).expect("tenant exists");
+            tenant.deficit -= member_cost;
             if !contended {
                 tenant.deficit = tenant.deficit.max(0.0);
             }
             tenant.in_flight += 1;
             tenant.dispatched += 1;
-            tenant.total_wait_seconds += now.duration_since(member.submitted).as_secs_f64();
+            tenant.total_wait_seconds += now
+                .saturating_duration_since(member.submitted)
+                .as_secs_f64();
             self.metrics.dispatched += 1;
-            self.in_flight.insert(member.id, Arc::clone(name));
+            self.in_flight.insert(
+                member.id,
+                InFlight {
+                    tenant: Arc::clone(name),
+                    cost: member_cost,
+                    batch_key: member.batch_key,
+                },
+            );
             rest.push(member.id);
         }
         if !rest.is_empty() {
@@ -614,7 +919,7 @@ mod tests {
     use super::*;
 
     fn sched_with(policies: &[(&str, TenantPolicy)]) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(8);
+        let mut sched = FairScheduler::new(8, 0.4, 16.0);
         sched.mode = Mode::Running;
         let names = policies
             .iter()
@@ -638,8 +943,8 @@ mod tests {
         ]);
         // a gets jobs 0..4, b gets 10..14, all equal cost.
         for i in 0..4 {
-            sched.admit(&names[0], JobId(i), 1.0, None, None);
-            sched.admit(&names[1], JobId(10 + i), 1.0, None, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None, None);
+            sched.admit(&names[1], JobId(10 + i), 1.0, None, None, None);
         }
         let now = Instant::now();
         let mut order = Vec::new();
@@ -662,9 +967,9 @@ mod tests {
             ("minnow", TenantPolicy::default()),
         ]);
         for i in 0..100 {
-            sched.admit(&names[0], JobId(i), 5.0, None, None);
+            sched.admit(&names[0], JobId(i), 5.0, None, None, None);
         }
-        sched.admit(&names[1], JobId(1000), 5.0, None, None);
+        sched.admit(&names[1], JobId(1000), 5.0, None, None, None);
         let now = Instant::now();
         let mut dispatched_before_minnow = 0;
         loop {
@@ -692,8 +997,8 @@ mod tests {
             ("light", TenantPolicy::default()),
         ]);
         for i in 0..60 {
-            sched.admit(&names[0], JobId(i), 1.0, None, None);
-            sched.admit(&names[1], JobId(100 + i), 1.0, None, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None, None);
+            sched.admit(&names[1], JobId(100 + i), 1.0, None, None, None);
         }
         let now = Instant::now();
         let mut heavy_in_first_40 = 0;
@@ -719,8 +1024,8 @@ mod tests {
     fn in_flight_cap_blocks_further_dispatches() {
         let (mut sched, names) =
             sched_with(&[("capped", TenantPolicy::default().with_max_in_flight(1))]);
-        sched.admit(&names[0], JobId(0), 1.0, None, None);
-        sched.admit(&names[0], JobId(1), 1.0, None, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        sched.admit(&names[0], JobId(1), 1.0, None, None, None);
         let now = Instant::now();
         let SchedPoll::Dispatch(first) = sched.next_job(now) else {
             panic!("expected dispatch");
@@ -744,7 +1049,7 @@ mod tests {
             }),
         )]);
         for i in 0..5 {
-            sched.admit(&names[0], JobId(i), 1.0, None, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None, None);
         }
         let now = Instant::now();
         for _ in 0..2 {
@@ -763,7 +1068,7 @@ mod tests {
     #[test]
     fn drain_shuts_down_only_when_empty_and_nothing_in_flight() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
         sched.mode = Mode::Draining;
         let now = Instant::now();
         let SchedPoll::Dispatch(dispatch) = sched.next_job(now) else {
@@ -778,7 +1083,7 @@ mod tests {
     #[test]
     fn abort_stops_dispatching_immediately() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
         sched.mode = Mode::Aborting;
         assert!(matches!(
             sched.next_job(Instant::now()),
@@ -800,16 +1105,16 @@ mod tests {
             ("minnow", TenantPolicy::default()),
         ]);
         let now = Instant::now();
-        sched.admit(&names[0], JobId(9999), 500.0, None, None);
+        sched.admit(&names[0], JobId(9999), 500.0, None, None, None);
         let SchedPoll::Dispatch(big) = sched.next_job(now) else {
             panic!("expected dispatch");
         };
         sched.release(big.id);
 
         for i in 0..300 {
-            sched.admit(&names[0], JobId(i), 1.0, None, None);
+            sched.admit(&names[0], JobId(i), 1.0, None, None, None);
         }
-        sched.admit(&names[1], JobId(1000), 1.0, None, None);
+        sched.admit(&names[1], JobId(1000), 1.0, None, None, None);
         let mut whale_before_minnow = 0;
         loop {
             match sched.next_job(now) {
@@ -841,8 +1146,8 @@ mod tests {
             ("normal", TenantPolicy::default()),
         ]);
         for i in 0..6 {
-            sched.admit(&names[0], JobId(i), 0.0, None, None);
-            sched.admit(&names[1], JobId(100 + i), 1.0, None, None);
+            sched.admit(&names[0], JobId(i), 0.0, None, None, None);
+            sched.admit(&names[1], JobId(100 + i), 1.0, None, None, None);
         }
         let now = Instant::now();
         let mut order = Vec::new();
@@ -865,7 +1170,7 @@ mod tests {
         // coalesce into micro-batches of max_batch regardless of deficit.
         let (mut sched, names) = sched_with(&[("solo", TenantPolicy::default())]);
         for i in 0..10 {
-            sched.admit(&names[0], JobId(i), 1.0, None, Some(42));
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(42));
         }
         let now = Instant::now();
         let SchedPoll::Dispatch(first) = sched.next_job(now) else {
@@ -901,10 +1206,10 @@ mod tests {
             ("light", TenantPolicy::default()),
         ]);
         for i in 0..9 {
-            sched.admit(&names[0], JobId(i), 1.0, None, Some(1));
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(1));
         }
         for i in 0..3 {
-            sched.admit(&names[1], JobId(100 + i), 1.0, None, Some(2));
+            sched.admit(&names[1], JobId(100 + i), 1.0, None, None, Some(2));
         }
         let now = Instant::now();
         let SchedPoll::Dispatch(heavy) = sched.next_job(now) else {
@@ -922,9 +1227,9 @@ mod tests {
     #[test]
     fn different_batch_keys_never_coalesce() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None, Some(7));
-        sched.admit(&names[0], JobId(1), 1.0, None, Some(8));
-        sched.admit(&names[0], JobId(2), 1.0, None, Some(7));
+        sched.admit(&names[0], JobId(0), 1.0, None, None, Some(7));
+        sched.admit(&names[0], JobId(1), 1.0, None, None, Some(8));
+        sched.admit(&names[0], JobId(2), 1.0, None, None, Some(7));
         let now = Instant::now();
         let SchedPoll::Dispatch(first) = sched.next_job(now) else {
             panic!("expected dispatch");
@@ -949,7 +1254,7 @@ mod tests {
             }),
         )]);
         for i in 0..6 {
-            sched.admit(&names[0], JobId(i), 1.0, None, Some(5));
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(5));
         }
         let now = Instant::now();
         let SchedPoll::Dispatch(burst) = sched.next_job(now) else {
@@ -964,7 +1269,7 @@ mod tests {
         let (mut sched, names) =
             sched_with(&[("capped", TenantPolicy::default().with_max_in_flight(2))]);
         for i in 0..6 {
-            sched.admit(&names[0], JobId(i), 1.0, None, Some(5));
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(5));
         }
         let now = Instant::now();
         let SchedPoll::Dispatch(first) = sched.next_job(now) else {
@@ -976,12 +1281,433 @@ mod tests {
         assert!(matches!(sched.next_job(now), SchedPoll::Dispatch(_)));
     }
 
+    /// Drive a two-tenant scheduler where tenant `under`'s jobs are admitted
+    /// at 10×-too-low estimates while tenant `exact`'s are accurate; both
+    /// actually run for `real_seconds`. Feedback (measured outcomes) is
+    /// delivered `feedback_lag` dispatches late, simulating pipelined
+    /// workers. Returns the per-tenant busy-seconds after `dispatches` jobs.
+    fn drive_mis_estimated(
+        sched: &mut FairScheduler,
+        real_seconds: f64,
+        feedback_lag: usize,
+        dispatches: usize,
+    ) -> (f64, f64) {
+        let now = Instant::now();
+        let mut pending: VecDeque<JobId> = VecDeque::new();
+        let mut busy = [0.0f64; 2];
+        for _ in 0..dispatches {
+            let SchedPoll::Dispatch(dispatch) = sched.next_job(now) else {
+                panic!("queues are deep enough to keep dispatching");
+            };
+            assert_eq!(dispatch.len(), 1, "keyless jobs dispatch solo");
+            busy[(dispatch.id.0 / 1000) as usize] += real_seconds;
+            pending.push_back(dispatch.id);
+            while pending.len() > feedback_lag {
+                let id = pending.pop_front().expect("non-empty");
+                sched.record_outcome(id, real_seconds, true);
+            }
+        }
+        (busy[0], busy[1])
+    }
+
+    fn mis_estimated_sched(charge_back_clamp: f64) -> (FairScheduler, Vec<Arc<str>>) {
+        let mut sched = FairScheduler::new(1, 0.4, charge_back_clamp);
+        sched.mode = Mode::Running;
+        let names: Vec<Arc<str>> = [("under", ()), ("exact", ())]
+            .iter()
+            .map(|(name, _)| sched.intern(name, &TenantPolicy::default()))
+            .collect();
+        // Every job really costs 10 ms (= 10 cost units). `under`'s jobs are
+        // hint-less (floored at MIN_JOB_COST = 1.0, a 10× under-estimate);
+        // `exact`'s are admitted at their true cost.
+        for i in 0..400 {
+            sched.admit(&names[0], JobId(i), 0.0, None, None, None);
+            sched.admit(&names[1], JobId(1000 + i), 10.0, None, None, None);
+        }
+        (sched, names)
+    }
+
+    #[test]
+    fn under_estimated_tenant_monopolizes_without_charge_back() {
+        // The regression this PR fixes: with charge-back disabled (clamp 0,
+        // the old estimate-unit scheduler), a tenant whose jobs are 10×
+        // under-estimated receives ~10× its fair share of busy-seconds at
+        // equal weight.
+        let (mut sched, _names) = mis_estimated_sched(0.0);
+        let (under, exact) = drive_mis_estimated(&mut sched, 0.010, 0, 220);
+        assert!(
+            under / exact > 5.0,
+            "without charge-back the mis-estimated tenant must dominate \
+             (got {under:.3}s vs {exact:.3}s)"
+        );
+    }
+
+    #[test]
+    fn charge_back_converges_busy_seconds_to_the_weight_ratio() {
+        // With measured-cost charge-back, equal weights mean equal
+        // busy-seconds even though one tenant's estimates are 10× too low:
+        // the ratio must land within 25% of the 1:1 weight ratio.
+        let (mut sched, _names) = mis_estimated_sched(16.0);
+        let (under, exact) = drive_mis_estimated(&mut sched, 0.010, 0, 220);
+        let ratio = under / exact;
+        assert!(
+            (0.75..=1.25).contains(&ratio),
+            "busy-seconds ratio {ratio:.3} outside the 25% band \
+             ({under:.3}s vs {exact:.3}s)"
+        );
+    }
+
+    #[test]
+    fn charge_back_converges_with_pipelined_feedback() {
+        // Outcomes land 4 dispatches late (workers execute while the
+        // scheduler keeps dispatching); the correction still converges.
+        let (mut sched, _names) = mis_estimated_sched(16.0);
+        let (under, exact) = drive_mis_estimated(&mut sched, 0.010, 4, 220);
+        let ratio = under / exact;
+        assert!(
+            (0.75..=1.25).contains(&ratio),
+            "busy-seconds ratio {ratio:.3} outside the 25% band under \
+             delayed feedback ({under:.3}s vs {exact:.3}s)"
+        );
+    }
+
+    #[test]
+    fn measured_outcomes_reprice_later_admissions() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, Some(5));
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        sched.record_outcome(first.id, 0.020, true);
+        // The model learned 20 ms for plan key 5: the next admission of the
+        // same plan is charged 20 cost units no matter what it estimates.
+        assert_eq!(sched.predicted_cost(5), Some(20.0));
+        sched.admit(&names[0], JobId(1), 1.0, None, None, Some(5));
+        assert_eq!(sched.head_cost_of(&names[0]), Some(20.0));
+        // A different plan key is untouched.
+        sched.admit(&names[0], JobId(2), 3.0, None, None, Some(6));
+        assert_eq!(sched.predicted_cost(6), None);
+        assert_eq!(sched.metrics.cost_samples, 1);
+        assert!(sched.metrics.estimate_error_units > 18.9);
+        assert!(sched.metrics.mean_abs_estimate_error() > 18.9);
+    }
+
+    #[test]
+    fn measurements_reprice_already_queued_jobs_and_the_quantum() {
+        // Jobs queued at a wild over-estimate are repriced the moment their
+        // plan is measured: subsequent dispatches spend measured units and
+        // the quantum deflates with them, so visit bursts shrink from
+        // guess scale to measured scale without an O(queue) reprice pass.
+        let (mut sched, names) = sched_with(&[
+            ("a", TenantPolicy::default()),
+            ("b", TenantPolicy::default()),
+        ]);
+        // Both tenants run the *same* plan (one key), guessed at 80 units.
+        for i in 0..4 {
+            sched.admit(&names[0], JobId(i), 80.0, None, None, Some(1));
+            sched.admit(&names[1], JobId(100 + i), 80.0, None, None, Some(1));
+        }
+        assert_eq!(sched.quantum(), 80.0);
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.len(), 1, "no deficit left for 80-unit members");
+        // The measurement says 2 ms (= 2 units): every queued job of the
+        // plan is repriced at once, quantum included.
+        sched.record_outcome(first.id, 0.002, true);
+        let quantum = sched.quantum();
+        assert!(
+            (quantum - 2.0).abs() < 1e-9,
+            "queued heads must be repriced by the model, quantum {quantum}"
+        );
+        // The next dispatch spends measured units: the charge-back refund
+        // (~78) now covers tenant a's three remaining jobs at 2 units each —
+        // at the stale 80-unit guess it would not cover even one member.
+        let SchedPoll::Dispatch(second) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(
+            second.len(),
+            3,
+            "repriced members coalesce within the refunded deficit"
+        );
+    }
+
+    #[test]
+    fn duration_hints_seed_the_model_and_price_admission() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        // An explicit 5 ms duration hint prices the job at 5 cost units and
+        // seeds the model (samples = 0: a prior, not a measurement).
+        sched.admit(&names[0], JobId(0), 80.0, Some(0.005), None, Some(9));
+        assert_eq!(sched.head_cost_of(&names[0]), Some(5.0));
+        assert_eq!(sched.predicted_cost(9), Some(5.0));
+        // Once a real measurement lands it blends with (not replaces) the
+        // hinted prior, and later hints no longer matter.
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        sched.record_outcome(first.id, 0.015, true);
+        let repriced = sched.predicted_cost(9).expect("model has the key");
+        assert!(
+            repriced > 5.0 && repriced < 15.0,
+            "EWMA blends prior and measurement, got {repriced}"
+        );
+        sched.admit(&names[0], JobId(1), 80.0, Some(0.005), None, Some(9));
+        assert_eq!(sched.head_cost_of(&names[0]), Some(repriced));
+    }
+
+    #[test]
+    fn charge_back_is_clamped_per_job() {
+        let (mut sched, names) = sched_with(&[
+            ("outlier", TenantPolicy::default()),
+            ("other", TenantPolicy::default()),
+        ]);
+        // Keep "other" queued so the outlier tenant is contended (charge-back
+        // only applies under contention).
+        sched.admit(&names[1], JobId(100), 1.0, None, None, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        let before = sched.deficit_of(&names[0]);
+        // A pathological 1-second (1000 cost units) outlier against a 1-unit
+        // estimate: the correction is clamped at 16 × 1 = 16 units, not 999.
+        sched.record_outcome(first.id, 1.0, true);
+        let after = sched.deficit_of(&names[0]);
+        assert!(
+            (before - after - 16.0).abs() < 1e-9,
+            "clamped charge-back expected 16 units, got {}",
+            before - after
+        );
+        // The full observation still reaches the error gauges and the
+        // charge-back total records the post-clamp magnitude.
+        assert!(sched.metrics.estimate_error_units > 990.0);
+        assert!((sched.metrics.charge_back_units - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncontended_outcomes_do_not_bank_credit_or_debt() {
+        // A tenant running alone has nobody to be fair to: over-estimated
+        // outcomes must not bank credit that would starve a late-arriving
+        // competitor (and under-estimated ones must not bank debt).
+        let (mut sched, names) = sched_with(&[("solo", TenantPolicy::default())]);
+        for i in 0..4 {
+            sched.admit(&names[0], JobId(i), 50.0, None, None, None);
+        }
+        let now = Instant::now();
+        for _ in 0..4 {
+            let SchedPoll::Dispatch(d) = sched.next_job(now) else {
+                panic!("expected dispatch");
+            };
+            // Massively over-estimated: measured 1 ms against a 50-unit
+            // charge would refund ~49 units per job if banked.
+            sched.record_outcome(d.id, 0.001, true);
+        }
+        assert!(
+            sched.deficit_of(&names[0]) <= 50.0 + 1e-9,
+            "uncontended refunds must not bank deficit credit, got {}",
+            sched.deficit_of(&names[0])
+        );
+        assert_eq!(sched.metrics.charge_back_units, 0.0);
+    }
+
+    #[test]
+    fn debt_survives_vetoes_but_credit_does_not() {
+        let (mut sched, names) = sched_with(&[
+            ("debtor", TenantPolicy::default()),
+            ("other", TenantPolicy::default()),
+        ]);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        sched.admit(&names[1], JobId(100), 1.0, None, None, None);
+        sched.admit(&names[1], JobId(101), 1.0, None, None, None);
+        let now = Instant::now();
+        // Dispatch the debtor's only job and measure it 10× its estimate:
+        // the debtor now owes ~9 units.
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.id, JobId(0));
+        sched.record_outcome(first.id, 0.010, true);
+        let debt = sched.deficit_of(&names[0]);
+        assert!(debt < -8.0, "expected ~-9 debt, got {debt}");
+        // The debtor's queue is now empty: its next visit vetoes it. The
+        // veto must forfeit credit only — the debt stays on the books.
+        while let SchedPoll::Dispatch(d) = sched.next_job(now) {
+            sched.release(d.id);
+        }
+        assert!(
+            sched.deficit_of(&names[0]) < -8.0,
+            "veto must not forgive measured-cost debt, got {}",
+            sched.deficit_of(&names[0])
+        );
+    }
+
+    #[test]
+    fn failed_outcomes_do_not_feed_the_model_or_earn_refunds() {
+        let (mut sched, names) = sched_with(&[
+            ("flaky", TenantPolicy::default()),
+            ("other", TenantPolicy::default()),
+        ]);
+        // Contention, so a refund would apply if failures earned one.
+        sched.admit(&names[1], JobId(100), 1.0, None, None, None);
+        sched.admit(&names[0], JobId(0), 50.0, None, None, Some(4));
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.id, JobId(0));
+        let before = sched.deficit_of(&names[0]);
+        // The job dies at bind time after 1 µs: failure latency, not cost.
+        sched.record_outcome(first.id, 1e-6, false);
+        assert_eq!(
+            sched.predicted_cost(4),
+            None,
+            "failure latency must not become the plan's cost estimate"
+        );
+        assert_eq!(sched.metrics.cost_samples, 0);
+        assert_eq!(
+            sched.deficit_of(&names[0]),
+            before,
+            "a fast failure earns no charge-back refund"
+        );
+        let (_, gauges) = &sched.gauges()[0];
+        assert!(
+            gauges.busy_seconds > 0.0,
+            "the slot and wall-clock were real"
+        );
+        assert_eq!(sched.in_flight(), 0, "the slot is released");
+    }
+
+    #[test]
+    fn disabled_model_ignores_duration_hints_too() {
+        // alpha <= 0 must restore *pure* estimate-unit admission: hints are
+        // part of the measured-cost path and must not reprice either.
+        let mut sched = FairScheduler::new(8, 0.0, 16.0);
+        sched.mode = Mode::Running;
+        let name = sched.intern("t", &TenantPolicy::default());
+        sched.admit(&name, JobId(0), 40.0, Some(0.005), None, Some(9));
+        assert_eq!(sched.head_cost_of(&name), Some(40.0));
+        assert_eq!(sched.predicted_cost(9), None, "no hint seeding either");
+    }
+
+    #[test]
+    fn stale_now_cannot_rewind_the_refill_clock() {
+        use std::time::Duration;
+        let (mut sched, names) = sched_with(&[(
+            "limited",
+            TenantPolicy::default().with_rate_limit(RateLimit {
+                jobs_per_second: 500.0,
+                burst: 2.0,
+            }),
+        )]);
+        for i in 0..8 {
+            sched.admit(&names[0], JobId(i), 1.0, None, None, None);
+        }
+        let t0 = Instant::now();
+        // Burst of 2, then one refilled token 2 ms later: 3 dispatches.
+        for _ in 0..2 {
+            let SchedPoll::Dispatch(d) = sched.next_job(t0) else {
+                panic!("burst tokens should dispatch");
+            };
+            sched.release(d.id);
+        }
+        let t1 = t0 + Duration::from_millis(2);
+        let SchedPoll::Dispatch(d) = sched.next_job(t1) else {
+            panic!("one refilled token at t0+2ms");
+        };
+        sched.release(d.id);
+        // A stale clock read (a worker that captured `now` before the t1
+        // refill was serialized ahead of it) must be a no-op: it must not
+        // rewind `last_refill` to t0 and double-credit the 0..2 ms interval.
+        assert!(matches!(sched.next_job(t0), SchedPoll::Idle));
+        let t2 = t0 + Duration::from_millis(4);
+        let SchedPoll::Dispatch(d) = sched.next_job(t2) else {
+            panic!("exactly one more token by t0+4ms");
+        };
+        sched.release(d.id);
+        assert!(
+            matches!(sched.next_job(t2), SchedPoll::Idle),
+            "double-refill: the 0..2ms interval was credited twice"
+        );
+    }
+
+    #[test]
+    fn stale_now_clamps_wait_accounting_to_zero() {
+        use std::time::Duration;
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        let past = Instant::now() - Duration::from_secs(5);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        let SchedPoll::Dispatch(d) = sched.next_job(past) else {
+            panic!("expected dispatch");
+        };
+        sched.release(d.id);
+        let (_, gauges) = &sched.gauges()[0];
+        assert!(
+            gauges.total_wait_seconds >= 0.0 && gauges.total_wait_seconds < 1.0,
+            "a stale now must clamp the wait to zero, got {}",
+            gauges.total_wait_seconds
+        );
+    }
+
+    #[test]
+    fn memoized_quantum_matches_a_brute_force_rescan() {
+        fn brute_force(sched: &FairScheduler) -> f64 {
+            sched
+                .tenants
+                .values()
+                .filter_map(|t| t.queue.front())
+                .map(|job| job.cost)
+                .fold(1.0, f64::max)
+        }
+        let (mut sched, names) = sched_with(&[
+            ("a", TenantPolicy::default()),
+            ("b", TenantPolicy::default()),
+        ]);
+        let now = Instant::now();
+        let costs = [5.0, 120.0, 1.0, 60.0, 3.0, 250.0, 9.0];
+        for (i, cost) in costs.iter().enumerate() {
+            sched.admit(&names[i % 2], JobId(i as u64), *cost, None, None, None);
+            assert_eq!(sched.quantum(), brute_force(&sched), "after admit {i}");
+        }
+        // Drain, checking the memo against the rescan after every pop (the
+        // 250-cost head leaving must deflate the quantum, not linger as a
+        // high-water mark).
+        while let SchedPoll::Dispatch(d) = sched.next_job(now) {
+            sched.release(d.id);
+            assert_eq!(sched.quantum(), brute_force(&sched), "after a pop");
+        }
+        assert_eq!(sched.quantum(), 1.0, "empty queues fall back to 1.0");
+    }
+
+    #[test]
+    fn interned_but_empty_tenants_do_not_count_as_contention() {
+        // The O(1) non-empty counter must mirror "has queued work", not
+        // "exists": a second tenant with an empty queue leaves the first
+        // uncontended, which batches to the cap regardless of deficit.
+        let (mut sched, names) = sched_with(&[
+            ("busy", TenantPolicy::default()),
+            ("idle", TenantPolicy::default()),
+        ]);
+        let _ = &names[1];
+        for i in 0..8 {
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(3));
+        }
+        let SchedPoll::Dispatch(first) = sched.next_job(Instant::now()) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.len(), 8, "an interned-but-empty tenant is nobody");
+    }
+
     #[test]
     fn cost_ranked_within_a_tenant() {
         let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
-        sched.admit(&names[0], JobId(0), 1.0, None, None);
-        sched.admit(&names[0], JobId(1), 9.0, None, None);
-        sched.admit(&names[0], JobId(2), 4.0, None, None);
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        sched.admit(&names[0], JobId(1), 9.0, None, None, None);
+        sched.admit(&names[0], JobId(2), 4.0, None, None, None);
         let now = Instant::now();
         let mut order = Vec::new();
         while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {

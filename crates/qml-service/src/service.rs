@@ -37,12 +37,32 @@ pub struct ServiceConfig {
     pub default_policy: TenantPolicy,
     /// Per-tenant policy overrides (weight, in-flight cap, rate limit).
     pub tenant_policies: BTreeMap<String, TenantPolicy>,
+    /// EWMA smoothing factor of the online cost model (weight of the newest
+    /// measured busy-seconds observation per plan key); `≤ 0.0` disables the
+    /// model entirely, restoring pure estimate-unit admission. See
+    /// [`CostModel::new`](crate::cost_model::CostModel::new). Default
+    /// [`DEFAULT_COST_EWMA_ALPHA`](crate::cost_model::DEFAULT_COST_EWMA_ALPHA).
+    pub cost_ewma_alpha: f64,
+    /// Per-job bound on the measured-cost deficit charge-back, as a multiple
+    /// of the job's charged cost: a single outcome may correct the tenant's
+    /// deficit by at most `charge_back_clamp × estimated` cost units in
+    /// either direction, so one wild outlier (page-fault storm, cold cache
+    /// stampede) cannot bankrupt a tenant for many rotations. `≤ 0` disables
+    /// charge-back (estimate-unit fairness, the pre-measured behavior).
+    /// Default [`DEFAULT_CHARGE_BACK_CLAMP`].
+    pub charge_back_clamp: f64,
 }
 
 /// Default [`ServiceConfig::max_batch`]: large enough that sweep traffic
 /// amortizes dispatch and realization overhead, small enough that a batch
 /// does not serialize a whole sweep onto one worker of a small pool.
 pub const DEFAULT_MAX_BATCH: usize = 8;
+
+/// Default [`ServiceConfig::charge_back_clamp`]: generous enough that a
+/// genuine 10×-under-estimated job is charged back in full (correction
+/// ≤ 16 × estimate covers it), tight enough that a 1000× outlier is
+/// amortized over the cost model instead of the deficit ledger.
+pub const DEFAULT_CHARGE_BACK_CLAMP: f64 = 16.0;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -63,6 +83,8 @@ impl ServiceConfig {
             max_batch: DEFAULT_MAX_BATCH,
             default_policy: TenantPolicy::default(),
             tenant_policies: BTreeMap::new(),
+            cost_ewma_alpha: crate::cost_model::DEFAULT_COST_EWMA_ALPHA,
+            charge_back_clamp: DEFAULT_CHARGE_BACK_CLAMP,
         }
     }
 
@@ -70,6 +92,20 @@ impl ServiceConfig {
     /// are treated as 1.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Set the cost model's EWMA smoothing factor, builder-style (see
+    /// [`ServiceConfig::cost_ewma_alpha`]).
+    pub fn with_cost_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.cost_ewma_alpha = alpha;
+        self
+    }
+
+    /// Set (or, with `0.0`, disable) the per-job charge-back clamp,
+    /// builder-style (see [`ServiceConfig::charge_back_clamp`]).
+    pub fn with_charge_back_clamp(mut self, clamp: f64) -> Self {
+        self.charge_back_clamp = clamp;
         self
     }
 
@@ -124,11 +160,14 @@ struct ServiceInner {
 }
 
 impl ServiceInner {
-    /// Fold one finished job into the service metrics, then release its
-    /// in-flight slot. Called from pool workers as jobs complete (the locks
-    /// are taken sequentially, never nested). Order matters: the state fold
-    /// happens *before* the scheduler release, so once `wait_idle` observes
-    /// quiescence every finished job is already visible in `metrics()`.
+    /// Fold one finished job into the service metrics, then reconcile its
+    /// measured duration with the fair scheduler
+    /// ([`FairScheduler::record_outcome`]: cost-model update + deficit
+    /// charge-back) and release its in-flight slot. Called from pool workers
+    /// as jobs complete (the locks are taken sequentially, never nested).
+    /// Order matters: the state fold happens *before* the scheduler release,
+    /// so once `wait_idle` observes quiescence every finished job is already
+    /// visible in `metrics()`.
     fn record_outcome(&self, outcome: &JobOutcome, counters: &PoolCounters) {
         counters.jobs.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock();
@@ -157,7 +196,11 @@ impl ServiceInner {
             }
         }
         drop(state);
-        self.sched.lock().release(outcome.id);
+        self.sched.lock().record_outcome(
+            outcome.id,
+            outcome.duration.as_secs_f64(),
+            outcome.result.is_ok(),
+        );
     }
 }
 
@@ -271,7 +314,11 @@ impl QmlService {
     /// A service over a caller-provided runtime (custom backends, shared
     /// cache, ...).
     pub fn with_runtime(runtime: Runtime, config: ServiceConfig) -> Self {
-        let sched = FairScheduler::new(config.max_batch);
+        let sched = FairScheduler::new(
+            config.max_batch,
+            config.cost_ewma_alpha,
+            config.charge_back_clamp,
+        );
         QmlService {
             inner: Arc::new(ServiceInner {
                 runtime: Arc::new(runtime),
@@ -327,8 +374,12 @@ impl QmlService {
                 hash = fnv1a64_update(hash, &key.to_le_bytes());
                 Some(hash)
             });
+            // An explicit `duration_us` cost hint is the submitter's own
+            // wall-clock claim: it seeds the measured-cost model (and prices
+            // this admission) until real measurements take over.
+            let hint_seconds = hint_seconds(&bundle);
             let id = self.inner.runtime.submit(bundle)?;
-            jobs.push((id, cost, placement, batch_key));
+            jobs.push((id, cost, hint_seconds, placement, batch_key));
         }
         // Record batch/tenant bookkeeping *before* admitting anything to the
         // fair scheduler: a running pool may dispatch and finish a job the
@@ -359,8 +410,8 @@ impl QmlService {
             id
         };
         let mut sched = self.inner.sched.lock();
-        for (id, cost, placement, batch_key) in jobs {
-            sched.admit(&tenant, id, cost, placement, batch_key);
+        for (id, cost, hint_seconds, placement, batch_key) in jobs {
+            sched.admit(&tenant, id, cost, hint_seconds, placement, batch_key);
         }
         Ok(batch)
     }
@@ -492,6 +543,7 @@ impl QmlService {
             stats.in_flight = gauge.in_flight;
             stats.throttled = gauge.throttled;
             stats.total_wait_seconds = gauge.total_wait_seconds;
+            stats.busy_seconds = gauge.busy_seconds;
         }
         ServiceMetrics {
             jobs_submitted: state.jobs_submitted,
@@ -524,6 +576,22 @@ impl QmlService {
             .get(&batch)
             .map(|b| Arc::clone(&b.tenant))
     }
+}
+
+/// The bundle's explicit wall-clock claim, if any: its operators' cost
+/// hints folded with [`CostHint::saturating_add`], whose duration survives
+/// only when **every** operator carries one — the aggregate never
+/// over-claims precision, so a lone hinted operator among unhinted ones
+/// cannot price (and seed the cost model for) the whole bundle.
+///
+/// [`CostHint::saturating_add`]: qml_types::CostHint::saturating_add
+fn hint_seconds(bundle: &JobBundle) -> Option<f64> {
+    let total = bundle
+        .operators
+        .iter()
+        .map(|op| op.cost_hint.unwrap_or_default())
+        .reduce(|a, b| a.saturating_add(&b))?;
+    total.duration_us.map(|us| us / 1e6)
 }
 
 /// Control handle for a running streaming pool (returned by

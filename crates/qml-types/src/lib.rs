@@ -67,7 +67,7 @@ pub use bundle::{JobBundle, JOB_SCHEMA};
 pub use context::{
     AnnealConfig, ContextDescriptor, ExecConfig, ExecOptions, QecConfig, Target, CTX_SCHEMA,
 };
-pub use cost::CostHint;
+pub use cost::{CostHint, MeasuredCost};
 pub use decode::{bools_to_spins, decode_word, DecodedCounts, DecodedValue};
 pub use encoding::{BitOrder, EncodingKind, MeasurementSemantics, PhaseScale};
 pub use error::{QmlError, Result};
