@@ -1,0 +1,73 @@
+//! Stage-tracing overhead on the dispatch-heavy path: the same cold-cache
+//! sweep drained with tracing disabled (the `NoopTracer` fast path — a
+//! single inlined boolean load per hook, the exact pre-tracing pipeline)
+//! and with the bounded ring tracer retaining every stage event.
+//!
+//! Run with: `cargo bench -p qml-bench --bench trace_overhead`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qml_core::prelude::*;
+use qml_core::types::{ContextDescriptor, ExecConfig, Target};
+use qml_service::{QmlService, ServiceConfig, SweepRequest};
+
+const NODES: usize = 12;
+const POINTS: u64 = 16;
+
+fn context(seed: u64) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(32)
+            .with_seed(seed)
+            .with_target(Target::linear(NODES))
+            .with_optimization_level(2),
+    )
+}
+
+fn template() -> JobBundle {
+    qaoa_maxcut_program(
+        &qml_core::graph::cycle(NODES),
+        &QaoaSchedule::Fixed(vec![RING_P1_ANGLES; 2]),
+    )
+    .expect("valid QAOA bundle")
+}
+
+/// Submit + drain the grid on a fresh service. Returns jobs/second and the
+/// number of trace events retained.
+fn run(tracing: bool) -> (f64, u64) {
+    let service = QmlService::with_config(ServiceConfig::with_workers(2).with_tracing(tracing));
+    let mut sweep = SweepRequest::new("restarts", template());
+    for seed in 0..POINTS {
+        sweep = sweep.with_context(context(seed));
+    }
+    service
+        .submit_sweep("bench", sweep)
+        .expect("sweep accepted");
+    let report = service.run_pending();
+    assert_eq!(report.failed, 0);
+    (report.jobs_per_second, service.trace_stats().recorded)
+}
+
+fn bench(c: &mut Criterion) {
+    // Headline numbers outside the harness. No assert on the ratio: a
+    // single-CPU CI box is too noisy for a hard threshold; the committed
+    // trajectory artifact (BENCH_dispatch.json) records the measured value.
+    let (off_jps, off_events) = run(false);
+    let (on_jps, on_events) = run(true);
+    println!(
+        "[trace] {POINTS}-job cold sweep: tracing off {off_jps:.0} jobs/s \
+         ({off_events} events) vs on {on_jps:.0} jobs/s ({on_events} events), \
+         overhead {:+.1}%",
+        (off_jps - on_jps) / off_jps * 100.0
+    );
+    assert_eq!(off_events, 0, "NoopTracer must retain nothing");
+    assert!(on_events > 0, "ring tracer must retain stage events");
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.bench_function("grid16_tracing_off", |b| b.iter(|| run(false)));
+    group.bench_function("grid16_tracing_on", |b| b.iter(|| run(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! `perf_trajectory` — record the streaming service's measured performance
+//! as machine-readable JSON artifacts at the repository root:
+//!
+//! * `BENCH_sweep.json` — cold-cache vs warm-cache sweep throughput (the
+//!   realization-cache amortization story);
+//! * `BENCH_dispatch.json` — micro-batched vs sequential dispatch
+//!   throughput, stage-tracing overhead (tracing off — the `NoopTracer`
+//!   fast path — vs the bounded ring tracer), and the cost model's mean
+//!   absolute estimate error.
+//!
+//! Committing the files makes the perf trajectory diffable PR over PR.
+//! Numbers are best-of-N wall-clock measurements on whatever machine runs
+//! them, so compare shapes and ratios, not absolute values, across hosts.
+//!
+//! Run with: `cargo run --release -p qml-bench --bin perf_trajectory`
+//! (append `-- --quick` for a fast low-repetition pass).
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use qml_core::graph::cycle;
+use qml_core::prelude::*;
+use qml_core::types::{ContextDescriptor, ExecConfig, Target};
+use qml_service::{QmlService, ServiceConfig, SweepRequest};
+
+/// 12-node ring QAOA routed onto a linear coupling map at optimization
+/// level 2: the shared realization is genuinely expensive, so cold-vs-warm
+/// and batched-vs-solo differences are signal, not noise.
+const NODES: usize = 12;
+const LAYERS: usize = 2;
+const SAMPLES: u64 = 32;
+
+fn context(seed: u64) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(SAMPLES)
+            .with_seed(seed)
+            .with_target(Target::linear(NODES))
+            .with_optimization_level(2),
+    )
+}
+
+fn template() -> JobBundle {
+    qaoa_maxcut_program(
+        &cycle(NODES),
+        &QaoaSchedule::Fixed(vec![RING_P1_ANGLES; LAYERS]),
+    )
+    .expect("valid QAOA bundle")
+}
+
+/// Submit one `points`-job seeded sweep and drain it; seeds are offset so
+/// repeated warm runs submit distinct jobs that still share the one plan.
+fn drain_sweep(service: &QmlService, points: u64, seed_base: u64) -> f64 {
+    let mut sweep = SweepRequest::new("grid", template());
+    for seed in 0..points {
+        sweep = sweep.with_context(context(seed_base + seed));
+    }
+    service
+        .submit_sweep("bench", sweep)
+        .expect("sweep accepted");
+    let report = service.run_pending();
+    assert_eq!(report.failed, 0, "bench jobs must not fail");
+    report.jobs_per_second
+}
+
+#[derive(Serialize)]
+struct SweepSide {
+    jobs_per_second: f64,
+    ms_per_job: f64,
+    gate_plan_misses: u64,
+    gate_plan_hits: u64,
+}
+
+#[derive(Serialize)]
+struct SweepDoc {
+    version: u32,
+    workload: String,
+    points: u64,
+    repetitions: u32,
+    cold: SweepSide,
+    warm: SweepSide,
+    warm_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct DispatchSide {
+    jobs_per_second: f64,
+    ms_per_job: f64,
+    micro_batches: u64,
+}
+
+#[derive(Serialize)]
+struct TracingSide {
+    jobs_per_second: f64,
+    trace_events_recorded: u64,
+    trace_events_dropped: u64,
+}
+
+#[derive(Serialize)]
+struct DispatchDoc {
+    version: u32,
+    workload: String,
+    points: u64,
+    repetitions: u32,
+    sequential: DispatchSide,
+    batched: DispatchSide,
+    batched_speedup: f64,
+    tracing_off: TracingSide,
+    tracing_on: TracingSide,
+    tracing_overhead_percent: f64,
+    mean_abs_estimate_error_units: f64,
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn write_doc<T: Serialize>(name: &str, doc: &T) {
+    let path = repo_root().join(name);
+    let json = serde_json::to_string_pretty(doc).expect("serializable doc");
+    std::fs::write(&path, json + "\n").expect("artifact written");
+    println!("[perf] wrote {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let (points, reps): (u64, u32) = if quick { (8, 1) } else { (16, 3) };
+    let workload = format!(
+        "QAOA p={LAYERS} on a {NODES}-node ring, linear coupling map, \
+         optimization level 2, {SAMPLES} samples/job, 2 workers"
+    );
+    println!("[perf] workload: {workload}");
+    println!("[perf] {points} jobs/sweep, best of {reps} repetitions");
+
+    // --- BENCH_sweep.json: cold vs warm realization cache ------------------
+    let mut cold_best = 0.0f64;
+    let mut cold_metrics = None;
+    for _ in 0..reps {
+        let service = QmlService::with_config(ServiceConfig::with_workers(2));
+        cold_best = cold_best.max(drain_sweep(&service, points, 0));
+        cold_metrics = Some(service.metrics());
+    }
+    let cold_metrics = cold_metrics.expect("at least one repetition");
+
+    let warm_service = QmlService::with_config(ServiceConfig::with_workers(2));
+    drain_sweep(&warm_service, points, 0); // prime the plan cache
+    let mut warm_best = 0.0f64;
+    for rep in 0..reps {
+        warm_best = warm_best.max(drain_sweep(&warm_service, points, (rep as u64 + 1) * 1000));
+    }
+    let warm_metrics = warm_service.metrics();
+
+    let sweep_doc = SweepDoc {
+        version: 1,
+        workload: workload.clone(),
+        points,
+        repetitions: reps,
+        cold: SweepSide {
+            jobs_per_second: cold_best,
+            ms_per_job: 1e3 / cold_best,
+            gate_plan_misses: cold_metrics.gate_cache.misses,
+            gate_plan_hits: cold_metrics.gate_cache.hits,
+        },
+        warm: SweepSide {
+            jobs_per_second: warm_best,
+            ms_per_job: 1e3 / warm_best,
+            gate_plan_misses: warm_metrics.gate_cache.misses,
+            gate_plan_hits: warm_metrics.gate_cache.hits,
+        },
+        warm_speedup: warm_best / cold_best,
+    };
+    println!(
+        "[perf] sweep: cold {cold_best:.0} jobs/s vs warm {warm_best:.0} jobs/s \
+         ({:.2}x)",
+        sweep_doc.warm_speedup
+    );
+    write_doc("BENCH_sweep.json", &sweep_doc);
+
+    // --- BENCH_dispatch.json: batching, tracing overhead, estimate error ---
+    let run_dispatch = |config: ServiceConfig| {
+        let mut best = 0.0f64;
+        let mut service = None;
+        for _ in 0..reps {
+            let fresh = QmlService::with_config(config.clone());
+            best = best.max(drain_sweep(&fresh, points, 0));
+            service = Some(fresh);
+        }
+        (best, service.expect("at least one repetition"))
+    };
+
+    let (solo_jps, _) = run_dispatch(ServiceConfig::with_workers(2).with_max_batch(1));
+    let (batched_jps, batched_service) =
+        run_dispatch(ServiceConfig::with_workers(2).with_max_batch(8));
+    let batched_metrics = batched_service.metrics();
+
+    // Tracing off is the NoopTracer fast path — the exact pre-tracing
+    // dispatch pipeline — so off-vs-on is the tracer's end-to-end overhead.
+    let (off_jps, off_service) = run_dispatch(ServiceConfig::with_workers(2).with_tracing(false));
+    let (on_jps, on_service) = run_dispatch(ServiceConfig::with_workers(2).with_tracing(true));
+    let off_stats = off_service.trace_stats();
+    let on_stats = on_service.trace_stats();
+    let overhead_percent = (off_jps - on_jps) / off_jps * 100.0;
+
+    let dispatch_doc = DispatchDoc {
+        version: 1,
+        workload,
+        points,
+        repetitions: reps,
+        sequential: DispatchSide {
+            jobs_per_second: solo_jps,
+            ms_per_job: 1e3 / solo_jps,
+            micro_batches: 0,
+        },
+        batched: DispatchSide {
+            jobs_per_second: batched_jps,
+            ms_per_job: 1e3 / batched_jps,
+            micro_batches: batched_metrics.scheduler.batches,
+        },
+        batched_speedup: batched_jps / solo_jps,
+        tracing_off: TracingSide {
+            jobs_per_second: off_jps,
+            trace_events_recorded: off_stats.recorded,
+            trace_events_dropped: off_stats.dropped,
+        },
+        tracing_on: TracingSide {
+            jobs_per_second: on_jps,
+            trace_events_recorded: on_stats.recorded,
+            trace_events_dropped: on_stats.dropped,
+        },
+        tracing_overhead_percent: overhead_percent,
+        mean_abs_estimate_error_units: batched_metrics.scheduler.mean_abs_estimate_error(),
+    };
+    println!(
+        "[perf] dispatch: sequential {solo_jps:.0} vs batched {batched_jps:.0} jobs/s \
+         ({:.2}x); tracing off {off_jps:.0} vs on {on_jps:.0} jobs/s \
+         ({overhead_percent:+.1}% overhead); mean |estimate error| = {:.2} units",
+        dispatch_doc.batched_speedup, dispatch_doc.mean_abs_estimate_error_units
+    );
+    write_doc("BENCH_dispatch.json", &dispatch_doc);
+}

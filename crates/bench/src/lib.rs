@@ -4,6 +4,11 @@
 //! figure, listing, or claim, or one of the ablations). The helpers here
 //! build the workloads exactly as the examples do, so benches, examples, and
 //! integration tests all measure the same code paths.
+//!
+//! Printing belongs to the bench/bin targets (they own stdout); the shared
+//! helper library itself must stay silent.
+
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 
 use std::collections::BTreeMap;
 

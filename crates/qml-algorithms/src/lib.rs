@@ -17,6 +17,7 @@
 //! * [`cost`] — device-independent cost-hint estimators.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod arithmetic;

@@ -7,6 +7,7 @@
 //! [`SampleSet`]s.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod bqm;

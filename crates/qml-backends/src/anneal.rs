@@ -243,10 +243,10 @@ impl Backend for AnnealBackend {
                 Ok((Self::plan_key(bundle, exec.as_ref()), exec))
             },
             |key, bundle, _exec, shared| match shared {
-                None => cache.anneal_plan(key, || Self::build_plan(bundle)),
+                None => cache.anneal_plan_traced(key, || Self::build_plan(bundle)),
                 Some(plan) => {
                     let reinsert = Arc::clone(plan);
-                    cache.anneal_plan(key, move || Ok(reinsert.as_ref().clone()))
+                    cache.anneal_plan_traced(key, move || Ok(reinsert.as_ref().clone()))
                 }
             },
             |bundle, exec, plan| self.run_plan(bundle, exec.clone(), plan),

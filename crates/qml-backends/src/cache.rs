@@ -267,6 +267,18 @@ impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
     }
 
     fn get_or_build(&self, key: K, build: impl FnOnce() -> Result<V>) -> Result<Arc<V>> {
+        self.get_or_build_traced(key, build).map(|(plan, _)| plan)
+    }
+
+    /// Like [`CachePlane::get_or_build`], additionally reporting whether the
+    /// lookup was a hit (`true`) or realized the plan (`false`) — the
+    /// attribution per-job plan trace events need, which the aggregate
+    /// hit/miss counters cannot provide.
+    fn get_or_build_traced(
+        &self,
+        key: K,
+        build: impl FnOnce() -> Result<V>,
+    ) -> Result<(Arc<V>, bool)> {
         // Bind the fast-path lookup to its own statement so the read guard
         // drops before the write path runs (an `if let` over the guard would
         // hold it through the `else` and self-deadlock).
@@ -280,7 +292,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
             let plan = plan.clone();
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.touch(&slot);
-            return Ok(plan);
+            return Ok((plan, true));
         }
         // Failed realizations leave the slot empty so the next submission
         // retries, mirroring how transpilation errors surface per job.
@@ -309,7 +321,7 @@ impl<K: std::hash::Hash + Eq + Clone, V> CachePlane<K, V> {
             self.touch(&slot);
             self.enforce_capacity(&key);
         }
-        Ok(plan)
+        Ok((plan, false))
     }
 
     fn stats(&self) -> CacheStats {
@@ -403,6 +415,26 @@ impl TranspileCache {
         build: impl FnOnce() -> Result<AnnealPlan>,
     ) -> Result<Arc<AnnealPlan>> {
         self.anneal.get_or_build(key, build)
+    }
+
+    /// Like [`TranspileCache::gate_plan`], additionally reporting whether the
+    /// lookup hit the cache — feeds the per-job `plan` trace events.
+    pub fn gate_plan_traced(
+        &self,
+        key: GatePlanKey,
+        build: impl FnOnce() -> Result<GatePlan>,
+    ) -> Result<(Arc<GatePlan>, bool)> {
+        self.gate.get_or_build_traced(key, build)
+    }
+
+    /// Like [`TranspileCache::anneal_plan`], additionally reporting whether
+    /// the lookup hit the cache.
+    pub fn anneal_plan_traced(
+        &self,
+        key: AnnealPlanKey,
+        build: impl FnOnce() -> Result<AnnealPlan>,
+    ) -> Result<(Arc<AnnealPlan>, bool)> {
+        self.anneal.get_or_build_traced(key, build)
     }
 
     /// Counters of the gate-path plane.

@@ -257,10 +257,10 @@ impl Backend for GateBackend {
                 Ok((Self::plan_key(bundle, &exec), (context, exec)))
             },
             |key, bundle, (_, exec), shared| match shared {
-                None => cache.gate_plan(key, || Self::build_plan(bundle, exec)),
+                None => cache.gate_plan_traced(key, || Self::build_plan(bundle, exec)),
                 Some(plan) => {
                     let reinsert = Arc::clone(plan);
-                    cache.gate_plan(key, move || Ok(reinsert.as_ref().clone()))
+                    cache.gate_plan_traced(key, move || Ok(reinsert.as_ref().clone()))
                 }
             },
             |bundle, (context, exec), plan| self.run_plan(bundle, context, exec, plan),

@@ -9,6 +9,7 @@
 //! through the bundle's explicit result schema.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod anneal;

@@ -35,6 +35,13 @@ pub struct BatchTimings {
     pub shared: Duration,
     /// Each member's own bind + sample wall-clock, in `bundles` order.
     pub members: Vec<Duration>,
+    /// Per member, in `bundles` order: whether its single plan-cache lookup
+    /// was answered from the cache (`Some(true)`), realized the plan
+    /// (`Some(false)`), or is unknown (`None` — failed members, and backends
+    /// whose batch path reports no plan attribution). Feeds per-job `plan`
+    /// trace events; empty vectors (from pre-attribution constructions)
+    /// read as all-unknown.
+    pub plan_hits: Vec<Option<bool>>,
 }
 
 impl BatchTimings {
@@ -59,6 +66,12 @@ impl BatchTimings {
                 Duration::from_secs_f64(own + share)
             })
             .collect()
+    }
+
+    /// Member `i`'s plan-cache attribution, `None` when unknown (out of
+    /// range, failed member, or an attribution-blind backend).
+    pub fn plan_hit(&self, i: usize) -> Option<bool> {
+        self.plan_hits.get(i).copied().flatten()
     }
 }
 
@@ -143,6 +156,7 @@ pub trait Backend: Send + Sync {
         let timings = BatchTimings {
             shared: Duration::ZERO,
             members: vec![share; bundles.len()],
+            plan_hits: vec![None; bundles.len()],
         };
         (results, timings)
     }
@@ -182,13 +196,15 @@ pub trait Backend: Send + Sync {
 /// * `prepare` validates one member and returns its plan key plus whatever
 ///   per-member state `run` needs; a member that fails to prepare gets `Err`
 ///   at its own slot and never joins a group.
-/// * `fetch` performs that member's **single** cache lookup. It receives the
-///   group's already-realized plan (if any): passing it back as the build
-///   closure re-inserts a flat clone when the entry was evicted mid-batch,
-///   so a group can never realize its plan twice — while cache counters stay
-///   member-accurate (a cold group of N is 1 miss + N−1 hits). If the first
-///   member's build fails, the next member retries with its own build,
-///   mirroring sequential semantics (failed builds are not cached).
+/// * `fetch` performs that member's **single** cache lookup, returning the
+///   plan plus whether the lookup *hit* (recorded per member in
+///   [`BatchTimings::plan_hits`]). It receives the group's already-realized
+///   plan (if any): passing it back as the build closure re-inserts a flat
+///   clone when the entry was evicted mid-batch, so a group can never
+///   realize its plan twice — while cache counters stay member-accurate (a
+///   cold group of N is 1 miss + N−1 hits). If the first member's build
+///   fails, the next member retries with its own build, mirroring sequential
+///   semantics (failed builds are not cached).
 /// * `run` executes one member against the shared plan.
 ///
 /// Outcomes are returned in `bundles` order, alongside the wall-clock
@@ -199,7 +215,7 @@ pub trait Backend: Send + Sync {
 pub(crate) fn execute_grouped<K, P, Plan>(
     bundles: &[JobBundle],
     mut prepare: impl FnMut(&JobBundle) -> Result<(K, P)>,
-    mut fetch: impl FnMut(K, &JobBundle, &P, Option<&Arc<Plan>>) -> Result<Arc<Plan>>,
+    mut fetch: impl FnMut(K, &JobBundle, &P, Option<&Arc<Plan>>) -> Result<(Arc<Plan>, bool)>,
     mut run: impl FnMut(&JobBundle, &P, &Plan) -> Result<ExecutionResult>,
 ) -> (Vec<Result<ExecutionResult>>, BatchTimings)
 where
@@ -210,6 +226,7 @@ where
     let mut timings = BatchTimings {
         shared: Duration::ZERO,
         members: vec![Duration::ZERO; bundles.len()],
+        plan_hits: vec![None; bundles.len()],
     };
     let mut prepared: Vec<Option<P>> = Vec::with_capacity(bundles.len());
     prepared.resize_with(bundles.len(), || None);
@@ -242,7 +259,8 @@ where
             let fetch_started = Instant::now();
             let plan = fetch(key, bundle, prep, shared.as_ref());
             timings.shared += fetch_started.elapsed();
-            let outcome = plan.and_then(|plan| {
+            let outcome = plan.and_then(|(plan, hit)| {
+                timings.plan_hits[i] = Some(hit);
                 shared.get_or_insert_with(|| Arc::clone(&plan));
                 let run_started = Instant::now();
                 let outcome = run(bundle, prep, &plan);

@@ -41,6 +41,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 /// Algorithmic libraries emitting operator descriptor sequences.

@@ -7,6 +7,7 @@
 //! Ising/QUBO formulations consumed by the annealing path.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod generators;

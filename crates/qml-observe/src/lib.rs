@@ -1,0 +1,41 @@
+//! # qml-observe — job-lifecycle tracing and latency histograms
+//!
+//! The serving stack (runtime → scheduler → backends → service) needs a way
+//! to *see* itself: which job waited how long, whether its plan came from the
+//! cache, what a dispatch actually cost. This crate is the dependency-light
+//! substrate the upper layers report through:
+//!
+//! * [`Tracer`] — the per-job stage-event sink. Two implementations:
+//!   [`NoopTracer`] (the zero-cost default — every call site guards hot-path
+//!   work behind [`Tracer::enabled`]) and [`RingTracer`], a bounded ring
+//!   buffer whose writers reserve slots with one atomic `fetch_add` and never
+//!   contend on a global lock. Events carry monotone microsecond timestamps
+//!   (one shared epoch per tracer) plus job/tenant/plan-key attribution.
+//! * [`Stage`] / [`TraceEvent`] — the structured per-job lifecycle schema:
+//!   `submitted → admitted → dispatched → [plan] → bound → executed →
+//!   outcome`, each stage carrying the measurement that layer owns (charged
+//!   cost, queue wait, batch size, cache hit, realization time, measured
+//!   execution time).
+//! * [`Histogram`] — a dependency-free log-bucketed latency histogram
+//!   (≤ 12.5 % relative error, saturating counters, mergeable) with
+//!   nearest-rank [`Histogram::percentile`]s, plus [`HistogramSet`], a keyed
+//!   family of histograms (per tenant, per backend) safe to feed from many
+//!   threads.
+//!
+//! The crate deliberately knows nothing about the runtime's `JobId` or the
+//! service's tenant table: jobs are raw `u64`s and tenants are shared
+//! `Arc<str>`s, so every layer of the stack can depend on this one without
+//! cycles. The service folds these primitives (plus its own metric surfaces)
+//! into one versioned `ObservabilitySnapshot` — see `qml-service`.
+
+#![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod tracer;
+
+pub use histogram::{Histogram, HistogramSet, HistogramSnapshot};
+pub use tracer::{
+    NoopTracer, RingTracer, Stage, TraceEvent, TraceStats, Tracer, DEFAULT_TRACE_CAPACITY,
+};

@@ -16,6 +16,7 @@
 //!   logical gate set, and produces [`ResourceEstimate`]s for workloads.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod repetition;

@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use qml_backends::{ExecutionResult, TranspileCache};
+use qml_observe::{NoopTracer, Stage, Tracer};
 use qml_types::{JobBundle, QmlError, Result};
 
 use crate::registry::{Placement, Scheduler};
@@ -91,6 +92,11 @@ pub struct Runtime {
     jobs: Arc<Mutex<BTreeMap<JobId, Job>>>,
     next_id: Arc<Mutex<u64>>,
     cache: Arc<TranspileCache>,
+    /// Stage-event sink for per-job `plan`/`bound` events from the execution
+    /// paths. [`NoopTracer`] by default; a service wanting end-to-end traces
+    /// installs its shared tracer via [`Runtime::set_tracer`] so runtime
+    /// events share the service epoch.
+    tracer: Arc<dyn Tracer>,
 }
 
 impl Runtime {
@@ -107,12 +113,28 @@ impl Runtime {
             jobs: Arc::new(Mutex::new(BTreeMap::new())),
             next_id: Arc::new(Mutex::new(0)),
             cache,
+            tracer: Arc::new(NoopTracer),
         }
     }
 
     /// The transpilation/lowering cache shared by this runtime's executions.
     pub fn cache(&self) -> &Arc<TranspileCache> {
         &self.cache
+    }
+
+    /// Install a stage-event tracer (before the runtime is shared): the
+    /// batch execution path emits per-job `plan` (cache hit/miss, attributed
+    /// realization time) and `bound` events through it. Callers that also
+    /// trace submission/scheduling should pass the *same* tracer instance so
+    /// all timestamps share one epoch.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The installed stage-event tracer ([`NoopTracer`] unless
+    /// [`Runtime::set_tracer`] replaced it).
+    pub fn tracer(&self) -> &Arc<dyn Tracer> {
+        &self.tracer
     }
 
     /// A runtime with the built-in gate and annealing backends.
@@ -247,16 +269,52 @@ impl Runtime {
                 let (results, timings) =
                     placement.backend.execute_batch_timed(&bundles, &self.cache);
                 let durations = timings.attributed();
+                // Per-member plan/bound stage events. Emitted in lifecycle
+                // order (`plan` then `bound`) once the batch call has
+                // resolved — that is when the per-member cache attribution
+                // and realization share are known; the runtime is
+                // tenant-blind, so attribution by job id is what it records.
+                if self.tracer.enabled() {
+                    for (i, id) in ids.iter().enumerate() {
+                        if let Some(cache_hit) = timings.plan_hit(i) {
+                            let own = timings.members.get(i).copied().unwrap_or_default();
+                            let realize = durations
+                                .get(i)
+                                .copied()
+                                .unwrap_or_default()
+                                .saturating_sub(own);
+                            self.tracer.record(
+                                id.0,
+                                None,
+                                None,
+                                Stage::Plan {
+                                    cache_hit,
+                                    realize_us: realize.as_micros() as u64,
+                                },
+                            );
+                        }
+                        if results.get(i).is_some_and(|r| r.is_ok()) {
+                            self.tracer.record(id.0, None, None, Stage::Bound);
+                        }
+                    }
+                }
                 (results, durations)
             }
-            None => bundles
-                .iter()
-                .map(|bundle| {
-                    let started = Instant::now();
-                    let result = self.scheduler.execute_cached(bundle, &self.cache);
-                    (result, started.elapsed())
-                })
-                .unzip(),
+            None => {
+                let trace = self.tracer.enabled();
+                bundles
+                    .iter()
+                    .zip(&ids)
+                    .map(|(bundle, id)| {
+                        let started = Instant::now();
+                        let result = self.scheduler.execute_cached(bundle, &self.cache);
+                        if trace && result.is_ok() {
+                            self.tracer.record(id.0, None, None, Stage::Bound);
+                        }
+                        (result, started.elapsed())
+                    })
+                    .unzip()
+            }
         };
         let mut jobs = self.jobs.lock();
         for (id, outcome) in ids.iter().zip(&results) {

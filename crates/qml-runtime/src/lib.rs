@@ -19,6 +19,7 @@
 //!   a communication estimator for partitioned (multi-QPU) execution.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod executor;

@@ -40,6 +40,13 @@
 //! * [`ServiceMetrics`] — a snapshot of throughput, queue depth, cache hit
 //!   rates, scheduler-fairness counters, and per-backend/per-tenant
 //!   utilization (including per-tenant wait-time and in-flight gauges).
+//! * **Observability** — end-to-end per-job stage tracing
+//!   (`submitted → admitted → dispatched → plan → bound → executed →
+//!   outcome`, see [`ServiceConfig::with_tracing`]), per-tenant and
+//!   per-backend queue-wait / execute-latency percentiles, and one
+//!   versioned [`ObservabilitySnapshot`] folding every metric surface
+//!   together — exported as JSON ([`QmlService::snapshot`] /
+//!   [`ServiceHandle::dump_jsonl`]) or greppable `key=value` text.
 //!
 //! ## Example
 //!
@@ -72,10 +79,12 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod cost_model;
 pub mod metrics;
+pub mod observe;
 pub mod scheduler;
 pub mod service;
 pub mod sweep;
@@ -83,6 +92,9 @@ pub mod sweep;
 pub use cost_model::{CostModel, COST_UNITS_PER_SECOND, DEFAULT_COST_EWMA_ALPHA};
 pub use metrics::{
     BackendUtilization, CacheStats, RunSummary, SchedulerMetrics, ServiceMetrics, TenantStats,
+};
+pub use observe::{
+    CostModelGauges, LatencyBreakdown, MetricsRegistry, ObservabilitySnapshot, SNAPSHOT_VERSION,
 };
 pub use scheduler::{RateLimit, TenantPolicy};
 pub use service::{

@@ -45,10 +45,12 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use qml_observe::Stage;
 use qml_runtime::{JobDispatch, JobId, Placement};
 use qml_types::MeasuredCost;
 
 use crate::cost_model::{CostModel, COST_UNITS_PER_SECOND};
+use crate::observe::MetricsRegistry;
 
 /// Smallest effective DRR weight; keeps the pass bound finite for
 /// pathological configurations (weight ≤ 0).
@@ -328,6 +330,17 @@ struct InFlight {
     batch_key: Option<u64>,
 }
 
+/// A coalesced batch member plus the attribution its `dispatched` stage
+/// event needs — the final batch size is only known once the whole batch is
+/// assembled, so the events are emitted by `next_job`, not `coalesce`.
+struct BatchMember {
+    id: JobId,
+    /// Submit→dispatch wait, microseconds.
+    wait_us: u64,
+    /// Deficit spent dispatching this member.
+    cost: f64,
+}
+
 /// The cost a queued job is charged **now**: the cost model's current
 /// prediction for its plan key when one exists, else the cost fixed at
 /// admission. Jobs queue for whole rotations while measurements stream in;
@@ -398,11 +411,19 @@ pub(crate) struct FairScheduler {
     /// every queue removal and raised in place by admissions — an idle poll
     /// storm recomputes nothing.
     cached_quantum: Option<f64>,
+    /// Shared observability sink: `admitted`/`dispatched` stage events plus
+    /// the per-tenant / per-backend queue-wait histograms.
+    obs: Arc<MetricsRegistry>,
     pub(crate) metrics: SchedulerMetrics,
 }
 
 impl FairScheduler {
-    pub(crate) fn new(max_batch: usize, ewma_alpha: f64, charge_back_clamp: f64) -> Self {
+    pub(crate) fn new(
+        max_batch: usize,
+        ewma_alpha: f64,
+        charge_back_clamp: f64,
+        obs: Arc<MetricsRegistry>,
+    ) -> Self {
         FairScheduler {
             mode: Mode::Stopped,
             max_batch: max_batch.max(1),
@@ -415,6 +436,7 @@ impl FairScheduler {
             charge_back_clamp,
             nonempty: 0,
             cached_quantum: Some(1.0),
+            obs,
             metrics: SchedulerMetrics::default(),
         }
     }
@@ -498,6 +520,10 @@ impl FairScheduler {
             None => cost,
         }
         .max(MIN_JOB_COST);
+        if self.obs.tracing_enabled() {
+            self.obs
+                .trace(id, Some(tenant), batch_key, Stage::Admitted { cost });
+        }
         let queue = self
             .tenants
             .get_mut(tenant)
@@ -788,7 +814,8 @@ impl FairScheduler {
             // Saturating: `submitted` stamps are taken under the same lock,
             // but a caller-supplied stale `now` must clamp a "negative" wait
             // to zero rather than corrupt the gauge.
-            tenant.total_wait_seconds += now.saturating_duration_since(job.submitted).as_secs_f64();
+            let head_wait = now.saturating_duration_since(job.submitted);
+            tenant.total_wait_seconds += head_wait.as_secs_f64();
             self.metrics.dispatched += 1;
             self.in_flight.insert(
                 job.id,
@@ -798,14 +825,45 @@ impl FairScheduler {
                     batch_key: job.batch_key,
                 },
             );
-            let rest = self.coalesce(&name, &job, drain);
+            let members = self.coalesce(&name, &job, drain);
+            let head_wait_us = head_wait.as_micros() as u64;
+            self.obs.observe_wait(
+                &name,
+                job.placement.as_ref().map(|p| p.backend.name()),
+                head_wait_us,
+            );
+            if self.obs.tracing_enabled() {
+                let batch_size = (members.len() + 1) as u32;
+                self.obs.trace(
+                    job.id,
+                    Some(&name),
+                    job.batch_key,
+                    Stage::Dispatched {
+                        queue_wait_us: head_wait_us,
+                        batch_size,
+                        deficit_spent: head_cost,
+                    },
+                );
+                for member in &members {
+                    self.obs.trace(
+                        member.id,
+                        Some(&name),
+                        job.batch_key,
+                        Stage::Dispatched {
+                            queue_wait_us: member.wait_us,
+                            batch_size,
+                            deficit_spent: member.cost,
+                        },
+                    );
+                }
+            }
             let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
             if tenant.queue.is_empty() {
                 tenant.forfeit_credit();
             }
             return SchedPoll::Dispatch(JobDispatch {
                 id: job.id,
-                rest,
+                rest: members.into_iter().map(|m| m.id).collect(),
                 placement: job.placement,
             });
         }
@@ -838,7 +896,7 @@ impl FairScheduler {
     /// caller's clock read and this scan can never observe a `now` older
     /// than its own `submitted` stamp (its wait would clamp to zero and, in
     /// older std, panicked), and refill arithmetic never runs backwards.
-    fn coalesce(&mut self, name: &Arc<str>, head: &QueuedJob, drain: bool) -> Vec<JobId> {
+    fn coalesce(&mut self, name: &Arc<str>, head: &QueuedJob, drain: bool) -> Vec<BatchMember> {
         let mut rest = Vec::new();
         let Some(key) = head.batch_key else {
             return rest;
@@ -892,9 +950,8 @@ impl FairScheduler {
             }
             tenant.in_flight += 1;
             tenant.dispatched += 1;
-            tenant.total_wait_seconds += now
-                .saturating_duration_since(member.submitted)
-                .as_secs_f64();
+            let wait = now.saturating_duration_since(member.submitted);
+            tenant.total_wait_seconds += wait.as_secs_f64();
             self.metrics.dispatched += 1;
             self.in_flight.insert(
                 member.id,
@@ -904,7 +961,17 @@ impl FairScheduler {
                     batch_key: member.batch_key,
                 },
             );
-            rest.push(member.id);
+            let wait_us = wait.as_micros() as u64;
+            self.obs.observe_wait(
+                name,
+                member.placement.as_ref().map(|p| p.backend.name()),
+                wait_us,
+            );
+            rest.push(BatchMember {
+                id: member.id,
+                wait_us,
+                cost: member_cost,
+            });
         }
         if !rest.is_empty() {
             self.metrics.batches += 1;
@@ -918,8 +985,12 @@ impl FairScheduler {
 mod tests {
     use super::*;
 
+    fn noop_registry() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new(Arc::new(qml_observe::NoopTracer)))
+    }
+
     fn sched_with(policies: &[(&str, TenantPolicy)]) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(8, 0.4, 16.0);
+        let mut sched = FairScheduler::new(8, 0.4, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let names = policies
             .iter()
@@ -1311,7 +1382,7 @@ mod tests {
     }
 
     fn mis_estimated_sched(charge_back_clamp: f64) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(1, 0.4, charge_back_clamp);
+        let mut sched = FairScheduler::new(1, 0.4, charge_back_clamp, noop_registry());
         sched.mode = Mode::Running;
         let names: Vec<Arc<str>> = [("under", ()), ("exact", ())]
             .iter()
@@ -1586,7 +1657,7 @@ mod tests {
     fn disabled_model_ignores_duration_hints_too() {
         // alpha <= 0 must restore *pure* estimate-unit admission: hints are
         // part of the measured-cost path and must not reprice either.
-        let mut sched = FairScheduler::new(8, 0.0, 16.0);
+        let mut sched = FairScheduler::new(8, 0.0, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let name = sched.intern("t", &TenantPolicy::default());
         sched.admit(&name, JobId(0), 40.0, Some(0.005), None, Some(9));

@@ -10,10 +10,14 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use qml_backends::ExecutionResult;
+use qml_observe::{
+    NoopTracer, RingTracer, Stage, TraceEvent, TraceStats, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 use qml_runtime::{Feed, JobId, JobOutcome, JobSource, JobStatus, Runtime, WorkerPool};
 use qml_types::{JobBundle, QmlError, Result};
 
 use crate::metrics::{BackendUtilization, RunSummary, ServiceMetrics, TenantStats};
+use crate::observe::{MetricsRegistry, ObservabilitySnapshot};
 use crate::scheduler::{FairScheduler, Mode, SchedPoll, TenantPolicy};
 use crate::sweep::SweepRequest;
 
@@ -51,6 +55,16 @@ pub struct ServiceConfig {
     /// charge-back (estimate-unit fairness, the pre-measured behavior).
     /// Default [`DEFAULT_CHARGE_BACK_CLAMP`].
     pub charge_back_clamp: f64,
+    /// Retain per-job stage events in a bounded in-memory ring
+    /// ([`RingTracer`]); when false (the default) the service observes
+    /// through [`NoopTracer`] — latency histograms and the metrics snapshot
+    /// still work, but [`QmlService::trace_events`] returns nothing and the
+    /// per-event cost is a single inlined boolean load.
+    pub tracing: bool,
+    /// Ring capacity (events) when [`ServiceConfig::tracing`] is on; once
+    /// exceeded the oldest undrained events are overwritten and counted in
+    /// [`TraceStats::dropped`]. Default [`DEFAULT_TRACE_CAPACITY`].
+    pub trace_capacity: usize,
 }
 
 /// Default [`ServiceConfig::max_batch`]: large enough that sweep traffic
@@ -85,7 +99,23 @@ impl ServiceConfig {
             tenant_policies: BTreeMap::new(),
             cost_ewma_alpha: crate::cost_model::DEFAULT_COST_EWMA_ALPHA,
             charge_back_clamp: DEFAULT_CHARGE_BACK_CLAMP,
+            tracing: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
+    }
+
+    /// Enable (or disable) per-job stage-event tracing, builder-style (see
+    /// [`ServiceConfig::tracing`]).
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Set the trace ring capacity, builder-style (see
+    /// [`ServiceConfig::trace_capacity`]). Values of 0 are treated as 1.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity.max(1);
+        self
     }
 
     /// Cap (or disable, with `1`) micro-batching, builder-style. Values of 0
@@ -157,6 +187,10 @@ struct ServiceInner {
     config: ServiceConfig,
     state: Mutex<ServiceState>,
     sched: Mutex<FairScheduler>,
+    /// Shared observability sink (stage-event tracer + latency histograms);
+    /// the same registry the scheduler and — tracer only — the runtime
+    /// report through, so every layer's events share one clock epoch.
+    obs: Arc<MetricsRegistry>,
 }
 
 impl ServiceInner {
@@ -183,24 +217,92 @@ impl ServiceInner {
             Ok(_) => {
                 counters.completed.fetch_add(1, Ordering::Relaxed);
                 state.jobs_completed += 1;
-                if let Some(tenant) = tenant {
+                if let Some(tenant) = tenant.clone() {
                     state.per_tenant.entry(tenant).or_default().completed += 1;
                 }
             }
             Err(_) => {
                 counters.failed.fetch_add(1, Ordering::Relaxed);
                 state.jobs_failed += 1;
-                if let Some(tenant) = tenant {
+                if let Some(tenant) = tenant.clone() {
                     state.per_tenant.entry(tenant).or_default().failed += 1;
                 }
             }
         }
         drop(state);
+        // Observability is fed *before* the scheduler releases the job's
+        // in-flight slot: once `wait_idle` observes quiescence, every
+        // finished job's `executed`/`outcome` events and latency samples are
+        // already visible.
+        let measured_us = outcome.duration.as_micros() as u64;
+        self.obs
+            .observe_exec(tenant.as_deref(), outcome.backend.as_deref(), measured_us);
+        if self.obs.tracing_enabled() {
+            self.obs.trace(
+                outcome.id,
+                tenant.as_ref(),
+                None,
+                Stage::Executed { measured_us },
+            );
+            self.obs.trace(
+                outcome.id,
+                tenant.as_ref(),
+                None,
+                Stage::Outcome {
+                    ok: outcome.result.is_ok(),
+                },
+            );
+        }
         self.sched.lock().record_outcome(
             outcome.id,
             outcome.duration.as_secs_f64(),
             outcome.result.is_ok(),
         );
+    }
+
+    /// A point-in-time [`ServiceMetrics`] snapshot (shared by the service
+    /// and its streaming handle).
+    fn metrics(&self) -> ServiceMetrics {
+        let cache = self.runtime.cache();
+        // Locks are taken one at a time (scheduler gauges first, then the
+        // submission/outcome state), never nested.
+        let (scheduler, gauges) = {
+            let sched = self.sched.lock();
+            (sched.metrics, sched.gauges())
+        };
+        let state = self.state.lock();
+        let mut per_tenant: BTreeMap<String, TenantStats> = state
+            .per_tenant
+            .iter()
+            .map(|(name, stats)| (name.to_string(), *stats))
+            .collect();
+        for (name, gauge) in gauges {
+            let stats = per_tenant.entry(name.to_string()).or_default();
+            stats.dispatched = gauge.dispatched;
+            stats.in_flight = gauge.in_flight;
+            stats.throttled = gauge.throttled;
+            stats.total_wait_seconds = gauge.total_wait_seconds;
+            stats.busy_seconds = gauge.busy_seconds;
+        }
+        ServiceMetrics {
+            jobs_submitted: state.jobs_submitted,
+            jobs_completed: state.jobs_completed,
+            jobs_failed: state.jobs_failed,
+            queue_depth: self.runtime.queue_depth(),
+            cache: cache.stats(),
+            gate_cache: cache.gate_stats(),
+            anneal_cache: cache.anneal_stats(),
+            scheduler,
+            per_backend: state.per_backend.clone(),
+            per_tenant,
+            last_run: state.last_run,
+        }
+    }
+
+    /// The unified observability snapshot: [`ServiceInner::metrics`] plus
+    /// latency percentiles, cost gauges, and tracer health.
+    fn snapshot(&self) -> ObservabilitySnapshot {
+        self.obs.snapshot(self.metrics())
     }
 }
 
@@ -313,11 +415,22 @@ impl QmlService {
 
     /// A service over a caller-provided runtime (custom backends, shared
     /// cache, ...).
-    pub fn with_runtime(runtime: Runtime, config: ServiceConfig) -> Self {
+    pub fn with_runtime(mut runtime: Runtime, config: ServiceConfig) -> Self {
+        let tracer: Arc<dyn Tracer> = if config.tracing {
+            Arc::new(RingTracer::with_capacity(config.trace_capacity))
+        } else {
+            Arc::new(NoopTracer)
+        };
+        let obs = Arc::new(MetricsRegistry::new(tracer));
+        // The runtime shares the service's tracer so plan/bind attribution
+        // from workers lands in the same event stream (same clock epoch) as
+        // the service's submit/dispatch/outcome stages.
+        runtime.set_tracer(Arc::clone(obs.tracer()));
         let sched = FairScheduler::new(
             config.max_batch,
             config.cost_ewma_alpha,
             config.charge_back_clamp,
+            Arc::clone(&obs),
         );
         QmlService {
             inner: Arc::new(ServiceInner {
@@ -325,6 +438,7 @@ impl QmlService {
                 config,
                 state: Mutex::new(ServiceState::default()),
                 sched: Mutex::new(sched),
+                obs,
             }),
         }
     }
@@ -411,6 +525,14 @@ impl QmlService {
         };
         let mut sched = self.inner.sched.lock();
         for (id, cost, hint_seconds, placement, batch_key) in jobs {
+            // `submitted` lands immediately before the scheduler's own
+            // `admitted` event, under the same lock: per-job stage order and
+            // timestamp order agree by construction.
+            if self.inner.obs.tracing_enabled() {
+                self.inner
+                    .obs
+                    .trace(id, Some(&tenant), batch_key, Stage::Submitted);
+            }
             sched.admit(&tenant, id, cost, hint_seconds, placement, batch_key);
         }
         Ok(batch)
@@ -524,40 +646,30 @@ impl QmlService {
 
     /// A point-in-time snapshot of service health.
     pub fn metrics(&self) -> ServiceMetrics {
-        let cache = self.inner.runtime.cache();
-        // Locks are taken one at a time (scheduler gauges first, then the
-        // submission/outcome state), never nested.
-        let (scheduler, gauges) = {
-            let sched = self.inner.sched.lock();
-            (sched.metrics, sched.gauges())
-        };
-        let state = self.inner.state.lock();
-        let mut per_tenant: BTreeMap<String, TenantStats> = state
-            .per_tenant
-            .iter()
-            .map(|(name, stats)| (name.to_string(), *stats))
-            .collect();
-        for (name, gauge) in gauges {
-            let stats = per_tenant.entry(name.to_string()).or_default();
-            stats.dispatched = gauge.dispatched;
-            stats.in_flight = gauge.in_flight;
-            stats.throttled = gauge.throttled;
-            stats.total_wait_seconds = gauge.total_wait_seconds;
-            stats.busy_seconds = gauge.busy_seconds;
-        }
-        ServiceMetrics {
-            jobs_submitted: state.jobs_submitted,
-            jobs_completed: state.jobs_completed,
-            jobs_failed: state.jobs_failed,
-            queue_depth: self.inner.runtime.queue_depth(),
-            cache: cache.stats(),
-            gate_cache: cache.gate_stats(),
-            anneal_cache: cache.anneal_stats(),
-            scheduler,
-            per_backend: state.per_backend.clone(),
-            per_tenant,
-            last_run: state.last_run,
-        }
+        self.inner.metrics()
+    }
+
+    /// The unified observability snapshot: [`QmlService::metrics`] folded
+    /// together with per-tenant / per-backend latency percentiles,
+    /// cost-model gauges, and trace-buffer health. Serialize it with
+    /// [`ObservabilitySnapshot::to_json`] /
+    /// [`to_jsonl`](ObservabilitySnapshot::to_jsonl), or grep it via
+    /// [`dump_kv`](ObservabilitySnapshot::dump_kv).
+    pub fn snapshot(&self) -> ObservabilitySnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Drain the retained per-job stage events (oldest first). Empty unless
+    /// [`ServiceConfig::tracing`] is on. Draining frees the ring: drained
+    /// events are never counted as dropped.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.obs.tracer().drain()
+    }
+
+    /// Trace-buffer health: events recorded, events dropped to ring
+    /// overflow, and the configured capacity.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.inner.obs.tracer().stats()
     }
 
     /// Tenant that submitted a job (if known). The returned id is shared
@@ -626,6 +738,19 @@ impl ServiceHandle {
     /// summary of the run so far.
     pub fn abort(mut self) -> RunSummary {
         self.shutdown(Mode::Aborting)
+    }
+
+    /// The unified observability snapshot of the running service — same as
+    /// [`QmlService::snapshot`], offered on the handle so operators holding
+    /// only the handle can poll health mid-run.
+    pub fn snapshot(&self) -> ObservabilitySnapshot {
+        self.inner.snapshot()
+    }
+
+    /// One JSON line of the current [`ObservabilitySnapshot`] — append to a
+    /// `.jsonl` log to record a performance trajectory over a run's life.
+    pub fn dump_jsonl(&self) -> String {
+        self.inner.snapshot().to_jsonl()
     }
 
     fn shutdown(&mut self, mode: Mode) -> RunSummary {

@@ -17,6 +17,7 @@
 //! * [`Simulator`] — `run(circuit, shots, seed)` with reproducible counts.
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod circuit;

@@ -10,6 +10,7 @@
 //! [`passes::optimize`], driven by [`transpile`].
 
 #![warn(missing_docs)]
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod basis;

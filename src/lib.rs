@@ -4,6 +4,7 @@
 //! cargo targets; applications should depend on [`qml_core`] (the layer
 //! facade) or [`qml_service`] (the batch-execution service) directly.
 
+#![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub use qml_core;

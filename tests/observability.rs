@@ -1,0 +1,220 @@
+//! Integration tests for end-to-end observability: every job of a
+//! concurrent multi-tenant streaming run is traceable submit→outcome with a
+//! monotone stage chain, latency percentiles land in one versioned
+//! snapshot, and the default (tracing off) retains nothing.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use qml_core::graph::cycle;
+use qml_core::prelude::*;
+use qml_core::service::observe::{Stage, TraceEvent};
+use qml_core::service::{QmlService, ServiceConfig, SNAPSHOT_VERSION};
+
+fn gate_context(seed: u64, samples: u64) -> ContextDescriptor {
+    ContextDescriptor::for_gate(
+        ExecConfig::new("gate.aer_simulator")
+            .with_samples(samples)
+            .with_seed(seed)
+            .with_target(Target::ring(4)),
+    )
+}
+
+fn fixed_qaoa() -> JobBundle {
+    qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap()
+}
+
+const WAIT: Duration = Duration::from_secs(60);
+
+/// The required stage chain of a successfully executed job, by
+/// [`Stage::order`]: submitted(0) admitted(1) dispatched(2) bound(4)
+/// executed(5) outcome(6). plan(3) is optional — present when the backend
+/// reported per-member plan attribution.
+const REQUIRED_ORDERS: [u8; 6] = [0, 1, 2, 4, 5, 6];
+
+#[test]
+fn every_job_of_a_concurrent_two_tenant_run_is_traceable() {
+    let config = ServiceConfig::with_workers(2).with_tracing(true);
+    let service = QmlService::with_config(config);
+    let handle = service.start().unwrap();
+
+    // Two tenants submit concurrently while the pool runs.
+    let submitters: Vec<_> = ["alice", "bob"]
+        .iter()
+        .enumerate()
+        .map(|(t, tenant)| {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                (0..8)
+                    .map(|i| {
+                        let seed = (t as u64) * 100 + i;
+                        let (_, job) = service
+                            .submit(tenant, fixed_qaoa().with_context(gate_context(seed, 64)))
+                            .unwrap();
+                        (job, *tenant)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let jobs: Vec<_> = submitters
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+
+    assert!(service.wait_idle(WAIT), "service should quiesce");
+    let summary = handle.drain();
+    assert_eq!(summary.completed, 16);
+
+    let stats = service.trace_stats();
+    assert_eq!(stats.dropped, 0, "default capacity must not drop events");
+
+    let events = service.trace_events();
+    let mut by_job: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in &events {
+        by_job.entry(event.job).or_default().push(event);
+    }
+
+    for (job, tenant) in &jobs {
+        let chain = by_job
+            .get(&job.0)
+            .unwrap_or_else(|| panic!("job {job:?} left no trace"));
+        // Stage chain: all required stages present, in order, with
+        // non-decreasing timestamps (`drain` returns seq order; per job that
+        // is also causal order).
+        let orders: Vec<u8> = chain.iter().map(|e| e.stage.order()).collect();
+        let mut required = REQUIRED_ORDERS.iter();
+        for order in &orders {
+            if Some(order) == required.clone().next() {
+                required.next();
+            }
+        }
+        assert!(
+            required.next().is_none(),
+            "job {job:?} missing required stages: got {orders:?}"
+        );
+        for pair in chain.windows(2) {
+            assert!(
+                pair[0].stage.order() <= pair[1].stage.order(),
+                "job {job:?} stages out of order: {orders:?}"
+            );
+            assert!(
+                pair[0].at_us <= pair[1].at_us,
+                "job {job:?} timestamps not monotone"
+            );
+        }
+        // Attribution: service-layer events carry the submitting tenant.
+        for event in chain {
+            match event.stage {
+                Stage::Submitted
+                | Stage::Admitted { .. }
+                | Stage::Dispatched { .. }
+                | Stage::Executed { .. }
+                | Stage::Outcome { .. } => {
+                    assert_eq!(
+                        event.tenant.as_deref(),
+                        Some(*tenant),
+                        "job {job:?} event mis-attributed: {event}"
+                    );
+                }
+                Stage::Plan { .. } | Stage::Bound => {}
+            }
+        }
+        // The run succeeded, so the terminal event says so.
+        let ok = chain.iter().rev().find_map(|e| match e.stage {
+            Stage::Outcome { ok } => Some(ok),
+            _ => None,
+        });
+        assert_eq!(ok, Some(true));
+    }
+
+    // Draining freed the ring: a second drain is empty.
+    assert!(service.trace_events().is_empty());
+}
+
+#[test]
+fn one_snapshot_carries_per_tenant_and_per_backend_percentiles() {
+    let service = QmlService::with_config(ServiceConfig::with_workers(2).with_tracing(true));
+    for seed in 0..6 {
+        service
+            .submit("alice", fixed_qaoa().with_context(gate_context(seed, 64)))
+            .unwrap();
+        service
+            .submit(
+                "bob",
+                fixed_qaoa().with_context(gate_context(100 + seed, 64)),
+            )
+            .unwrap();
+    }
+    service.run_pending();
+
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+    assert_eq!(snapshot.service.jobs_completed, 12);
+    for tenant in ["alice", "bob"] {
+        let wait = &snapshot.latency.tenant_queue_wait[tenant];
+        assert_eq!(wait.count, 6);
+        assert!(wait.p50 <= wait.p95 && wait.p95 <= wait.p99);
+        let exec = &snapshot.latency.tenant_execute[tenant];
+        assert_eq!(exec.count, 6);
+        assert!(exec.p50 <= exec.p95 && exec.p95 <= exec.p99);
+    }
+    let backend = &snapshot.latency.backend_execute["qml-gate-simulator"];
+    assert_eq!(backend.count, 12, "both tenants share the gate backend");
+    assert!(snapshot.trace.recorded > 0);
+
+    // The snapshot is one self-contained JSON document.
+    let line = snapshot.to_jsonl();
+    assert!(!line.contains('\n'));
+    let back: qml_core::service::ObservabilitySnapshot = serde_json::from_str(&line).unwrap();
+    assert_eq!(back, snapshot);
+
+    // ...and one greppable text dump.
+    let kv = snapshot.dump_kv();
+    assert!(kv.contains("tenant=alice"));
+    assert!(kv.contains("backend=qml-gate-simulator"));
+    assert!(kv.contains("p99_wait_us="));
+    assert!(kv.contains("dropped=0"));
+}
+
+#[test]
+fn tracing_is_off_by_default_but_percentiles_still_work() {
+    let service = QmlService::with_config(ServiceConfig::with_workers(1));
+    service
+        .submit("alice", fixed_qaoa().with_context(gate_context(1, 64)))
+        .unwrap();
+    service.run_pending();
+
+    // No events retained, zero ring capacity allocated...
+    assert!(service.trace_events().is_empty());
+    let stats = service.trace_stats();
+    assert_eq!((stats.recorded, stats.dropped, stats.capacity), (0, 0, 0));
+
+    // ...but the histogram side of the registry is always on.
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.latency.tenant_queue_wait["alice"].count, 1);
+    assert_eq!(snapshot.latency.tenant_execute["alice"].count, 1);
+}
+
+#[test]
+fn ring_overflow_is_bounded_and_counted() {
+    // 8-event ring, 6 jobs × ≥6 events each: the ring must overwrite (and
+    // count) the oldest events instead of growing or panicking.
+    let service = QmlService::with_config(
+        ServiceConfig::with_workers(1)
+            .with_tracing(true)
+            .with_trace_capacity(8),
+    );
+    for seed in 0..6 {
+        service
+            .submit("alice", fixed_qaoa().with_context(gate_context(seed, 32)))
+            .unwrap();
+    }
+    service.run_pending();
+
+    let stats = service.trace_stats();
+    assert_eq!(stats.capacity, 8);
+    assert!(stats.dropped > 0, "overflow must be visible, not silent");
+    assert_eq!(stats.recorded, stats.dropped + 8);
+    assert_eq!(service.trace_events().len(), 8);
+}
