@@ -1,0 +1,91 @@
+//! Scalar vs vectorized shot sampling on a dense state.
+//!
+//! The baseline is the pre-vectorization sampler reimplemented verbatim:
+//! one linear CDF walk and one freshly rendered bitstring key per shot —
+//! O(S · 2ⁿ) walk work and S string allocations. The vectorized path
+//! ([`StateVector::sample_counts_with`]) builds the CDF once, draws all
+//! shots up front, sorts them, and resolves the batch with a single merge
+//! walk — O(2ⁿ + S log S) — rendering each distinct outcome's key once.
+//! Both consume one RNG call per shot and resolve a draw to the first
+//! basis state whose cumulative mass strictly exceeds it, so for the same
+//! seed they must produce identical counts (asserted before timing).
+//!
+//! Run with: `cargo bench -p qml-bench --bench sampling_throughput`
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qml_core::sim::{qft_circuit, Simulator, StateVector};
+
+/// QFT of |0…0⟩ is a uniform superposition: every basis state carries mass,
+/// the worst case for per-shot CDF walks and per-shot key rendering.
+const QUBITS: usize = 10;
+const SHOTS: u64 = 4096;
+const SEED: u64 = 17;
+
+/// The old scalar sampler: per shot, one draw, one linear walk to the first
+/// basis state whose cumulative mass exceeds it, one rendered key.
+fn scalar_sample(
+    sv: &StateVector,
+    qubits: &[usize],
+    shots: u64,
+    rng: &mut StdRng,
+) -> BTreeMap<String, u64> {
+    let probs = sv.probabilities();
+    let total: f64 = probs.iter().sum();
+    let mut counts = BTreeMap::new();
+    for _ in 0..shots {
+        let r = rng.gen::<f64>() * total;
+        let mut acc = 0.0f64;
+        let mut idx = probs.len() - 1;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if acc > r {
+                idx = i;
+                break;
+            }
+        }
+        let word: String = qubits
+            .iter()
+            .map(|&q| if idx & (1 << q) != 0 { '1' } else { '0' })
+            .collect();
+        *counts.entry(word).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+fn bench(c: &mut Criterion) {
+    let sv = Simulator::new().statevector(&qft_circuit(QUBITS, 0, true, false));
+    let qubits: Vec<usize> = (0..QUBITS).collect();
+
+    // Same seed ⇒ same RNG stream and resolution rule ⇒ identical counts.
+    let scalar = scalar_sample(&sv, &qubits, SHOTS, &mut StdRng::seed_from_u64(SEED));
+    let vectorized = sv
+        .sample_counts(&qubits, SHOTS, &mut StdRng::seed_from_u64(SEED))
+        .expect("QFT state is not degenerate");
+    assert_eq!(scalar, vectorized, "samplers must agree bit for bit");
+
+    let mut group = c.benchmark_group("sampling_throughput");
+    group.sample_size(20);
+    group.bench_function("scalar_10q_4096shots", |b| {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        b.iter(|| scalar_sample(&sv, &qubits, SHOTS, &mut rng));
+    });
+    group.bench_function("vectorized_10q_4096shots", |b| {
+        // Reused scratch, as the per-worker pool does in production.
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let mut cdf = Vec::new();
+        let mut draws = Vec::new();
+        b.iter(|| {
+            sv.sample_counts_with(&qubits, SHOTS, &mut rng, &mut cdf, &mut draws)
+                .expect("QFT state is not degenerate")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

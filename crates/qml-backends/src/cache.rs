@@ -29,7 +29,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use qml_anneal::BinaryQuadraticModel;
-use qml_sim::Circuit;
+use qml_sim::{BoundCircuit, Circuit};
 use qml_transpile::CircuitMetrics;
 use qml_types::{QmlError, QuantumDataType, Result, ResultSchema};
 
@@ -63,15 +63,17 @@ pub struct AnnealPlanKey {
 /// A fully realized gate-path plan: everything execution needs except the
 /// late-bound parameter values and the sampling policy (shots/seed).
 ///
-/// The circuit may carry **symbolic** rotation angles; [`GatePlan::bind`]
-/// substitutes a slot-ordered value vector into the recorded substitution
-/// sites — O(#sites) rewrites on top of a flat copy, with no re-routing and
-/// no re-optimization.
+/// The circuit may carry **symbolic** rotation angles. The hot path binds
+/// with [`GatePlan::bind_overlay`]: the `Arc`-shared circuit is never copied,
+/// only an O(#sites) overlay of bound gates is built per job.
+/// [`GatePlan::bind`] remains as the materializing reference path
+/// (differential tests, external consumers that need an owned circuit).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatePlan {
     /// The transpiled (routed, basis-lowered, optimized) circuit; possibly
-    /// parametric.
-    pub circuit: Circuit,
+    /// parametric. Shared: cloning the plan or binding a job never copies
+    /// the gate vector.
+    pub circuit: Arc<Circuit>,
     /// Slot table: symbol names in canonical order (`values[i]` binds
     /// `symbols[i]`). Empty for fully concrete plans.
     pub symbols: Vec<String>,
@@ -96,7 +98,7 @@ impl GatePlan {
     ) -> Self {
         let param_sites = circuit.symbolic_gate_indices();
         GatePlan {
-            circuit,
+            circuit: Arc::new(circuit),
             symbols,
             param_sites,
             metrics,
@@ -116,8 +118,37 @@ impl GatePlan {
     }
 
     /// Substitute the slot-ordered `values` (aligned with
-    /// [`GatePlan::symbols`]) into the plan's circuit.
+    /// [`GatePlan::symbols`]) into an owned copy of the plan's circuit.
+    ///
+    /// This is the materializing reference path; the execute hot path uses
+    /// the copy-free [`GatePlan::bind_overlay`] instead.
     pub fn bind(&self, values: &[f64]) -> Result<Circuit> {
+        self.check_binding(values)?;
+        if self.param_sites.is_empty() {
+            Ok((*self.circuit).clone())
+        } else {
+            Ok(self.circuit.bind_sites(&self.param_sites, values))
+        }
+    }
+
+    /// Zero-copy binding: substitute the slot-ordered `values` as a
+    /// [`BoundCircuit`] overlay over the shared plan circuit — O(#sites) per
+    /// job, no gate-vector copy. Non-parametric plans return a view that
+    /// executes the shared circuit directly.
+    pub fn bind_overlay(&self, values: &[f64]) -> Result<BoundCircuit> {
+        self.check_binding(values)?;
+        if self.param_sites.is_empty() {
+            Ok(BoundCircuit::concrete(Arc::clone(&self.circuit)))
+        } else {
+            Ok(BoundCircuit::bind_sites(
+                Arc::clone(&self.circuit),
+                &self.param_sites,
+                values,
+            ))
+        }
+    }
+
+    fn check_binding(&self, values: &[f64]) -> Result<()> {
         if values.len() < self.symbols.len() {
             return Err(QmlError::Validation(format!(
                 "parametric plan needs {} binding values, got {}",
@@ -125,11 +156,7 @@ impl GatePlan {
                 values.len()
             )));
         }
-        if self.param_sites.is_empty() {
-            Ok(self.circuit.clone())
-        } else {
-            Ok(self.circuit.bind_sites(&self.param_sites, values))
-        }
+        Ok(())
     }
 }
 
@@ -587,5 +614,21 @@ mod tests {
         assert_eq!(bound.gates()[1], Gate::Rx(1, 0.5.into()));
 
         assert!(plan.bind(&[0.25]).is_err(), "missing slot value rejected");
+
+        let overlay = plan.bind_overlay(&[0.25, 0.5]).unwrap();
+        assert_eq!(overlay.to_circuit(), bound, "overlay == clone-bind");
+        assert!(
+            Arc::ptr_eq(overlay.base(), &plan.circuit),
+            "overlay shares the plan circuit"
+        );
+        assert!(plan.bind_overlay(&[0.25]).is_err());
+    }
+
+    #[test]
+    fn concrete_plan_overlay_shares_the_circuit() {
+        let plan = dummy_plan();
+        let overlay = plan.bind_overlay(&[]).unwrap();
+        assert!(overlay.overrides().is_empty());
+        assert!(Arc::ptr_eq(overlay.base(), &plan.circuit));
     }
 }

@@ -129,9 +129,10 @@ impl GateBackend {
     }
 
     /// The policy-dependent phase: bind the plan's slot table with the
-    /// bundle's late parameter values (O(#sites), no re-transpilation),
-    /// sample the bound circuit, and decode the counts through the plan's
-    /// explicit result schema.
+    /// bundle's late parameter values as a zero-copy overlay (O(#sites), no
+    /// circuit copy, no re-transpilation), sample the bound view through the
+    /// worker's shared scratch buffers, and decode the counts through the
+    /// plan's explicit result schema.
     fn run_plan(
         &self,
         bundle: &JobBundle,
@@ -140,15 +141,9 @@ impl GateBackend {
         plan: &GatePlan,
     ) -> Result<ExecutionResult> {
         let values = Self::binding_values(bundle, plan)?;
-        // Concrete plans simulate in place; only parametric plans pay the
-        // flat copy + O(#sites) substitution.
-        let bound;
-        let circuit = if plan.is_parametric() {
-            bound = plan.bind(&values)?;
-            &bound
-        } else {
-            &plan.circuit
-        };
+        // Concrete plans execute the shared plan circuit directly; parametric
+        // plans pay only the O(#sites) overlay — never a gate-vector copy.
+        let bound = plan.bind_overlay(&values)?;
         // An unseeded job derives its seed from the realized program instead
         // of a flat 0: two distinct unseeded programs (e.g. the points of a
         // sweep, which differ in their binding fingerprints) must not share
@@ -156,7 +151,10 @@ impl GateBackend {
         // the same unseeded bundle reproduces its counts exactly.
         let seed = exec.seed.unwrap_or_else(|| bundle.program_hash());
         let sim = Simulator::new();
-        let run = sim.run(circuit, exec.samples, seed);
+        let run = qml_sim::with_thread_scratch(|scratch| {
+            sim.run_view_with_scratch(&bound, exec.samples, seed, scratch)
+        })
+        .map_err(|e| QmlError::Validation(format!("cannot sample bound circuit: {e}")))?;
         let decoded = DecodedCounts::decode(&run.counts, &plan.schema, &plan.register)?;
 
         // Orthogonal QEC service (advisory resource estimate only).

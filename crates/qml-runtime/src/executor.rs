@@ -258,6 +258,12 @@ impl Runtime {
     /// service's fair scheduler only coalesces jobs with one batch key, which
     /// implies one backend. Without a placement the whole batch falls back to
     /// per-member scheduled execution, timed individually.
+    ///
+    /// The gate plane binds each member as a zero-copy overlay over the
+    /// shared plan circuit and samples through the worker thread's scratch
+    /// pool (`qml_sim::with_thread_scratch`): amplitude, CDF, and draw
+    /// buffers are reused across members, so a warm batch runs
+    /// allocation-free after its first member.
     pub(crate) fn execute_claimed_batch(
         &self,
         claimed: Vec<(JobId, JobBundle)>,

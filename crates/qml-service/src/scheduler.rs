@@ -385,6 +385,11 @@ pub(crate) struct FairScheduler {
     /// Largest number of plan-compatible jobs one dispatch may coalesce
     /// (1 disables micro-batching).
     max_batch: usize,
+    /// Scale the per-dispatch batch cap from live queue depth: a deep
+    /// backlog batches to `max_batch` for throughput, a shallow queue keeps
+    /// batches small so a straggler job is not held behind a long device
+    /// call. `false` pins the cap at `max_batch` (the pre-adaptive behavior).
+    adaptive_batch: bool,
     tenants: BTreeMap<Arc<str>, TenantQueue>,
     /// Visit order; tenants are appended on first admission and never
     /// removed (an empty queue is skipped in O(1)).
@@ -420,6 +425,7 @@ pub(crate) struct FairScheduler {
 impl FairScheduler {
     pub(crate) fn new(
         max_batch: usize,
+        adaptive_batch: bool,
         ewma_alpha: f64,
         charge_back_clamp: f64,
         obs: Arc<MetricsRegistry>,
@@ -427,6 +433,7 @@ impl FairScheduler {
         FairScheduler {
             mode: Mode::Stopped,
             max_batch: max_batch.max(1),
+            adaptive_batch,
             tenants: BTreeMap::new(),
             rotation: Vec::new(),
             cursor: 0,
@@ -890,12 +897,30 @@ impl FairScheduler {
     /// deficit — there is nobody to be fair to — with the deficit clamped at
     /// zero so no batching debt leaks into the next contended period.
     ///
+    /// When `adaptive_batch` is on, the cap additionally scales with the
+    /// live backlog behind the head: a dispatch takes at most about half the
+    /// remaining queue, so a shallow queue (e.g. 3 jobs behind the head)
+    /// ships a small batch quickly instead of waiting out a full-cap device
+    /// call, while a deep backlog (≥ `2·(max_batch−1)` behind the head)
+    /// still batches all the way to `max_batch` for throughput.
+    ///
     /// Clock discipline: the caller's `now` is *not* reused here. Member
     /// token refills and wait-time accounting read a **fresh instant** taken
     /// after the head's bookkeeping, so a member admitted between the
     /// caller's clock read and this scan can never observe a `now` older
     /// than its own `submitted` stamp (its wait would clamp to zero and, in
     /// older std, panicked), and refill arithmetic never runs backwards.
+    /// The batch-size cap of one dispatch, given how many jobs are queued
+    /// behind the already-taken head. Fixed at `max_batch` unless adaptive
+    /// batching is enabled; then `queued/2 + 1`, clamped to
+    /// `[1, max_batch]` — deep queue → full cap, shallow queue → small batch.
+    fn effective_max_batch(&self, queued_behind_head: usize) -> usize {
+        if !self.adaptive_batch {
+            return self.max_batch;
+        }
+        (queued_behind_head / 2 + 1).clamp(1, self.max_batch)
+    }
+
     fn coalesce(&mut self, name: &Arc<str>, head: &QueuedJob, drain: bool) -> Vec<BatchMember> {
         let mut rest = Vec::new();
         let Some(key) = head.batch_key else {
@@ -909,14 +934,18 @@ impl FairScheduler {
         // non-empty count exceeds this tenant's own contribution.
         let tenant = self.tenants.get_mut(name).expect("tenant exists");
         let contended = self.nonempty > usize::from(!tenant.queue.is_empty());
+        // Adaptive cap, read from the live backlog (queue length and the
+        // non-empty count are both O(1) signals — no scan).
+        let queued_behind_head = tenant.queue.len();
+        let cap = self.effective_max_batch(queued_behind_head);
+        if cap <= 1 {
+            return rest;
+        }
         let mut idx = 0usize;
         let mut scanned = 0usize;
         loop {
             let tenant = self.tenants.get_mut(name).expect("tenant exists");
-            if rest.len() + 1 >= self.max_batch
-                || idx >= tenant.queue.len()
-                || scanned >= MAX_BATCH_SCAN
-            {
+            if rest.len() + 1 >= cap || idx >= tenant.queue.len() || scanned >= MAX_BATCH_SCAN {
                 break;
             }
             scanned += 1;
@@ -990,7 +1019,7 @@ mod tests {
     }
 
     fn sched_with(policies: &[(&str, TenantPolicy)]) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(8, 0.4, 16.0, noop_registry());
+        let mut sched = FairScheduler::new(8, false, 0.4, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let names = policies
             .iter()
@@ -1268,6 +1297,51 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_batching_scales_the_cap_with_queue_depth() {
+        let mut sched = FairScheduler::new(8, true, 0.4, 16.0, noop_registry());
+        sched.mode = Mode::Running;
+        let name = sched.intern("solo", &TenantPolicy::default());
+
+        // Deep backlog: 16 compatible jobs → the first dispatch still
+        // batches all the way to the fixed cap.
+        for i in 0..16 {
+            sched.admit(&name, JobId(i), 1.0, None, None, Some(42));
+        }
+        let now = Instant::now();
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.len(), 8, "deep queue batches to max_batch");
+        first.ids().for_each(|id| sched.release(id));
+
+        // 8 left; head taken → 7 behind → cap 7/2+1 = 4.
+        let SchedPoll::Dispatch(second) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(second.len(), 4, "mid-depth queue halves the batch");
+        second.ids().for_each(|id| sched.release(id));
+
+        // 4 left; head taken → 3 behind → cap 2.
+        let SchedPoll::Dispatch(third) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(third.len(), 2, "shallow queue ships small batches");
+        third.ids().for_each(|id| sched.release(id));
+    }
+
+    #[test]
+    fn adaptive_batching_off_keeps_the_fixed_cap() {
+        let (mut sched, names) = sched_with(&[("solo", TenantPolicy::default())]);
+        for i in 0..4 {
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(42));
+        }
+        let SchedPoll::Dispatch(batch) = sched.next_job(Instant::now()) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(batch.len(), 4, "fixed cap takes the whole shallow queue");
+    }
+
+    #[test]
     fn contended_batches_stay_within_the_drr_budget() {
         // Under contention a batch may only spend the deficit its tenant was
         // credited: weight 3 affords three equal-cost members per visit,
@@ -1382,7 +1456,7 @@ mod tests {
     }
 
     fn mis_estimated_sched(charge_back_clamp: f64) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(1, 0.4, charge_back_clamp, noop_registry());
+        let mut sched = FairScheduler::new(1, false, 0.4, charge_back_clamp, noop_registry());
         sched.mode = Mode::Running;
         let names: Vec<Arc<str>> = [("under", ()), ("exact", ())]
             .iter()
@@ -1657,7 +1731,7 @@ mod tests {
     fn disabled_model_ignores_duration_hints_too() {
         // alpha <= 0 must restore *pure* estimate-unit admission: hints are
         // part of the measured-cost path and must not reprice either.
-        let mut sched = FairScheduler::new(8, 0.0, 16.0, noop_registry());
+        let mut sched = FairScheduler::new(8, false, 0.0, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let name = sched.intern("t", &TenantPolicy::default());
         sched.admit(&name, JobId(0), 40.0, Some(0.005), None, Some(9));

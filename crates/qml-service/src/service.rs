@@ -36,6 +36,12 @@ pub struct ServiceConfig {
     /// on [`QmlService`]). `1` disables batching; the default is
     /// [`DEFAULT_MAX_BATCH`].
     pub max_batch: usize,
+    /// Scale the per-dispatch batch cap from live queue depth instead of
+    /// always batching to [`ServiceConfig::max_batch`]: a deep backlog still
+    /// batches to the cap for throughput, but a shallow queue ships small
+    /// batches so an isolated job is not held behind a long device call.
+    /// Off by default (fixed cap, the pre-adaptive behavior).
+    pub adaptive_batch: bool,
     /// Policy applied to tenants without an explicit entry in
     /// [`ServiceConfig::tenant_policies`].
     pub default_policy: TenantPolicy,
@@ -95,6 +101,7 @@ impl ServiceConfig {
         ServiceConfig {
             workers,
             max_batch: DEFAULT_MAX_BATCH,
+            adaptive_batch: false,
             default_policy: TenantPolicy::default(),
             tenant_policies: BTreeMap::new(),
             cost_ewma_alpha: crate::cost_model::DEFAULT_COST_EWMA_ALPHA,
@@ -122,6 +129,13 @@ impl ServiceConfig {
     /// are treated as 1.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Enable (or disable) queue-depth-adaptive micro-batching,
+    /// builder-style (see [`ServiceConfig::adaptive_batch`]).
+    pub fn with_adaptive_batch(mut self, adaptive: bool) -> Self {
+        self.adaptive_batch = adaptive;
         self
     }
 
@@ -428,6 +442,7 @@ impl QmlService {
         runtime.set_tracer(Arc::clone(obs.tracer()));
         let sched = FairScheduler::new(
             config.max_batch,
+            config.adaptive_batch,
             config.cost_ewma_alpha,
             config.charge_back_clamp,
             Arc::clone(&obs),

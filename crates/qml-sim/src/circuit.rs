@@ -7,18 +7,89 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::gate::Gate;
 
+/// Process-wide count of full [`Circuit`] clones (see
+/// [`circuit_clone_count`]).
+static CIRCUIT_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full `Circuit` clones (gate vector + measurement map copies)
+/// performed since process start. The per-job execute path is required to be
+/// clone-free — cached plans are shared behind `Arc` and bound through a
+/// [`crate::overlay::BoundCircuit`] overlay — so regression tests snapshot
+/// this counter around warm executions and assert a zero delta. Realization
+/// (transpilation) may clone freely.
+pub fn circuit_clone_count() -> u64 {
+    CIRCUIT_CLONES.load(Ordering::Relaxed)
+}
+
 /// An ordered list of gates on `num_qubits` qubits plus an explicit
 /// measurement map (qubit → classical bit position).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Circuit {
     num_qubits: usize,
     gates: Vec<Gate>,
     /// Qubits measured at the end of the circuit, in classical-bit order:
     /// `measured[j]` is the qubit whose outcome becomes classical bit `j`.
     measured: Vec<usize>,
+}
+
+impl Clone for Circuit {
+    /// A deep copy of the gate vector — deliberately *not* derived so every
+    /// full-circuit copy passes through the [`circuit_clone_count`] counter.
+    fn clone(&self) -> Self {
+        CIRCUIT_CLONES.fetch_add(1, Ordering::Relaxed);
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.clone(),
+            measured: self.measured.clone(),
+        }
+    }
+}
+
+/// Read-only access to an executable circuit: exactly what the simulator
+/// needs to apply gates and sample measurements, abstracted so a shared
+/// cached plan plus a per-job binding overlay
+/// ([`crate::overlay::BoundCircuit`]) can execute without ever materializing
+/// a copied [`Circuit`].
+pub trait CircuitView {
+    /// Number of qubits.
+    fn width(&self) -> usize;
+    /// The measurement map (classical bit `j` reads qubit
+    /// `measurement_map()[j]`).
+    fn measurement_map(&self) -> &[usize];
+    /// Number of gates in application order.
+    fn gate_count(&self) -> usize;
+    /// The effective gate at position `i` in application order.
+    fn gate_at(&self, i: usize) -> &Gate;
+    /// Visit every effective gate in application order. Implementations with
+    /// cheaper sequential access than random [`CircuitView::gate_at`] (e.g.
+    /// an overlay's merge walk) override this.
+    fn for_each_gate(&self, f: &mut dyn FnMut(&Gate)) {
+        for i in 0..self.gate_count() {
+            f(self.gate_at(i));
+        }
+    }
+}
+
+impl CircuitView for Circuit {
+    fn width(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn measurement_map(&self) -> &[usize] {
+        &self.measured
+    }
+
+    fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    fn gate_at(&self, i: usize) -> &Gate {
+        &self.gates[i]
+    }
 }
 
 impl Circuit {
@@ -174,6 +245,14 @@ impl Circuit {
             num_qubits: self.num_qubits,
             gates: self.gates.iter().map(|g| g.bind(values)).collect(),
             measured: self.measured.clone(),
+        }
+    }
+
+    /// Replace the gates at the given `(index, gate)` pairs in place — the
+    /// overlay materialization helper ([`crate::overlay::BoundCircuit`]).
+    pub(crate) fn rewrite_gates(&mut self, overrides: &[(usize, Gate)]) {
+        for &(i, g) in overrides {
+            self.gates[i] = g;
         }
     }
 

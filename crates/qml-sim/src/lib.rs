@@ -14,7 +14,12 @@
 //!   (rayon-parallel above [`state::PARALLEL_THRESHOLD`]).
 //! * [`Circuit`] / [`qft_circuit`] — ordered gate lists with explicit
 //!   measurement maps and the textbook QFT construction.
-//! * [`Simulator`] — `run(circuit, shots, seed)` with reproducible counts.
+//! * [`BoundCircuit`] — zero-copy parameter binding: a shared plan circuit
+//!   plus a per-job overlay of bound sites, executed through [`CircuitView`]
+//!   without materializing a copied circuit.
+//! * [`Simulator`] — `run(circuit, shots, seed)` with reproducible counts;
+//!   the batch hot path reuses per-worker [`SimScratch`] buffers via
+//!   [`with_thread_scratch`].
 
 #![warn(missing_docs)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
@@ -23,16 +28,18 @@
 pub mod circuit;
 pub mod complex;
 pub mod gate;
+pub mod overlay;
 pub mod param;
 pub mod simulator;
 pub mod state;
 
-pub use circuit::{qft_circuit, Circuit};
+pub use circuit::{circuit_clone_count, qft_circuit, Circuit, CircuitView};
 pub use complex::Complex64;
 pub use gate::{is_unitary2, matmul2, Gate};
+pub use overlay::BoundCircuit;
 pub use param::{ParamExpr, MAX_PARAM_TERMS};
-pub use simulator::{SimulationResult, Simulator};
-pub use state::{StateVector, PARALLEL_THRESHOLD};
+pub use simulator::{with_thread_scratch, SimScratch, SimulationResult, Simulator};
+pub use state::{DegenerateStateError, StateVector, PARALLEL_THRESHOLD};
 
 #[cfg(test)]
 mod proptests {

@@ -7,10 +7,48 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-use crate::circuit::Circuit;
-use crate::state::StateVector;
+use crate::circuit::{Circuit, CircuitView};
+use crate::state::{DegenerateStateError, StateVector};
+
+/// Reusable per-worker simulation buffers: the 2ⁿ amplitude vector plus the
+/// sampling CDF and draw scratch. A worker draining a 16-member device
+/// micro-batch through [`Simulator::run_view_with_scratch`] grows these once
+/// and reuses them for every member.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    amps: Vec<crate::complex::Complex64>,
+    cdf: Vec<f64>,
+    draws: Vec<f64>,
+    amp_allocations: u64,
+}
+
+impl SimScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times the amplitude buffer had to grow (i.e. actually
+    /// allocate) since this scratch was created. A batch of same-width
+    /// circuits should report exactly 1.
+    pub fn amp_allocations(&self) -> u64 {
+        self.amp_allocations
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
+/// Run `f` with this worker thread's shared [`SimScratch`]. Executor workers
+/// call this once per claimed batch so every member reuses one amplitude
+/// buffer.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut SimScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// Shot-sampled execution result.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,8 +92,15 @@ impl Simulator {
     /// Evolve |0...0⟩ through the circuit and return the final state vector
     /// (measurements are ignored — this is the exact, pre-measurement state).
     pub fn statevector(&self, circuit: &Circuit) -> StateVector {
-        let mut sv = StateVector::zero_state(circuit.num_qubits());
-        sv.apply_all(circuit.gates());
+        self.statevector_view(circuit)
+    }
+
+    /// Evolve |0...0⟩ through any [`CircuitView`] — a plain [`Circuit`] or a
+    /// zero-copy [`crate::overlay::BoundCircuit`] — without materializing an
+    /// owned circuit.
+    pub fn statevector_view<C: CircuitView + ?Sized>(&self, view: &C) -> StateVector {
+        let mut sv = StateVector::zero_state(view.width());
+        sv.apply_view(view);
         sv
     }
 
@@ -63,20 +108,67 @@ impl Simulator {
     ///
     /// # Panics
     /// Panics if the circuit declares no measurements — implicit "measure
-    /// everything" defaults are exactly what the middle layer forbids.
+    /// everything" defaults are exactly what the middle layer forbids — or if
+    /// the final state is degenerate (all-zero / non-finite amplitudes);
+    /// callers that must not panic use [`Simulator::try_run_view`].
     pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> SimulationResult {
+        self.try_run_view(circuit, shots, seed)
+            .expect("cannot sample a degenerate state")
+    }
+
+    /// [`Simulator::run`] generalized over [`CircuitView`], with the
+    /// degenerate-state case surfaced as an error instead of a panic.
+    /// Allocates fresh scratch; the batch hot path uses
+    /// [`Simulator::run_view_with_scratch`].
+    pub fn try_run_view<C: CircuitView + ?Sized>(
+        &self,
+        view: &C,
+        shots: u64,
+        seed: u64,
+    ) -> Result<SimulationResult, DegenerateStateError> {
+        let mut scratch = SimScratch::new();
+        self.run_view_with_scratch(view, shots, seed, &mut scratch)
+    }
+
+    /// The allocation-free execute path: evolve the view's state into the
+    /// scratch amplitude buffer (reused across calls — one allocation per
+    /// worker per width, not one per job) and vector-sample its measured
+    /// qubits through the scratch CDF/draw buffers.
+    ///
+    /// # Panics
+    /// Panics if the view declares no measurements.
+    pub fn run_view_with_scratch<C: CircuitView + ?Sized>(
+        &self,
+        view: &C,
+        shots: u64,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<SimulationResult, DegenerateStateError> {
         assert!(
-            circuit.num_clbits() > 0,
+            !view.measurement_map().is_empty(),
             "circuit has no measurements; the middle layer forbids implicit measurement"
         );
-        let sv = self.statevector(circuit);
+        if scratch.amps.capacity() < (1usize << view.width()) {
+            scratch.amp_allocations += 1;
+        }
+        let mut sv = StateVector::zero_state_in(view.width(), std::mem::take(&mut scratch.amps));
+        sv.apply_view(view);
         let mut rng = StdRng::seed_from_u64(seed);
-        let counts = sv.sample_counts(circuit.measured(), shots, &mut rng);
-        SimulationResult {
-            counts,
+        let counts = sv.sample_counts_with(
+            view.measurement_map(),
+            shots,
+            &mut rng,
+            &mut scratch.cdf,
+            &mut scratch.draws,
+        );
+        // Hand the amplitude buffer back before propagating any sampling
+        // error, so the pool survives degenerate jobs too.
+        scratch.amps = sv.into_amps();
+        Ok(SimulationResult {
+            counts: counts?,
             shots,
             seed,
-        }
+        })
     }
 
     /// Exact outcome distribution of the measured qubits (no sampling noise).
@@ -159,6 +251,55 @@ mod tests {
         qc.measure(&[2, 0]);
         let result = Simulator::new().run(&qc, 10, 3);
         assert_eq!(result.most_frequent(), Some(("10", 10)));
+    }
+
+    #[test]
+    fn scratch_pool_allocates_once_per_batch() {
+        let mut qc = Circuit::new(4);
+        qc.extend(&[Gate::H(0), Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::Cx(2, 3)]);
+        qc.measure_all();
+        let sim = Simulator::new();
+        let mut scratch = SimScratch::new();
+        let baseline = sim.run(&qc, 256, 5);
+        for seed in 0..16u64 {
+            let got = sim
+                .run_view_with_scratch(&qc, 256, seed, &mut scratch)
+                .unwrap();
+            if seed == 5 {
+                assert_eq!(got, baseline, "scratch path must match the plain path");
+            }
+        }
+        assert_eq!(
+            scratch.amp_allocations(),
+            1,
+            "a 16-member batch of same-width circuits should allocate amplitudes once"
+        );
+    }
+
+    #[test]
+    fn overlay_view_matches_clone_bound_execution() {
+        use crate::overlay::BoundCircuit;
+        use crate::param::ParamExpr;
+        use std::sync::Arc;
+
+        let mut qc = Circuit::new(3);
+        qc.extend(&[
+            Gate::H(0),
+            Gate::Rzz(0, 1, ParamExpr::symbol(0).scale(2.0)),
+            Gate::Rx(2, ParamExpr::symbol(1)),
+        ]);
+        qc.measure_all();
+        let base = Arc::new(qc);
+        let sites = base.symbolic_gate_indices();
+        let values = [0.7, -1.3];
+
+        let cloned = base.bind_sites(&sites, &values);
+        let overlay = BoundCircuit::bind_sites(Arc::clone(&base), &sites, &values);
+
+        let sim = Simulator::new();
+        let via_clone = sim.run(&cloned, 2048, 42);
+        let via_overlay = sim.try_run_view(&overlay, 2048, 42).unwrap();
+        assert_eq!(via_clone, via_overlay);
     }
 
     #[test]

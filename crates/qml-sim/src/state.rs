@@ -9,11 +9,36 @@
 use rand::Rng;
 use rayon::prelude::*;
 
+use crate::circuit::CircuitView;
 use crate::complex::Complex64;
 use crate::gate::Gate;
 
 /// Number of amplitudes above which kernels use rayon.
 pub const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// Error returned by shot sampling when the state's probability mass is
+/// degenerate: all-zero amplitudes or a non-finite norm (e.g. a rotation
+/// bound to a NaN angle). Such a state has no multinomial interpretation —
+/// the old sampler either panicked inside `partial_cmp` (NaN) or silently
+/// returned basis state 0 for every shot (zero mass), so the condition is
+/// now reported as a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegenerateStateError {
+    /// The total probability mass the sampler observed (0.0, NaN, or ±∞).
+    pub total_mass: f64,
+}
+
+impl std::fmt::Display for DegenerateStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot sample a degenerate state (total probability mass {})",
+            self.total_mass
+        )
+    }
+}
+
+impl std::error::Error for DegenerateStateError {}
 
 /// A dense state vector over `num_qubits` qubits.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +57,29 @@ impl StateVector {
         let mut amps = vec![Complex64::ZERO; 1 << num_qubits];
         amps[0] = Complex64::ONE;
         StateVector { num_qubits, amps }
+    }
+
+    /// Like [`StateVector::zero_state`], but reuses `buf`'s allocation for
+    /// the amplitudes — the scratch-pool constructor the batch execute path
+    /// uses so same-width micro-batch members share one buffer (recover the
+    /// buffer afterwards with [`StateVector::into_amps`]).
+    pub fn zero_state_in(num_qubits: usize, mut buf: Vec<Complex64>) -> Self {
+        assert!(
+            num_qubits <= 26,
+            "state vector limited to 26 qubits (1 GiB)"
+        );
+        buf.clear();
+        buf.resize(1 << num_qubits, Complex64::ZERO);
+        buf[0] = Complex64::ONE;
+        StateVector {
+            num_qubits,
+            amps: buf,
+        }
+    }
+
+    /// Consume the state, returning its amplitude buffer for reuse.
+    pub fn into_amps(self) -> Vec<Complex64> {
+        self.amps
     }
 
     /// The computational basis state |index⟩.
@@ -159,6 +207,13 @@ impl StateVector {
         }
     }
 
+    /// Apply every effective gate of a [`CircuitView`] in order — the
+    /// overlay-aware application path: a [`crate::overlay::BoundCircuit`]
+    /// substitutes its bound gates during the walk, without a copied circuit.
+    pub fn apply_view<C: CircuitView + ?Sized>(&mut self, view: &C) {
+        view.for_each_gate(&mut |gate| self.apply(gate));
+    }
+
     /// Apply an arbitrary 2×2 unitary to qubit `q`.
     pub fn apply_single_qubit(&mut self, q: usize, m: &[Complex64; 4]) {
         let stride = 1usize << q;
@@ -249,39 +304,100 @@ impl StateVector {
 
     /// Sample `shots` measurement outcomes of the listed qubits in the Z
     /// basis. Returns bitstrings where character `j` is the outcome of
-    /// `qubits[j]`.
+    /// `qubits[j]`, or a [`DegenerateStateError`] when the state carries no
+    /// finite positive probability mass.
+    ///
+    /// Convenience wrapper over [`StateVector::sample_counts_with`] that
+    /// allocates its own scratch buffers.
     pub fn sample_counts<R: Rng>(
         &self,
         qubits: &[usize],
         shots: u64,
         rng: &mut R,
-    ) -> std::collections::BTreeMap<String, u64> {
+    ) -> Result<std::collections::BTreeMap<String, u64>, DegenerateStateError> {
+        self.sample_counts_with(qubits, shots, rng, &mut Vec::new(), &mut Vec::new())
+    }
+
+    /// Vectorized shot sampling into caller-provided scratch buffers.
+    ///
+    /// The CDF over full basis states is computed **once** into `cdf`, all
+    /// `shots` draws are taken up front into `draws` (one `rng` call per
+    /// shot, exactly like the scalar sampler consumed the stream), sorted,
+    /// and resolved by a single merge walk over the CDF — O(2ⁿ + S log S)
+    /// instead of a per-shot binary search's O(S log 2ⁿ). Counts accumulate
+    /// per basis-state *run*, so a bitstring key is rendered once per
+    /// distinct outcome, not once per shot.
+    ///
+    /// A draw resolves to the first basis state whose cumulative mass
+    /// strictly exceeds it (clamped to the last positive-probability state),
+    /// so zero-probability plateaus can never be sampled.
+    pub fn sample_counts_with<R: Rng>(
+        &self,
+        qubits: &[usize],
+        shots: u64,
+        rng: &mut R,
+        cdf: &mut Vec<f64>,
+        draws: &mut Vec<f64>,
+    ) -> Result<std::collections::BTreeMap<String, u64>, DegenerateStateError> {
         for &q in qubits {
             assert!(q < self.num_qubits, "measured qubit {q} out of range");
         }
-        // Cumulative distribution over full basis states.
-        let mut cumulative = Vec::with_capacity(self.amps.len());
+        // Cumulative distribution over full basis states, reusing `cdf`.
+        cdf.clear();
+        cdf.reserve(self.amps.len());
         let mut acc = 0.0f64;
-        for amp in &self.amps {
-            acc += amp.norm_sqr();
-            cumulative.push(acc);
+        let mut last_positive = 0usize;
+        for (i, amp) in self.amps.iter().enumerate() {
+            let p = amp.norm_sqr();
+            if p > 0.0 {
+                last_positive = i;
+            }
+            acc += p;
+            cdf.push(acc);
         }
         let total = acc;
+        if !total.is_finite() || total <= 0.0 {
+            return Err(DegenerateStateError { total_mass: total });
+        }
 
-        let mut counts = std::collections::BTreeMap::new();
+        draws.clear();
+        draws.reserve(shots as usize);
         for _ in 0..shots {
-            let r: f64 = rng.gen::<f64>() * total;
-            let idx = match cumulative.binary_search_by(|p| p.partial_cmp(&r).unwrap()) {
-                Ok(i) => i,
-                Err(i) => i.min(self.amps.len() - 1),
-            };
-            let word: String = qubits
+            draws.push(rng.gen::<f64>() * total);
+        }
+        draws.sort_unstable_by(f64::total_cmp);
+
+        let render = |idx: usize| -> String {
+            qubits
                 .iter()
                 .map(|&q| if idx & (1 << q) != 0 { '1' } else { '0' })
-                .collect();
-            *counts.entry(word).or_insert(0u64) += 1;
+                .collect()
+        };
+        let mut counts = std::collections::BTreeMap::new();
+        let mut idx = 0usize;
+        let mut run: Option<(usize, u64)> = None;
+        for &r in draws.iter() {
+            // Ascending draws ⇒ the walk pointer only moves forward; the
+            // whole loop advances it at most 2ⁿ positions in total.
+            while idx < last_positive && cdf[idx] <= r {
+                idx += 1;
+            }
+            match run {
+                Some((current, ref mut n)) if current == idx => *n += 1,
+                _ => {
+                    if let Some((current, n)) = run {
+                        *counts.entry(render(current)).or_insert(0u64) += n;
+                    }
+                    run = Some((idx, 1));
+                }
+            }
         }
-        counts
+        if let Some((current, n)) = run {
+            // Distinct basis states can share a word when `qubits` is a
+            // subset, so runs merge through the map entry.
+            *counts.entry(render(current)).or_insert(0u64) += n;
+        }
+        Ok(counts)
     }
 
     /// Exact outcome distribution of the listed qubits (marginalized over the
@@ -445,7 +561,7 @@ mod tests {
         let mut sv = StateVector::zero_state(2);
         sv.apply_all(&[Gate::H(0), Gate::Cx(0, 1)]);
         let mut rng = StdRng::seed_from_u64(42);
-        let counts = sv.sample_counts(&[0, 1], 10_000, &mut rng);
+        let counts = sv.sample_counts(&[0, 1], 10_000, &mut rng).unwrap();
         // Only 00 and 11 occur, each ≈ 50 %.
         assert_eq!(counts.keys().cloned().collect::<Vec<_>>(), vec!["00", "11"]);
         let p00 = counts["00"] as f64 / 10_000.0;
@@ -458,7 +574,56 @@ mod tests {
         sv.apply_all(&[Gate::H(0), Gate::H(1), Gate::H(2)]);
         let a = sv.sample_counts(&[0, 1, 2], 1000, &mut StdRng::seed_from_u64(7));
         let b = sv.sample_counts(&[0, 1, 2], 1000, &mut StdRng::seed_from_u64(7));
-        assert_eq!(a, b);
+        assert_eq!(a.unwrap(), b.unwrap());
+    }
+
+    #[test]
+    fn degenerate_nan_state_is_a_sampling_error() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply(&Gate::Rx(0, f64::NAN.into()));
+        let err = sv
+            .sample_counts(&[0, 1], 100, &mut StdRng::seed_from_u64(1))
+            .unwrap_err();
+        assert!(
+            !err.total_mass.is_finite(),
+            "NaN amplitudes must surface as non-finite mass, got {}",
+            err.total_mass
+        );
+        assert!(err.to_string().contains("degenerate"));
+    }
+
+    #[test]
+    fn vectorized_sampler_reuses_scratch_and_matches_wrapper() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_all(&[Gate::H(0), Gate::Cx(0, 1), Gate::X(2)]);
+        let simple = sv
+            .sample_counts(&[0, 1, 2], 500, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let mut cdf = Vec::new();
+        let mut draws = Vec::new();
+        let buffered = sv
+            .sample_counts_with(
+                &[0, 1, 2],
+                500,
+                &mut StdRng::seed_from_u64(9),
+                &mut cdf,
+                &mut draws,
+            )
+            .unwrap();
+        assert_eq!(simple, buffered);
+        assert_eq!(cdf.len(), 8);
+        assert_eq!(draws.len(), 500);
+        // Reusing the same buffers must not change the outcome.
+        let again = sv
+            .sample_counts_with(
+                &[0, 1, 2],
+                500,
+                &mut StdRng::seed_from_u64(9),
+                &mut cdf,
+                &mut draws,
+            )
+            .unwrap();
+        assert_eq!(simple, again);
     }
 
     #[test]
