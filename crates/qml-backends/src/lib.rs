@@ -17,6 +17,7 @@ pub mod cache;
 pub mod gate;
 pub mod lowering;
 pub mod results;
+pub mod testing;
 pub mod traits;
 
 pub use anneal::{AnnealBackend, DEFAULT_ANNEAL_ENGINE, DEFAULT_SWEEPS};
@@ -27,4 +28,5 @@ pub use cache::{
 pub use gate::{listing4_context, GateBackend, DEFAULT_GATE_ENGINE};
 pub use lowering::{lower_to_bqm, lower_to_circuit, LoweredBqm, LoweredCircuit};
 pub use results::{EnergyStats, ExecutionResult};
+pub use testing::{FaultPlan, FaultyBackend};
 pub use traits::{Backend, BatchTimings};

@@ -1,0 +1,287 @@
+//! Deterministic fault injection for fleet and failure-domain tests.
+//!
+//! Failure-handling claims ("jobs are requeued exactly once", "a down device
+//! receives no dispatches") are only testable if failures happen *on
+//! schedule*. [`FaultyBackend`] wraps any real [`Backend`] and injects
+//! [`QmlError::DeviceFault`] errors according to a scriptable [`FaultPlan`]:
+//! fail the nth execution (transient — the device recovers afterwards), fail
+//! every execution from an index onward (permanent — a dead device), or fail
+//! every bundle with a given plan key (a poisoned plan class). Everything
+//! else delegates to the wrapped backend unchanged, so results on the
+//! non-faulting path stay bit-identical to the inner backend's.
+//!
+//! This module is compiled into the library (not `#[cfg(test)]`) so unit
+//! tests, the repository-level integration tests, and the fleet examples all
+//! share one fault vocabulary instead of growing per-test ad-hoc doubles.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qml_types::{JobBundle, QmlError, Result};
+
+use crate::cache::TranspileCache;
+use crate::results::ExecutionResult;
+use crate::traits::{Backend, BatchTimings};
+
+/// A deterministic fault schedule for a [`FaultyBackend`].
+///
+/// Execution indices are 0-based and count every member execution the
+/// wrapper performs (batch members included, in submission order), so a
+/// schedule is reproducible run-to-run for a deterministic workload.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Transient faults: execution indices that fail once each; the device
+    /// works again on the next execution (health flapping).
+    pub fail_nth: BTreeSet<u64>,
+    /// Permanent fault: every execution with index `>= fail_from` fails —
+    /// the device is dead from that point on.
+    pub fail_from: Option<u64>,
+    /// Fail every bundle whose plan key (per the inner backend's
+    /// [`Backend::batch_key`]) is in this set, regardless of index.
+    pub fail_plan_keys: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan: never faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail the executions at these 0-based indices (transient faults),
+    /// builder-style.
+    pub fn with_fail_nth(mut self, indices: impl IntoIterator<Item = u64>) -> Self {
+        self.fail_nth.extend(indices);
+        self
+    }
+
+    /// Fail every execution from `index` onward (a permanent device death),
+    /// builder-style.
+    pub fn with_fail_from(mut self, index: u64) -> Self {
+        self.fail_from = Some(index);
+        self
+    }
+
+    /// Fail every bundle with this plan key, builder-style.
+    pub fn with_fail_plan_key(mut self, key: u64) -> Self {
+        self.fail_plan_keys.insert(key);
+        self
+    }
+
+    /// The fault scheduled for execution `index` of a bundle with the given
+    /// plan key, if any.
+    pub fn fault_for(&self, index: u64, plan_key: Option<u64>) -> Option<QmlError> {
+        if self.fail_from.is_some_and(|from| index >= from) {
+            return Some(QmlError::DeviceFault(format!(
+                "injected permanent fault (execution #{index})"
+            )));
+        }
+        if self.fail_nth.contains(&index) {
+            return Some(QmlError::DeviceFault(format!(
+                "injected transient fault (execution #{index})"
+            )));
+        }
+        if let Some(key) = plan_key {
+            if self.fail_plan_keys.contains(&key) {
+                return Some(QmlError::DeviceFault(format!(
+                    "injected fault for plan key {key:016x} (execution #{index})"
+                )));
+            }
+        }
+        None
+    }
+}
+
+/// A [`Backend`] wrapper that injects [`QmlError::DeviceFault`] errors on a
+/// deterministic [`FaultPlan`] schedule and otherwise delegates to the
+/// wrapped backend. See the module docs.
+#[derive(Debug)]
+pub struct FaultyBackend<B: Backend> {
+    inner: B,
+    plan: FaultPlan,
+    executions: AtomicU64,
+    faults_injected: AtomicU64,
+}
+
+impl<B: Backend> FaultyBackend<B> {
+    /// Wrap `inner`, injecting faults per `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        FaultyBackend {
+            inner,
+            plan,
+            executions: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Total member executions attempted so far (faulted ones included).
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// How many faults the plan has injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Claim the next execution index and return the scheduled fault for it,
+    /// if any.
+    fn check(&self, bundle: &JobBundle) -> Option<QmlError> {
+        let index = self.executions.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.fault_for(index, self.inner.batch_key(bundle));
+        if fault.is_some() {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+}
+
+impl<B: Backend> Backend for FaultyBackend<B> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn supports_engine(&self, engine: &str) -> bool {
+        self.inner.supports_engine(engine)
+    }
+
+    fn default_engine(&self) -> &str {
+        self.inner.default_engine()
+    }
+
+    fn execute(&self, bundle: &JobBundle) -> Result<ExecutionResult> {
+        match self.check(bundle) {
+            Some(fault) => Err(fault),
+            None => self.inner.execute(bundle),
+        }
+    }
+
+    fn execute_cached(
+        &self,
+        bundle: &JobBundle,
+        cache: &TranspileCache,
+    ) -> Result<ExecutionResult> {
+        match self.check(bundle) {
+            Some(fault) => Err(fault),
+            None => self.inner.execute_cached(bundle, cache),
+        }
+    }
+
+    /// Per-member sequential execution through the (fault-checked) cached
+    /// path. The [`Backend`] batch contract guarantees per-member results
+    /// are bit-identical to solo execution, so injecting at member
+    /// granularity preserves result fidelity while keeping fault indices
+    /// aligned with submission order.
+    fn execute_batch_timed(
+        &self,
+        bundles: &[JobBundle],
+        cache: &TranspileCache,
+    ) -> (Vec<Result<ExecutionResult>>, BatchTimings) {
+        let mut results = Vec::with_capacity(bundles.len());
+        let mut members = Vec::with_capacity(bundles.len());
+        for bundle in bundles {
+            let started = Instant::now();
+            results.push(self.execute_cached(bundle, cache));
+            members.push(started.elapsed());
+        }
+        let timings = BatchTimings {
+            shared: Duration::ZERO,
+            members,
+            plan_hits: vec![None; bundles.len()],
+        };
+        (results, timings)
+    }
+
+    fn batch_key(&self, bundle: &JobBundle) -> Option<u64> {
+        self.inner.batch_key(bundle)
+    }
+
+    fn estimate_cost(&self, bundle: &JobBundle) -> f64 {
+        self.inner.estimate_cost(bundle)
+    }
+}
+
+/// [`FaultyBackend::new`] boxed behind an `Arc<dyn Backend>`, the shape the
+/// runtime registry takes.
+pub fn faulty<B: Backend + 'static>(inner: B, plan: FaultPlan) -> Arc<dyn Backend> {
+    Arc::new(FaultyBackend::new(inner, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateBackend;
+    use qml_algorithms::{qaoa_maxcut_program, QaoaSchedule, RING_P1_ANGLES};
+    use qml_graph::cycle;
+    use qml_types::{ContextDescriptor, ExecConfig};
+
+    fn job() -> JobBundle {
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES]))
+            .unwrap()
+            .with_context(ContextDescriptor::for_gate(
+                ExecConfig::new("gate.aer_simulator")
+                    .with_samples(256)
+                    .with_seed(7),
+            ))
+    }
+
+    #[test]
+    fn transient_fault_hits_only_scheduled_indices() {
+        let backend = FaultyBackend::new(GateBackend::new(), FaultPlan::none().with_fail_nth([1]));
+        let bundle = job();
+        assert!(backend.execute(&bundle).is_ok());
+        let err = backend.execute(&bundle).unwrap_err();
+        assert!(err.is_device_fault(), "scheduled index faults: {err}");
+        assert!(backend.execute(&bundle).is_ok(), "transient: recovers");
+        assert_eq!(backend.executions(), 3);
+        assert_eq!(backend.faults_injected(), 1);
+    }
+
+    #[test]
+    fn permanent_fault_kills_the_device() {
+        let backend = FaultyBackend::new(GateBackend::new(), FaultPlan::none().with_fail_from(2));
+        let bundle = job();
+        assert!(backend.execute(&bundle).is_ok());
+        assert!(backend.execute(&bundle).is_ok());
+        for _ in 0..3 {
+            assert!(backend.execute(&bundle).unwrap_err().is_device_fault());
+        }
+        assert_eq!(backend.faults_injected(), 3);
+    }
+
+    #[test]
+    fn plan_key_fault_targets_one_plan_class() {
+        let inner = GateBackend::new();
+        let bundle = job();
+        let key = inner.batch_key(&bundle).expect("gate bundles have keys");
+        let backend = FaultyBackend::new(inner, FaultPlan::none().with_fail_plan_key(key));
+        assert!(backend.execute(&bundle).unwrap_err().is_device_fault());
+    }
+
+    #[test]
+    fn non_faulting_path_is_bit_identical_to_inner() {
+        let reference = GateBackend::new().execute(&job()).unwrap();
+        let backend = FaultyBackend::new(GateBackend::new(), FaultPlan::none());
+        let wrapped = backend.execute(&job()).unwrap();
+        assert_eq!(wrapped.counts, reference.counts);
+        assert_eq!(wrapped.shots, reference.shots);
+    }
+
+    #[test]
+    fn batch_path_counts_members_in_submission_order() {
+        let backend = FaultyBackend::new(GateBackend::new(), FaultPlan::none().with_fail_nth([1]));
+        let cache = TranspileCache::new();
+        let bundles = vec![job(), job(), job()];
+        let (results, timings) = backend.execute_batch_timed(&bundles, &cache);
+        assert!(results[0].is_ok());
+        assert!(results[1].as_ref().unwrap_err().is_device_fault());
+        assert!(results[2].is_ok());
+        assert_eq!(timings.members.len(), 3);
+    }
+}

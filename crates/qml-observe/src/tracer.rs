@@ -77,6 +77,14 @@ pub enum Stage {
         /// True if the job completed successfully.
         ok: bool,
     },
+    /// A device fault closed this attempt and the job was re-admitted with
+    /// the failed device excluded. Like [`Stage::Outcome`], this closes an
+    /// attempt — the requeued job repeats `admitted → dispatched → …` on
+    /// another device.
+    Requeued {
+        /// How many attempts the job has consumed so far (1 = first retry).
+        attempt: u32,
+    },
 }
 
 impl Stage {
@@ -90,6 +98,7 @@ impl Stage {
             Stage::Bound => "bound",
             Stage::Executed { .. } => "executed",
             Stage::Outcome { .. } => "outcome",
+            Stage::Requeued { .. } => "requeued",
         }
     }
 
@@ -105,6 +114,7 @@ impl Stage {
             Stage::Bound => 4,
             Stage::Executed { .. } => 5,
             Stage::Outcome { .. } => 6,
+            Stage::Requeued { .. } => 6,
         }
     }
 }
@@ -162,6 +172,7 @@ impl fmt::Display for TraceEvent {
             } => write!(f, " cache_hit={cache_hit} realize_us={realize_us}"),
             Stage::Executed { measured_us } => write!(f, " measured_us={measured_us}"),
             Stage::Outcome { ok } => write!(f, " ok={ok}"),
+            Stage::Requeued { attempt } => write!(f, " attempt={attempt}"),
             Stage::Submitted | Stage::Bound => Ok(()),
         }
     }

@@ -63,6 +63,10 @@ pub struct JobOutcome {
     /// Name of the backend the job was placed on (present for failed
     /// executions too; `None` only when placement itself failed).
     pub backend: Option<String>,
+    /// The fleet device the dispatch was routed to, echoed from
+    /// [`JobDispatch::device`](crate::pool::JobDispatch::device). `None` on
+    /// device-blind paths (one-shot drains, manual `run_job`).
+    pub device: Option<Arc<str>>,
     /// Wall-clock execution time of this job.
     pub duration: Duration,
     /// Index of the pool worker that executed the job.
@@ -212,6 +216,24 @@ impl Runtime {
         }
         job.status = JobStatus::Running;
         Ok(Some(job.bundle.clone()))
+    }
+
+    /// Return a *failed* job to the queue for another execution attempt
+    /// (Failed → Queued, clearing any stale result). Used by fleet
+    /// schedulers to retry a job whose device — not the job itself — faulted.
+    /// Returns false if the id is unknown or the job is not in the Failed
+    /// state (completed, running, and queued jobs are left untouched), so a
+    /// requeue can never duplicate an outcome that already settled.
+    pub fn requeue(&self, id: JobId) -> bool {
+        let mut jobs = self.jobs.lock();
+        match jobs.get_mut(&id) {
+            Some(job) if matches!(job.status, JobStatus::Failed(_)) => {
+                job.status = JobStatus::Queued;
+                job.result = None;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Execute one queued job, reusing an already-computed placement when the
@@ -456,6 +478,7 @@ impl Runtime {
                         id,
                         result,
                         backend,
+                        device: None,
                         duration,
                         worker,
                         stolen,

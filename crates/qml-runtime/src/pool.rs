@@ -56,6 +56,11 @@ pub struct JobDispatch {
     /// A placement computed at admission time, reused for execution (and
     /// shared by every batched member).
     pub placement: Option<Placement>,
+    /// The fleet device this dispatch was routed to, if the source routes at
+    /// device granularity. Echoed back on every member's [`JobOutcome`] so
+    /// the source can settle the right device's health and gauges; the
+    /// runtime itself is device-blind.
+    pub device: Option<Arc<str>>,
 }
 
 impl JobDispatch {
@@ -65,6 +70,7 @@ impl JobDispatch {
             id,
             rest: Vec::new(),
             placement: None,
+            device: None,
         }
     }
 
@@ -220,6 +226,7 @@ fn worker_loop(
                         id,
                         result,
                         backend,
+                        device: dispatch.device.clone(),
                         duration,
                         worker,
                         stolen: false,
@@ -345,6 +352,7 @@ mod tests {
                 id,
                 rest,
                 placement: None,
+                device: None,
             })
         }
     }

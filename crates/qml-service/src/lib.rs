@@ -33,6 +33,15 @@
 //!   transpilation/lowering per group even on a cold cache), with deficit,
 //!   tokens, and in-flight slots still spent per member so fairness
 //!   accounting is unchanged.
+//! * **Fleet routing & failure domains** — each backend plane can front a
+//!   fleet of heterogeneous devices ([`DeviceSpec`]: capability descriptor,
+//!   bounded concurrency, its own queue). Dispatch routes every job to the
+//!   cheapest *capable healthy* device by per-device measured cost
+//!   (capability-feasible round robin before history exists), idle devices
+//!   steal compatible parked work, and a device fault walks the health
+//!   ladder (healthy → degraded → down) while the faulted job is requeued —
+//!   exactly once per attempt, never back onto a device that failed it —
+//!   with outcomes preserved bit-for-bit (see [`fleet`]).
 //! * The runtime's shared **transpilation/lowering cache** (see
 //!   [`qml_backends::TranspileCache`]) makes repeated `(program, target)`
 //!   submissions skip `qml-transpile` entirely; hit/miss counters surface in
@@ -83,6 +92,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cost_model;
+pub mod fleet;
 pub mod metrics;
 pub mod observe;
 pub mod scheduler;
@@ -90,6 +100,9 @@ pub mod service;
 pub mod sweep;
 
 pub use cost_model::{CostModel, COST_UNITS_PER_SECOND, DEFAULT_COST_EWMA_ALPHA};
+pub use fleet::{
+    DeviceSpec, DeviceUtilization, FleetRouter, COST_TIE_BAND, DEFAULT_DOWN_THRESHOLD,
+};
 pub use metrics::{
     BackendUtilization, CacheStats, RunSummary, SchedulerMetrics, ServiceMetrics, TenantStats,
 };

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+pub use crate::fleet::DeviceUtilization;
 pub use crate::scheduler::SchedulerMetrics;
 pub use qml_backends::CacheStats;
 
@@ -99,6 +100,12 @@ pub struct ServiceMetrics {
     pub scheduler: SchedulerMetrics,
     /// Execution totals per backend name.
     pub per_backend: BTreeMap<String, BackendUtilization>,
+    /// Fleet gauges per device id (health, dispatch/failover counters,
+    /// busy-seconds, queue depth). Summing one plane's device busy-seconds
+    /// reproduces that plane's [`BackendUtilization::busy_seconds`]. Absent
+    /// from pre-fleet snapshots, hence the default.
+    #[serde(default)]
+    pub per_device: BTreeMap<String, DeviceUtilization>,
     /// Submission totals per tenant.
     pub per_tenant: BTreeMap<String, TenantStats>,
     /// Summary of the most recent `run_pending` drain.

@@ -154,6 +154,23 @@ impl ObservabilitySnapshot {
                 .unwrap_or_default();
             let _ = writeln!(out, "backend={backend} {}", latency_kv(wait, &exec));
         }
+        for (device, util) in &self.service.per_device {
+            let _ = writeln!(
+                out,
+                "device={device} plane={} health={} dispatched={} completed={} failed={} \
+                 requeued={} stolen_from={} busy_seconds={:.6} queue_depth={} in_flight={}",
+                util.plane,
+                util.health,
+                util.dispatched,
+                util.completed,
+                util.failed,
+                util.requeued,
+                util.stolen_from,
+                util.busy_seconds,
+                util.queue_depth,
+                util.in_flight,
+            );
+        }
         out
     }
 }

@@ -47,9 +47,10 @@ use serde::{Deserialize, Serialize};
 
 use qml_observe::Stage;
 use qml_runtime::{JobDispatch, JobId, Placement};
-use qml_types::MeasuredCost;
+use qml_types::{JobRequirements, MeasuredCost};
 
 use crate::cost_model::{CostModel, COST_UNITS_PER_SECOND};
+use crate::fleet::{DeviceUtilization, FleetRouter, ParkedDispatch};
 use crate::observe::MetricsRegistry;
 
 /// Smallest effective DRR weight; keeps the pass bound finite for
@@ -196,6 +197,11 @@ pub struct SchedulerMetrics {
     /// (post-clamp; 0 while estimates are accurate).
     #[serde(default)]
     pub charge_back_units: f64,
+    /// Device-faulted member jobs re-admitted onto another fleet device
+    /// (failover): each increments a job's attempt count without producing
+    /// a terminal outcome.
+    #[serde(default)]
+    pub requeued: u64,
 }
 
 impl SchedulerMetrics {
@@ -251,6 +257,9 @@ struct QueuedJob {
     /// with the backend identity): queued jobs of one tenant sharing a key
     /// may be coalesced into a single dispatch. `None` never coalesces.
     batch_key: Option<u64>,
+    /// What the job demands of a fleet device (register width, opt level),
+    /// derived once at submission. `None` routes capability-blind.
+    requirements: Option<JobRequirements>,
     submitted: Instant,
 }
 
@@ -328,6 +337,14 @@ struct InFlight {
     /// The cost charged against the tenant's deficit at dispatch.
     cost: f64,
     batch_key: Option<u64>,
+    /// Requirements carried for re-routing after a device fault.
+    requirements: Option<JobRequirements>,
+    /// The **plane-level** placement from admission (before any device
+    /// backend swap), so a faulted job can be re-admitted as if fresh.
+    placement: Option<Placement>,
+    /// The fleet device the dispatch was routed to; cleared once that
+    /// device's slot has been settled (so no path can free it twice).
+    device: Option<usize>,
 }
 
 /// A coalesced batch member plus the attribution its `dispatched` stage
@@ -419,7 +436,23 @@ pub(crate) struct FairScheduler {
     /// Shared observability sink: `admitted`/`dispatched` stage events plus
     /// the per-tenant / per-backend queue-wait histograms.
     obs: Arc<MetricsRegistry>,
+    /// Device-level router: which fleet device within a placement's plane
+    /// runs each dispatch, plus per-device health / queues / gauges. An
+    /// [`empty`](FleetRouter::empty) fleet leaves every plane un-fleeted
+    /// (dispatches are device-blind, exactly the pre-fleet behavior).
+    fleet: FleetRouter,
     pub(crate) metrics: SchedulerMetrics,
+}
+
+/// How [`FairScheduler::settle_outcome`] disposed of one member outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutcomeDisposition {
+    /// The outcome stands; the caller finishes the terminal bookkeeping
+    /// (service counters, traces, [`FairScheduler::record_outcome`]).
+    Final,
+    /// A device fault was absorbed: the job was re-admitted with the
+    /// faulted device excluded. Nothing about it is terminal yet.
+    Requeued,
 }
 
 impl FairScheduler {
@@ -444,8 +477,26 @@ impl FairScheduler {
             nonempty: 0,
             cached_quantum: Some(1.0),
             obs,
+            fleet: FleetRouter::empty(),
             metrics: SchedulerMetrics::default(),
         }
+    }
+
+    /// Install the device fleet (built by the service from its config).
+    pub(crate) fn set_fleet(&mut self, fleet: FleetRouter) {
+        self.fleet = fleet;
+    }
+
+    /// Per-device gauges for metrics merges.
+    pub(crate) fn device_snapshot(&self) -> BTreeMap<String, DeviceUtilization> {
+        self.fleet.snapshot()
+    }
+
+    /// Admission feasibility: true when some fleet device on `plane`
+    /// (healthy or not) could ever serve a job with these requirements.
+    /// Un-fleeted planes accept everything.
+    pub(crate) fn feasible(&self, plane: &str, req: &JobRequirements) -> bool {
+        self.fleet.capable_exists(plane, Some(req))
     }
 
     /// The model's predicted cost (in deficit units) for a plan key, if it
@@ -501,6 +552,7 @@ impl FairScheduler {
     /// Whatever wins is floored at [`MIN_JOB_COST`] so zero-cost estimates
     /// (failed placements, hint-less descriptors) still spend DRR deficit —
     /// a zero-cost queue must not drain in a single parked visit.
+    #[cfg(test)]
     pub(crate) fn admit(
         &mut self,
         tenant: &Arc<str>,
@@ -509,6 +561,23 @@ impl FairScheduler {
         hint_seconds: Option<f64>,
         placement: Option<Placement>,
         batch_key: Option<u64>,
+    ) {
+        self.admit_with_requirements(tenant, id, cost, hint_seconds, placement, batch_key, None);
+    }
+
+    /// [`FairScheduler::admit`] with the job's fleet requirements attached,
+    /// so dispatch (and any post-fault re-routing) can match it against
+    /// device capability descriptors.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admit_with_requirements(
+        &mut self,
+        tenant: &Arc<str>,
+        id: JobId,
+        cost: f64,
+        hint_seconds: Option<f64>,
+        placement: Option<Placement>,
+        batch_key: Option<u64>,
+        requirements: Option<JobRequirements>,
     ) {
         // A disabled model (alpha ≤ 0) bypasses the whole measured-cost
         // path, hints included: admissions are pure estimate-unit, exactly
@@ -540,6 +609,7 @@ impl FairScheduler {
             cost,
             placement,
             batch_key,
+            requirements,
             submitted: Instant::now(),
         };
         if queue.queue.is_empty() {
@@ -566,6 +636,10 @@ impl FairScheduler {
             if let Some(tenant) = self.tenants.get_mut(&flight.tenant) {
                 tenant.in_flight = tenant.in_flight.saturating_sub(1);
             }
+            if let Some(device) = flight.device {
+                self.fleet.release_slot(device);
+            }
+            self.fleet.clear_exclusions(id.0);
         }
     }
 
@@ -611,6 +685,13 @@ impl FairScheduler {
         let Some(flight) = self.in_flight.remove(&id) else {
             return;
         };
+        if let Some(device) = flight.device {
+            // Device-routed outcomes normally settle their slot in
+            // `settle_outcome` first (which clears this field); freeing here
+            // covers direct callers such as the drain sweep.
+            self.fleet.release_slot(device);
+        }
+        self.fleet.clear_exclusions(id.0);
         if ok {
             if let Some(key) = flight.batch_key {
                 self.cost_model.observe(key, seconds);
@@ -650,6 +731,110 @@ impl FairScheduler {
                 self.metrics.charge_back_units += delta.abs();
             }
         }
+    }
+
+    /// Settle one member outcome against its fleet device **before** any
+    /// terminal bookkeeping, deciding whether the outcome stands or the job
+    /// fails over to another device.
+    ///
+    /// Always: the device's slot frees, its gauges and health ladder absorb
+    /// the observation (busy-seconds accrue even for faulted attempts — the
+    /// device was genuinely occupied), and a down transition evacuates the
+    /// device's parked queue.
+    ///
+    /// If the outcome was a **device fault** and a capable, not-yet-excluded
+    /// device remains on the job's plane, the job is requeued:
+    /// `runtime_requeue` flips its runtime record back to queued (returning
+    /// `false` aborts the failover — e.g. the record already settled), the
+    /// faulted device joins the job's exclusion set, and the job re-enters
+    /// its tenant queue through the normal admission path with its original
+    /// plane-level placement. Each failover adds one exclusion over a finite
+    /// device set, so a job completes elsewhere or fails terminally — it
+    /// can never bounce forever, and `runtime_requeue`'s queued-only state
+    /// transition guarantees exactly-once outcomes.
+    pub(crate) fn settle_outcome(
+        &mut self,
+        id: JobId,
+        device: Option<&str>,
+        seconds: f64,
+        ok: bool,
+        fault: bool,
+        runtime_requeue: impl FnOnce() -> bool,
+    ) -> OutcomeDisposition {
+        let Some(device) = device.and_then(|d| self.fleet.device_index(d)) else {
+            self.fleet.clear_exclusions(id.0);
+            return OutcomeDisposition::Final;
+        };
+        let plan_key = self.in_flight.get(&id).and_then(|f| f.batch_key);
+        self.fleet.release_slot(device);
+        if let Some(flight) = self.in_flight.get_mut(&id) {
+            flight.device = None;
+        }
+        self.fleet.observe(device, plan_key, seconds, ok, fault);
+        if fault {
+            let can_retry = self.in_flight.get(&id).is_some_and(|flight| {
+                flight.placement.as_ref().is_some_and(|placement| {
+                    self.fleet.retry_candidate_exists(
+                        placement.backend.name(),
+                        flight.requirements.as_ref(),
+                        id.0,
+                        device,
+                    )
+                })
+            });
+            if can_retry && runtime_requeue() {
+                let flight = self.in_flight.remove(&id).expect("present per can_retry");
+                if let Some(tenant) = self.tenants.get_mut(&flight.tenant) {
+                    tenant.in_flight = tenant.in_flight.saturating_sub(1);
+                }
+                self.fleet.exclude(id.0, device);
+                self.fleet.note_requeued(device);
+                self.metrics.requeued += 1;
+                if self.obs.tracing_enabled() {
+                    let attempt = self.fleet.exclusion_count(id.0) as u32;
+                    self.obs.trace(
+                        id,
+                        Some(&flight.tenant),
+                        flight.batch_key,
+                        Stage::Requeued { attempt },
+                    );
+                }
+                let tenant = Arc::clone(&flight.tenant);
+                self.admit_with_requirements(
+                    &tenant,
+                    id,
+                    flight.cost,
+                    None,
+                    flight.placement,
+                    flight.batch_key,
+                    flight.requirements,
+                );
+                return OutcomeDisposition::Requeued;
+            }
+        }
+        self.fleet.clear_exclusions(id.0);
+        OutcomeDisposition::Final
+    }
+
+    /// Stamp a dispatch with its routed device: take one slot per member,
+    /// remember the device on every member's in-flight record, and swap the
+    /// placement's backend for the device's own instance (in-flight records
+    /// keep the plane-level placement for any post-fault re-admit).
+    fn route_to_device(&mut self, device: usize, mut dispatch: JobDispatch) -> JobDispatch {
+        self.fleet.take_slots(device, dispatch.len());
+        let ids: Vec<JobId> = dispatch.ids().collect();
+        for id in ids {
+            if let Some(flight) = self.in_flight.get_mut(&id) {
+                flight.device = Some(device);
+            }
+        }
+        if let Some(backend) = self.fleet.backend(device) {
+            if let Some(placement) = dispatch.placement.as_mut() {
+                placement.backend = backend;
+            }
+        }
+        dispatch.device = self.fleet.device_id(device);
+        dispatch
     }
 
     /// Jobs admitted but not yet dispatched.
@@ -754,6 +939,13 @@ impl FairScheduler {
             Mode::Stopped | Mode::Aborting => return SchedPoll::Shutdown,
             Mode::Running | Mode::Draining => {}
         }
+        // Parked fleet work is served ahead of the rotation: its fairness
+        // accounting (deficit, tokens, in-flight slots) was already charged
+        // when the DRR loop dispatched it — only a device slot was missing,
+        // and one just freed (or an idle sibling is stealing the work).
+        if let Some((device, parked)) = self.fleet.pop_parked() {
+            return SchedPoll::Dispatch(self.route_to_device(device, parked.dispatch));
+        }
         let drain = self.mode == Mode::Draining;
         let n = self.rotation.len();
         let quantum = self.quantum();
@@ -809,6 +1001,26 @@ impl FairScheduler {
                 self.advance();
                 continue;
             }
+            // Fleet backpressure: if no capable device on the head's plane
+            // can take the job right now (every slot busy, every queue
+            // full), defer it — the deficit is kept, exactly like a
+            // deficit block, so the tenant loses no budget to a saturated
+            // or failing fleet.
+            let accept = {
+                let head = tenant.queue.front().expect("non-empty queue");
+                match head.placement.as_ref().map(|p| p.backend.name()) {
+                    Some(plane) => {
+                        self.fleet
+                            .can_accept(plane, head.requirements.as_ref(), head.id.0)
+                    }
+                    None => true,
+                }
+            };
+            if !accept {
+                self.advance();
+                continue;
+            }
+            let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
             let spend_token = !drain && tenant.policy.rate_limit.is_some();
             let job = self.take_job(&name, 0);
             let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
@@ -830,6 +1042,9 @@ impl FairScheduler {
                     tenant: Arc::clone(&name),
                     cost: head_cost,
                     batch_key: job.batch_key,
+                    requirements: job.requirements,
+                    placement: job.placement.clone(),
+                    device: None,
                 },
             );
             let members = self.coalesce(&name, &job, drain);
@@ -868,11 +1083,39 @@ impl FairScheduler {
             if tenant.queue.is_empty() {
                 tenant.forfeit_credit();
             }
-            return SchedPoll::Dispatch(JobDispatch {
+            let dispatch = JobDispatch {
                 id: job.id,
                 rest: members.into_iter().map(|m| m.id).collect(),
-                placement: job.placement,
+                placement: job.placement.clone(),
+                device: None,
+            };
+            let plane = job.placement.as_ref().map(|p| p.backend.name().to_string());
+            let route = plane.and_then(|plane| {
+                self.fleet
+                    .select(&plane, job.requirements.as_ref(), job.batch_key, job.id.0)
             });
+            return match route {
+                Some(device) if self.fleet.has_free_slot(device) => {
+                    SchedPoll::Dispatch(self.route_to_device(device, dispatch))
+                }
+                Some(device) => {
+                    // Routed, but every slot on the chosen device is busy:
+                    // park the whole dispatch on its queue. A freed slot —
+                    // or an idle sibling stealing it — serves it ahead of
+                    // the rotation on a later poll.
+                    self.fleet.park(
+                        device,
+                        ParkedDispatch {
+                            dispatch,
+                            requirements: job.requirements,
+                        },
+                    );
+                    continue;
+                }
+                // Un-fleeted plane (or placement-less job): dispatch
+                // device-blind, the pre-fleet behavior.
+                None => SchedPoll::Dispatch(dispatch),
+            };
         }
         if drain && self.queued() == 0 && self.in_flight.is_empty() {
             return SchedPoll::Shutdown;
@@ -953,6 +1196,17 @@ impl FairScheduler {
                 idx += 1;
                 continue;
             }
+            // A batch routes by its head's device exclusions: a member
+            // excluded from some device the head is not could ride back
+            // onto the device that faulted it. Only coalesce members whose
+            // exclusion set is a subset of the head's.
+            if !self
+                .fleet
+                .exclusions_subset(tenant.queue[idx].id.0, head.id.0)
+            {
+                idx += 1;
+                continue;
+            }
             let member_cost = effective_cost(&self.cost_model, &tenant.queue[idx]);
             if contended && tenant.deficit < member_cost {
                 break;
@@ -988,6 +1242,9 @@ impl FairScheduler {
                     tenant: Arc::clone(name),
                     cost: member_cost,
                     batch_key: member.batch_key,
+                    requirements: member.requirements,
+                    placement: member.placement.clone(),
+                    device: None,
                 },
             );
             let wait_us = wait.as_micros() as u64;

@@ -14,11 +14,12 @@ use qml_observe::{
     NoopTracer, RingTracer, Stage, TraceEvent, TraceStats, Tracer, DEFAULT_TRACE_CAPACITY,
 };
 use qml_runtime::{Feed, JobId, JobOutcome, JobSource, JobStatus, Runtime, WorkerPool};
-use qml_types::{JobBundle, QmlError, Result};
+use qml_types::{CapabilityDescriptor, JobBundle, JobRequirements, QmlError, Result};
 
+use crate::fleet::{DeviceSpec, DeviceUtilization, FleetRouter, DEFAULT_DOWN_THRESHOLD};
 use crate::metrics::{BackendUtilization, RunSummary, ServiceMetrics, TenantStats};
 use crate::observe::{MetricsRegistry, ObservabilitySnapshot};
-use crate::scheduler::{FairScheduler, Mode, SchedPoll, TenantPolicy};
+use crate::scheduler::{FairScheduler, Mode, OutcomeDisposition, SchedPoll, TenantPolicy};
 use crate::sweep::SweepRequest;
 
 /// Identifier of a submitted batch (single bundles get one too).
@@ -71,6 +72,18 @@ pub struct ServiceConfig {
     /// exceeded the oldest undrained events are overwritten and counted in
     /// [`TraceStats::dropped`]. Default [`DEFAULT_TRACE_CAPACITY`].
     pub trace_capacity: usize,
+    /// Explicit fleet devices. A backend plane with no entry here gets one
+    /// implicit unlimited device (`"<backend-name>#0"`), so the fleet layer
+    /// is always live but single-device planes behave exactly as before.
+    pub devices: Vec<DeviceSpec>,
+    /// Consecutive device faults that move a device from degraded to down
+    /// (see [`qml_types::HealthState`]). Default
+    /// [`DEFAULT_DOWN_THRESHOLD`]; values of 0 are treated as 1.
+    pub down_threshold: u32,
+    /// Route one recovery probe job to a down device every this many
+    /// settled outcomes. `0` (the default) disables probing: a down device
+    /// stays down.
+    pub probe_interval: u64,
 }
 
 /// Default [`ServiceConfig::max_batch`]: large enough that sweep traffic
@@ -108,7 +121,31 @@ impl ServiceConfig {
             charge_back_clamp: DEFAULT_CHARGE_BACK_CLAMP,
             tracing: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            devices: Vec::new(),
+            down_threshold: DEFAULT_DOWN_THRESHOLD,
+            probe_interval: 0,
         }
+    }
+
+    /// Register one fleet device, builder-style (see
+    /// [`ServiceConfig::devices`]).
+    pub fn with_device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push(spec);
+        self
+    }
+
+    /// Set the degraded→down fault threshold, builder-style (see
+    /// [`ServiceConfig::down_threshold`]).
+    pub fn with_down_threshold(mut self, threshold: u32) -> Self {
+        self.down_threshold = threshold;
+        self
+    }
+
+    /// Enable down-device recovery probes every `interval` settled
+    /// outcomes, builder-style (see [`ServiceConfig::probe_interval`]).
+    pub fn with_probe_interval(mut self, interval: u64) -> Self {
+        self.probe_interval = interval;
+        self
     }
 
     /// Enable (or disable) per-job stage-event tracing, builder-style (see
@@ -182,6 +219,8 @@ struct ServiceState {
     jobs_submitted: u64,
     jobs_completed: u64,
     jobs_failed: u64,
+    /// Fleet device that produced each job's terminal outcome.
+    job_device: BTreeMap<JobId, Arc<str>>,
     per_backend: BTreeMap<String, BackendUtilization>,
     per_tenant: BTreeMap<Arc<str>, TenantStats>,
     last_run: Option<RunSummary>,
@@ -217,9 +256,44 @@ impl ServiceInner {
     /// so once `wait_idle` observes quiescence every finished job is already
     /// visible in `metrics()`.
     fn record_outcome(&self, outcome: &JobOutcome, counters: &PoolCounters) {
+        let seconds = outcome.duration.as_secs_f64();
+        let ok = outcome.result.is_ok();
+        let fault = matches!(&outcome.result, Err(e) if e.is_device_fault());
+        // Settle the fleet device first: free its slot, walk the health
+        // ladder, and — for a device fault with a capable device left to
+        // try — fail the job over. The runtime requeue inside the closure
+        // only flips a *failed* record back to queued, so an outcome that
+        // already settled can never be duplicated.
+        let disposition = self.sched.lock().settle_outcome(
+            outcome.id,
+            outcome.device.as_deref(),
+            seconds,
+            ok,
+            fault,
+            || self.runtime.requeue(outcome.id),
+        );
+        if disposition == OutcomeDisposition::Requeued {
+            // Not a terminal outcome: only the plane's busy-seconds accrue
+            // (the device really ran that long, and per-backend totals must
+            // keep folding over the per-device gauges, which count faulted
+            // attempts). Completion counters, traces, and the run summary
+            // wait for the terminal attempt.
+            if let Some(backend) = &outcome.backend {
+                let mut state = self.state.lock();
+                state
+                    .per_backend
+                    .entry(backend.clone())
+                    .or_default()
+                    .busy_seconds += seconds;
+            }
+            return;
+        }
         counters.jobs.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock();
         let tenant = state.job_tenant.get(&outcome.id).cloned();
+        if let Some(device) = &outcome.device {
+            state.job_device.insert(outcome.id, Arc::clone(device));
+        }
         // Backend attribution covers failed executions too: the pool reports
         // the placed backend even when the run errored.
         if let Some(backend) = &outcome.backend {
@@ -280,9 +354,9 @@ impl ServiceInner {
         let cache = self.runtime.cache();
         // Locks are taken one at a time (scheduler gauges first, then the
         // submission/outcome state), never nested.
-        let (scheduler, gauges) = {
+        let (scheduler, gauges, per_device) = {
             let sched = self.sched.lock();
-            (sched.metrics, sched.gauges())
+            (sched.metrics, sched.gauges(), sched.device_snapshot())
         };
         let state = self.state.lock();
         let mut per_tenant: BTreeMap<String, TenantStats> = state
@@ -308,6 +382,7 @@ impl ServiceInner {
             anneal_cache: cache.anneal_stats(),
             scheduler,
             per_backend: state.per_backend.clone(),
+            per_device,
             per_tenant,
             last_run: state.last_run,
         }
@@ -440,13 +515,33 @@ impl QmlService {
         // from workers lands in the same event stream (same clock epoch) as
         // the service's submit/dispatch/outcome stages.
         runtime.set_tracer(Arc::clone(obs.tracer()));
-        let sched = FairScheduler::new(
+        let mut sched = FairScheduler::new(
             config.max_batch,
             config.adaptive_batch,
             config.cost_ewma_alpha,
             config.charge_back_clamp,
             Arc::clone(&obs),
         );
+        // Every registered backend plane fronts a fleet: explicitly
+        // configured devices where given, otherwise one implicit unlimited
+        // device per plane — the fleet code path is always exercised, and a
+        // single-device plane behaves exactly like the pre-fleet service.
+        let mut specs = config.devices.clone();
+        for backend in runtime.scheduler().registry().backends() {
+            if specs.iter().all(|s| s.backend.name() != backend.name()) {
+                specs.push(DeviceSpec::new(
+                    format!("{}#0", backend.name()),
+                    Arc::clone(backend),
+                    CapabilityDescriptor::unlimited(),
+                ));
+            }
+        }
+        sched.set_fleet(FleetRouter::new(
+            specs,
+            config.cost_ewma_alpha,
+            config.down_threshold,
+            config.probe_interval,
+        ));
         QmlService {
             inner: Arc::new(ServiceInner {
                 runtime: Arc::new(runtime),
@@ -492,7 +587,7 @@ impl QmlService {
         // placed backend also stamps its device-level batch key (plan
         // identity folded with the backend name) so the scheduler can
         // coalesce plan-compatible jobs into micro-batches.
-        let mut jobs = Vec::with_capacity(bundles.len());
+        let mut prepared = Vec::with_capacity(bundles.len());
         for bundle in bundles {
             let placement = self.inner.runtime.scheduler().place(&bundle).ok();
             let cost = placement.as_ref().map(|p| p.estimated_cost).unwrap_or(0.0);
@@ -507,9 +602,47 @@ impl QmlService {
             // wall-clock claim: it seeds the measured-cost model (and prices
             // this admission) until real measurements take over.
             let hint_seconds = hint_seconds(&bundle);
-            let id = self.inner.runtime.submit(bundle)?;
-            jobs.push((id, cost, hint_seconds, placement, batch_key));
+            // Fleet requirements are derived once here and carried with the
+            // job, so routing — and re-routing after a device fault — never
+            // re-parses descriptors.
+            let requirements = JobRequirements::of(&bundle);
+            prepared.push((
+                bundle,
+                cost,
+                hint_seconds,
+                placement,
+                batch_key,
+                requirements,
+            ));
         }
+        // Fleet feasibility, still before anything is recorded: a job no
+        // device on its placed plane could *ever* serve (too wide, wrong
+        // optimization level) rejects the whole batch atomically, instead
+        // of queueing work that can only bounce until it fails.
+        {
+            let sched = self.inner.sched.lock();
+            for (_, _, _, placement, _, requirements) in &prepared {
+                if let Some(placement) = placement {
+                    if !sched.feasible(placement.backend.name(), requirements) {
+                        return Err(QmlError::Validation(format!(
+                            "no device in the '{}' fleet can serve this job \
+                             (width {}, optimization level {})",
+                            placement.backend.name(),
+                            requirements.qubits,
+                            requirements.opt_level
+                        )));
+                    }
+                }
+            }
+        }
+        let jobs = {
+            let mut submitted = Vec::with_capacity(prepared.len());
+            for (bundle, cost, hint_seconds, placement, batch_key, requirements) in prepared {
+                let id = self.inner.runtime.submit(bundle)?;
+                submitted.push((id, cost, hint_seconds, placement, batch_key, requirements));
+            }
+            submitted
+        };
         // Record batch/tenant bookkeeping *before* admitting anything to the
         // fair scheduler: a running pool may dispatch and finish a job the
         // instant it is admitted, and record_outcome must already find its
@@ -539,7 +672,7 @@ impl QmlService {
             id
         };
         let mut sched = self.inner.sched.lock();
-        for (id, cost, hint_seconds, placement, batch_key) in jobs {
+        for (id, cost, hint_seconds, placement, batch_key, requirements) in jobs {
             // `submitted` lands immediately before the scheduler's own
             // `admitted` event, under the same lock: per-job stage order and
             // timestamp order agree by construction.
@@ -548,7 +681,15 @@ impl QmlService {
                     .obs
                     .trace(id, Some(&tenant), batch_key, Stage::Submitted);
             }
-            sched.admit(&tenant, id, cost, hint_seconds, placement, batch_key);
+            sched.admit_with_requirements(
+                &tenant,
+                id,
+                cost,
+                hint_seconds,
+                placement,
+                batch_key,
+                Some(requirements),
+            );
         }
         Ok(batch)
     }
@@ -691,6 +832,21 @@ impl QmlService {
     /// with the service's own tenant table — no per-call allocation.
     pub fn tenant_of(&self, id: JobId) -> Option<Arc<str>> {
         self.inner.state.lock().job_tenant.get(&id).cloned()
+    }
+
+    /// The fleet device that produced a job's **terminal** outcome, if the
+    /// job was device-routed. Requeued attempts are not recorded: by the
+    /// time this returns a device, the result is final.
+    pub fn device_of(&self, id: JobId) -> Option<Arc<str>> {
+        self.inner.state.lock().job_device.get(&id).cloned()
+    }
+
+    /// Per-device fleet gauges keyed by device id: health, dispatch /
+    /// completion / failover counters, busy-seconds, queue depth.
+    /// `busy_seconds` folds: summing one plane's devices reproduces that
+    /// plane's [`BackendUtilization`] busy-seconds.
+    pub fn device_metrics(&self) -> BTreeMap<String, DeviceUtilization> {
+        self.inner.sched.lock().device_snapshot()
     }
 
     /// Tenant that owns a batch (if known). Shared id, no per-call

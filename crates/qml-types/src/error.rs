@@ -35,6 +35,21 @@ pub enum QmlError {
     Unsupported(String),
     /// Decoding a measured word according to a result schema failed.
     Decode(String),
+    /// A device-level failure: the executing device (not the job) is at
+    /// fault — a crashed simulator process, a lost link, an injected fault.
+    /// Fleet schedulers treat this variant — and only this variant — as
+    /// evidence against the device's health; every other error is a job
+    /// defect and must not poison the device that reported it.
+    DeviceFault(String),
+}
+
+impl QmlError {
+    /// True for [`QmlError::DeviceFault`]: the *device* failed, not the job,
+    /// so the job is safe to retry elsewhere and the device's health should
+    /// be charged.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(self, QmlError::DeviceFault(_))
+    }
 }
 
 impl fmt::Display for QmlError {
@@ -56,6 +71,7 @@ impl fmt::Display for QmlError {
             QmlError::Json(msg) => write!(f, "json error: {msg}"),
             QmlError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             QmlError::Decode(msg) => write!(f, "decode error: {msg}"),
+            QmlError::DeviceFault(msg) => write!(f, "device fault: {msg}"),
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod cost;
 pub mod decode;
 pub mod encoding;
 pub mod error;
+pub mod fleet;
 pub mod params;
 pub mod qdt;
 pub mod qod;
@@ -72,6 +73,7 @@ pub use cost::{CostHint, MeasuredCost};
 pub use decode::{bools_to_spins, decode_word, DecodedCounts, DecodedValue};
 pub use encoding::{BitOrder, EncodingKind, MeasurementSemantics, PhaseScale};
 pub use error::{QmlError, Result};
+pub use fleet::{CapabilityDescriptor, DeviceId, HealthState, JobRequirements};
 pub use params::{ParamValue, Params, SymbolRef};
 pub use qdt::{QdtBuilder, QuantumDataType, QDT_SCHEMA};
 pub use qod::{OperatorDescriptor, QodBuilder, RepKind, QOD_SCHEMA};
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use crate::decode::{decode_word, DecodedCounts, DecodedValue};
     pub use crate::encoding::{BitOrder, EncodingKind, MeasurementSemantics, PhaseScale};
     pub use crate::error::{QmlError, Result};
+    pub use crate::fleet::{CapabilityDescriptor, DeviceId, HealthState, JobRequirements};
     pub use crate::params::{ParamValue, Params};
     pub use crate::qdt::QuantumDataType;
     pub use crate::qod::{OperatorDescriptor, RepKind};

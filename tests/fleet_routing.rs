@@ -1,0 +1,212 @@
+//! Property tests for fleet routing invariants (PR 8).
+//!
+//! The [`FleetRouter`] is pure bookkeeping — no locks, no clocks, no I/O —
+//! so its routing guarantees are testable as properties over randomized
+//! fleets and job streams:
+//!
+//! * a routed job always lands on a device capable of serving it;
+//! * once every candidate has cost history, the chosen device is within the
+//!   tie band of the cheapest capable device;
+//! * exclusion sets are respected across a requeue walk, and the walk
+//!   terminates (the capable set is finite and exclusions only grow);
+//! * end to end, randomized fault schedules lose no job and duplicate no
+//!   outcome: completed + failed always equals submitted.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use qml_core::backends::testing::{FaultPlan, FaultyBackend};
+use qml_core::backends::{Backend, GateBackend};
+use qml_core::graph::cycle;
+use qml_core::prelude::*;
+use qml_core::service::{
+    DeviceSpec, FleetRouter, QmlService, ServiceConfig, SweepRequest, COST_TIE_BAND,
+};
+
+const PLANE: &str = "qml-gate-simulator";
+
+fn unlimited_fleet(n: usize) -> FleetRouter {
+    let specs = (0..n)
+        .map(|i| {
+            DeviceSpec::new(
+                format!("dev-{i}"),
+                Arc::new(GateBackend::new()) as Arc<dyn Backend>,
+                CapabilityDescriptor::unlimited(),
+            )
+        })
+        .collect();
+    FleetRouter::new(specs, 0.4, 2, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Capability invariant: whatever the fleet shape and job stream, a
+    /// routed job lands on a device wide enough to serve it, and routing
+    /// returns `None` only when no device on the plane is capable.
+    #[test]
+    fn routed_jobs_always_land_on_a_capable_device(
+        widths in proptest::collection::vec(2usize..=32, 1..5),
+        jobs in proptest::collection::vec(1usize..=32, 1..32),
+    ) {
+        let specs = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                DeviceSpec::new(
+                    format!("dev-{i}"),
+                    Arc::new(GateBackend::new()) as Arc<dyn Backend>,
+                    CapabilityDescriptor::unlimited().with_max_qubits(w),
+                )
+            })
+            .collect();
+        let mut fleet = FleetRouter::new(specs, 0.4, 2, 0);
+        for (job, &qubits) in jobs.iter().enumerate() {
+            let req = JobRequirements { qubits, opt_level: 1 };
+            match fleet.select(PLANE, Some(&req), Some(7), job as u64) {
+                Some(pick) => prop_assert!(
+                    qubits <= widths[pick],
+                    "job of width {qubits} routed to device of width {}",
+                    widths[pick]
+                ),
+                None => prop_assert!(
+                    widths.iter().all(|&w| w < qubits),
+                    "routing gave up although a capable device exists"
+                ),
+            }
+        }
+    }
+
+    /// Cost invariant: once every device has measured history for a plan,
+    /// the selected device's predicted cost is within [`COST_TIE_BAND`] of
+    /// the cheapest candidate's (a first observation seeds the EWMA with the
+    /// raw measurement, so the seeded costs *are* the predictions here).
+    #[test]
+    fn with_history_the_choice_stays_within_the_tie_band_of_cheapest(
+        costs in proptest::collection::vec(0.01f64..1.0, 2..5),
+        job in 0u64..1000,
+    ) {
+        let mut fleet = unlimited_fleet(costs.len());
+        let key = 42u64;
+        for (i, &seconds) in costs.iter().enumerate() {
+            fleet.observe(i, Some(key), seconds, true, false);
+        }
+        let pick = fleet.select(PLANE, None, Some(key), job).unwrap();
+        let cheapest = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            costs[pick] <= cheapest * (1.0 + COST_TIE_BAND) + 1e-12,
+            "picked {} but the cheapest candidate costs {}",
+            costs[pick],
+            cheapest
+        );
+    }
+
+    /// Exclusion invariant: a requeue walk (fault → exclude → re-route)
+    /// never revisits an excluded device, and terminates with `None` exactly
+    /// when every device has faulted on the job.
+    #[test]
+    fn exclusion_sets_are_respected_across_requeue_walks(
+        n in 2usize..5,
+        job in 0u64..1000,
+    ) {
+        let mut fleet = unlimited_fleet(n);
+        let mut excluded = BTreeSet::new();
+        loop {
+            match fleet.select(PLANE, None, None, job) {
+                Some(pick) => {
+                    prop_assert!(
+                        !excluded.contains(&pick),
+                        "routed back onto excluded device {pick}"
+                    );
+                    fleet.exclude(job, pick);
+                    excluded.insert(pick);
+                    prop_assert!(excluded.len() <= n, "walk failed to terminate");
+                }
+                None => {
+                    // `None` only once every device is excluded.
+                    prop_assert_eq!(excluded.len(), n);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn gate_device(id: &str, plan: FaultPlan) -> DeviceSpec {
+    DeviceSpec::new(
+        id,
+        Arc::new(FaultyBackend::new(GateBackend::new(), plan)) as Arc<dyn Backend>,
+        CapabilityDescriptor::unlimited(),
+    )
+}
+
+fn qaoa_sweep(jobs: u64) -> SweepRequest {
+    let program =
+        qaoa_maxcut_program(&cycle(4), &QaoaSchedule::Fixed(vec![RING_P1_ANGLES])).unwrap();
+    let mut sweep = SweepRequest::new("routing-prop", program);
+    for seed in 0..jobs {
+        sweep = sweep.with_context(ContextDescriptor::for_gate(
+            ExecConfig::new("gate.aer_simulator")
+                .with_samples(32)
+                .with_seed(seed)
+                .with_target(Target::ring(4)),
+        ));
+    }
+    sweep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end exactly-once invariant: under a randomized fault schedule
+    /// (transient faults on one device, an optional permanent death on a
+    /// second, one guaranteed-healthy sibling) every submitted job settles
+    /// exactly once — nothing lost, nothing duplicated — and, because a
+    /// healthy capable device always exists, every job ultimately completes.
+    #[test]
+    fn no_job_is_lost_or_duplicated_under_randomized_failures(
+        transient in proptest::collection::vec(0u64..12, 0..6),
+        fail_from in 0u64..16,
+        jobs in 4u64..10,
+    ) {
+        let plan_a = FaultPlan::none().with_fail_nth(transient.iter().copied());
+        // Values past the schedule horizon mean "never dies".
+        let plan_b = if fail_from < 8 {
+            FaultPlan::none().with_fail_from(fail_from)
+        } else {
+            FaultPlan::none()
+        };
+        let config = ServiceConfig::with_workers(2)
+            .with_device(gate_device("gate-a", plan_a))
+            .with_device(gate_device("gate-b", plan_b))
+            .with_device(gate_device("gate-c", FaultPlan::none()));
+        let service = QmlService::with_config(config);
+        let batch = service.submit_sweep("prop", qaoa_sweep(jobs)).unwrap();
+        let summary = service.run_pending();
+
+        // Every job settles exactly once, and because a healthy capable
+        // device always exists, every job ultimately completes.
+        prop_assert_eq!(summary.completed + summary.failed, jobs as usize);
+        prop_assert_eq!(summary.failed, 0);
+        let metrics = service.metrics();
+        prop_assert_eq!(metrics.jobs_submitted, jobs);
+        prop_assert_eq!(metrics.jobs_completed, jobs);
+        prop_assert_eq!(metrics.jobs_failed, 0);
+        prop_assert_eq!(metrics.queue_depth, 0);
+        // One terminal result per submitted job.
+        for id in service.batch_jobs(batch) {
+            prop_assert!(service.result(id).is_some(), "job {id:?} lost its result");
+        }
+        // Per-device completions fold to the batch total: no outcome was
+        // double-settled onto a device.
+        let completed: u64 = metrics
+            .per_device
+            .values()
+            .filter(|d| d.plane == PLANE)
+            .map(|d| d.completed)
+            .sum();
+        prop_assert_eq!(completed, jobs);
+    }
+}

@@ -109,6 +109,7 @@ fn every_job_of_a_concurrent_two_tenant_run_is_traceable() {
                 Stage::Submitted
                 | Stage::Admitted { .. }
                 | Stage::Dispatched { .. }
+                | Stage::Requeued { .. }
                 | Stage::Executed { .. }
                 | Stage::Outcome { .. } => {
                     assert_eq!(
@@ -175,6 +176,64 @@ fn one_snapshot_carries_per_tenant_and_per_backend_percentiles() {
     assert!(kv.contains("backend=qml-gate-simulator"));
     assert!(kv.contains("p99_wait_us="));
     assert!(kv.contains("dropped=0"));
+}
+
+#[test]
+fn per_device_gauges_fold_to_the_per_backend_totals() {
+    use qml_core::backends::{Backend, GateBackend};
+    use qml_core::service::DeviceSpec;
+    use std::sync::Arc;
+
+    // Two explicit gate devices plus the implicit anneal device: streaming
+    // traffic spreads over the gate fleet, and the per-device busy-seconds
+    // must fold back to exactly the per-backend attribution.
+    let device = |id: &str| {
+        DeviceSpec::new(
+            id,
+            Arc::new(GateBackend::new()) as Arc<dyn Backend>,
+            CapabilityDescriptor::unlimited(),
+        )
+    };
+    let service = QmlService::with_config(
+        ServiceConfig::with_workers(2)
+            .with_device(device("gate-a"))
+            .with_device(device("gate-b")),
+    );
+    for seed in 0..10 {
+        service
+            .submit("alice", fixed_qaoa().with_context(gate_context(seed, 64)))
+            .unwrap();
+    }
+    service.run_pending();
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_completed, 10);
+    let backend_busy = metrics.per_backend["qml-gate-simulator"].busy_seconds;
+    let device_busy: f64 = metrics
+        .per_device
+        .values()
+        .filter(|d| d.plane == "qml-gate-simulator")
+        .map(|d| d.busy_seconds)
+        .sum();
+    assert!(backend_busy > 0.0, "the plane accrued busy time");
+    assert!(
+        (backend_busy - device_busy).abs() < 1e-9,
+        "per-device busy-seconds ({device_busy}) must fold to the plane's \
+         per-backend total ({backend_busy})"
+    );
+    let device_done: u64 = metrics
+        .per_device
+        .values()
+        .filter(|d| d.plane == "qml-gate-simulator")
+        .map(|d| d.completed)
+        .sum();
+    assert_eq!(device_done, 10, "completions fold too");
+
+    // The devices surface in the greppable dump with their gauges.
+    let kv = service.snapshot().dump_kv();
+    assert!(kv.contains("device=gate-a plane=qml-gate-simulator health=healthy"));
+    assert!(kv.contains("device=gate-b plane=qml-gate-simulator health=healthy"));
+    assert!(kv.contains("busy_seconds="));
 }
 
 #[test]
