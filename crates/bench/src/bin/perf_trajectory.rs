@@ -5,8 +5,10 @@
 //!   realization-cache amortization story);
 //! * `BENCH_dispatch.json` — micro-batched vs sequential dispatch
 //!   throughput, stage-tracing overhead (tracing off — the `NoopTracer`
-//!   fast path — vs the bounded ring tracer), and the cost model's mean
-//!   absolute estimate error.
+//!   fast path — vs the bounded ring tracer), the cost model's mean
+//!   absolute estimate error, and the latency-class queue-wait p99 under
+//!   saturation (closed-loop latency probes vs a backlogged throughput
+//!   whale sharing the same two workers).
 //!
 //! Committing the files makes the perf trajectory diffable PR over PR.
 //! Numbers are wall-clock measurements on whatever machine runs them, so
@@ -37,7 +39,7 @@ use qml_service::{QmlService, ServiceConfig, SweepRequest};
 
 /// Schema version of both artifacts; bump on any field change so
 /// `--validate` (and CI) rejects stale committed files.
-const ARTIFACT_VERSION: u32 = 2;
+const ARTIFACT_VERSION: u32 = 3;
 
 /// 8-node ring QAOA routed onto a linear coupling map at optimization
 /// level 3. 8 qubits keeps simulation cheap relative to transpilation, so
@@ -151,6 +153,17 @@ struct TracingSide {
     trace_events_dropped: u64,
 }
 
+/// One service class's queue-wait percentiles over the saturation run, in
+/// microseconds, straight from the per-class histograms of the
+/// observability snapshot.
+#[derive(Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct ClassWaitSide {
+    jobs: u64,
+    p50_wait_us: u64,
+    p99_wait_us: u64,
+}
+
 #[derive(Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 struct DispatchDoc {
@@ -172,6 +185,17 @@ struct DispatchDoc {
     /// median — the noise floor the overhead is judged against.
     tracing_noise_percent: f64,
     mean_abs_estimate_error_units: f64,
+    /// Closed-loop latency-class probes (submit one, block on the result)
+    /// measured while a throughput whale keeps both workers backlogged.
+    latency_class: ClassWaitSide,
+    /// The saturating whale's own queue waits over the same interval.
+    throughput_class: ClassWaitSide,
+    /// Throughput p99 wait / latency p99 wait — how much less a
+    /// latency-class job waits under identical saturation.
+    latency_p99_wait_advantage: f64,
+    /// Deadline misses among the latency probes; the probes carry no
+    /// deadline, so anything nonzero means miss accounting is broken.
+    latency_deadline_miss: u64,
 }
 
 fn repo_root() -> PathBuf {
@@ -372,6 +396,71 @@ fn main() {
         raw_overhead
     };
 
+    // The latency-class story: a throughput whale keeps both workers
+    // backlogged (topped up whenever the queue runs low, so saturation holds
+    // for the whole run) while a closed-loop probe submits one latency-class
+    // job at a time and blocks on each result — the interactive-optimizer
+    // shape. The per-class queue-wait histograms then split the same
+    // saturated interval by class; no repetitions needed, the percentiles
+    // already aggregate every probe and every whale job.
+    const WHALE_CHUNK: u64 = 64;
+    let sat_service = QmlService::with_config(ServiceConfig::with_workers(2));
+    let sat_handle = sat_service.start().expect("saturation service starts");
+    let mut whale_jobs = 0u64;
+    let probes = dispatch_points;
+    for probe in 0..probes {
+        if sat_service.metrics().queue_depth < WHALE_CHUNK as usize {
+            let mut sweep = SweepRequest::new("whale", template(DISPATCH_DEPTH));
+            for i in 0..WHALE_CHUNK {
+                sweep = sweep.with_context(context(whale_jobs + i));
+            }
+            whale_jobs += WHALE_CHUNK;
+            sat_service
+                .submit_sweep("bulk", sweep)
+                .expect("whale accepted");
+        }
+        let bundle = template(DISPATCH_DEPTH)
+            .with_service_class(ServiceClass::latency())
+            .with_context(context(1_000_000 + probe));
+        let (_, job) = sat_service.submit("probe", bundle).expect("probe accepted");
+        assert!(
+            sat_service
+                .wait_for(job, std::time::Duration::from_secs(60))
+                .is_some(),
+            "latency probe starved under saturation"
+        );
+    }
+    assert!(
+        sat_service.wait_idle(std::time::Duration::from_secs(300)),
+        "whale backlog must drain"
+    );
+    sat_handle.drain();
+    let snap = sat_service.snapshot();
+    let latency_wait = snap
+        .latency
+        .class_queue_wait
+        .get("latency")
+        .copied()
+        .unwrap_or_default();
+    let throughput_wait = snap
+        .latency
+        .class_queue_wait
+        .get("throughput")
+        .copied()
+        .unwrap_or_default();
+    let deadline_miss = snap
+        .service
+        .per_class
+        .get("latency")
+        .map_or(0, |c| c.deadline_miss);
+    let p99_advantage = throughput_wait.p99 as f64 / (latency_wait.p99 as f64).max(1.0);
+    println!(
+        "[perf] class: latency p99 wait {}us vs throughput p99 wait {}us \
+         ({p99_advantage:.1}x advantage, {deadline_miss} deadline misses) — \
+         {probes} closed-loop probes against {whale_jobs} whale jobs",
+        latency_wait.p99, throughput_wait.p99
+    );
+
     let dispatch_doc = DispatchDoc {
         version: ARTIFACT_VERSION,
         workload,
@@ -402,6 +491,18 @@ fn main() {
         tracing_overhead_raw_percent: raw_overhead,
         tracing_noise_percent: noise_percent,
         mean_abs_estimate_error_units: batched_metrics.scheduler.mean_abs_estimate_error(),
+        latency_class: ClassWaitSide {
+            jobs: latency_wait.count,
+            p50_wait_us: latency_wait.p50,
+            p99_wait_us: latency_wait.p99,
+        },
+        throughput_class: ClassWaitSide {
+            jobs: throughput_wait.count,
+            p50_wait_us: throughput_wait.p50,
+            p99_wait_us: throughput_wait.p99,
+        },
+        latency_p99_wait_advantage: p99_advantage,
+        latency_deadline_miss: deadline_miss,
     };
     println!(
         "[perf] dispatch: sequential {solo_jps:.0} vs batched {batched_jps:.0} jobs/s \

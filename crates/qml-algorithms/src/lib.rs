@@ -15,12 +15,16 @@
 //! * [`composition`] — composition, inversion, measurement and sequence
 //!   validation helpers.
 //! * [`cost`] — device-independent cost-hint estimators.
+//! * [`closed_loop`] — a deterministic pattern-search driver for closed-loop
+//!   variational workloads (submit an evaluation, await the objective,
+//!   propose the next angles).
 
 #![warn(missing_docs)]
 #![warn(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 
 pub mod arithmetic;
+pub mod closed_loop;
 pub mod composition;
 pub mod cost;
 pub mod ising;
@@ -29,6 +33,7 @@ pub mod qft;
 pub mod stateprep;
 
 pub use arithmetic::{adder, comparator, constant_adder, modular_adder};
+pub use closed_loop::PatternSearch;
 pub use composition::{
     compose, invert_operator, invert_sequence, validate_sequence, with_measurement,
 };

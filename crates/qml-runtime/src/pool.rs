@@ -25,6 +25,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use qml_types::ServiceClass;
+
 use crate::executor::{JobId, JobOutcome, Runtime};
 use crate::registry::Placement;
 
@@ -61,6 +63,11 @@ pub struct JobDispatch {
     /// the source can settle the right device's health and gauges; the
     /// runtime itself is device-blind.
     pub device: Option<Arc<str>>,
+    /// The service class the source dispatched this batch under. The batch
+    /// was already formed under that class's cap — the field lets workers
+    /// and backends attribute the work (e.g. prioritized draining) without
+    /// re-deriving policy.
+    pub class: ServiceClass,
 }
 
 impl JobDispatch {
@@ -71,6 +78,7 @@ impl JobDispatch {
             rest: Vec::new(),
             placement: None,
             device: None,
+            class: ServiceClass::Throughput,
         }
     }
 
@@ -353,6 +361,7 @@ mod tests {
                 rest,
                 placement: None,
                 device: None,
+                class: ServiceClass::Throughput,
             })
         }
     }

@@ -23,6 +23,13 @@
 //! * when a device goes down its parked queue is evacuated to live capable
 //!   siblings, and idle devices steal compatible parked work across the
 //!   fleet (`FleetRouter::pop_parked`);
+//! * operators can [`cordon`](FleetRouter::cordon) a device for maintenance:
+//!   it accepts no new routes, in-flight work finishes normally, parked work
+//!   is evacuated to (or stolen by) capable siblings, and
+//!   [`uncordon`](FleetRouter::uncordon) restores routing exactly as it was.
+//!   A cordon is administrative, orthogonal to health: it never moves the
+//!   health ladder, and feasibility checks ignore it (jobs for an
+//!   all-cordoned plane wait rather than fail);
 //! * per-job **exclusion sets** record which devices already faulted on a
 //!   job, so a requeued job never lands on the device that failed it. The
 //!   capable set is finite and every requeue adds one exclusion, so a job
@@ -144,6 +151,10 @@ pub struct DeviceUtilization {
     pub queue_depth: u64,
     /// Member jobs currently executing on the device.
     pub in_flight: u64,
+    /// True while the device is administratively cordoned (no new routes).
+    /// Absent from pre-cordon snapshots, hence the default.
+    #[serde(default)]
+    pub cordoned: bool,
 }
 
 /// Full runtime state of one fleet device.
@@ -154,6 +165,10 @@ struct DeviceState {
     caps: CapabilityDescriptor,
     concurrency: usize,
     health: HealthState,
+    /// Administrative maintenance flag: a cordoned device accepts no new
+    /// routes and serves nothing from its parked queue, but in-flight work
+    /// finishes and settles normally. Orthogonal to `health`.
+    cordoned: bool,
     /// Consecutive device faults since the last success.
     fail_streak: u32,
     /// Per-device measured cost: the EWMA this device's own outcomes feed,
@@ -178,6 +193,7 @@ impl fmt::Debug for DeviceState {
             .field("id", &self.id)
             .field("plane", &self.plane)
             .field("health", &self.health)
+            .field("cordoned", &self.cordoned)
             .field("in_flight", &self.in_flight)
             .field("queue", &self.queue.len())
             .finish()
@@ -248,6 +264,7 @@ impl FleetRouter {
                 caps: spec.caps,
                 concurrency: spec.concurrency.max(1),
                 health: HealthState::Healthy,
+                cordoned: false,
                 fail_streak: 0,
                 cost: CostModel::new(ewma_alpha),
                 queue: VecDeque::new(),
@@ -382,6 +399,7 @@ impl FleetRouter {
         }
         self.devices.iter().enumerate().any(|(i, d)| {
             d.plane == plane
+                && !d.cordoned
                 && d.supports(req)
                 && !self.is_excluded(job, i)
                 && (d.has_free_slot() || d.has_headroom())
@@ -414,11 +432,17 @@ impl FleetRouter {
         plan_key: Option<u64>,
         job: u64,
     ) -> Option<usize> {
+        // Cordoned devices are filtered with the capability checks: a cordon
+        // removes a device from routing entirely, while health only
+        // deprioritizes it (probes and last resorts still reach a down
+        // device — never a cordoned one).
         let candidates: Vec<usize> = self
             .devices
             .iter()
             .enumerate()
-            .filter(|(i, d)| d.plane == plane && d.supports(req) && !self.is_excluded(job, *i))
+            .filter(|(i, d)| {
+                d.plane == plane && !d.cordoned && d.supports(req) && !self.is_excluded(job, *i)
+            })
             .map(|(i, _)| i)
             .collect();
         if candidates.is_empty() {
@@ -562,7 +586,10 @@ impl FleetRouter {
     /// stealing from the back minimizes double-handling.
     pub(crate) fn pop_parked(&mut self) -> Option<(usize, ParkedDispatch)> {
         for i in 0..self.devices.len() {
-            if self.devices[i].has_free_slot() && !self.devices[i].queue.is_empty() {
+            if self.devices[i].has_free_slot()
+                && !self.devices[i].cordoned
+                && !self.devices[i].queue.is_empty()
+            {
                 let entry = self.devices[i]
                     .queue
                     .pop_front()
@@ -570,10 +597,13 @@ impl FleetRouter {
                 return Some((i, entry));
             }
         }
+        // Cordoned devices never thieve, but they make fine victims: that is
+        // how work still parked on a freshly cordoned device drains.
         for thief in 0..self.devices.len() {
             let idle = self.devices[thief].has_free_slot()
                 && self.devices[thief].queue.is_empty()
-                && self.devices[thief].health != HealthState::Down;
+                && self.devices[thief].health != HealthState::Down
+                && !self.devices[thief].cordoned;
             if !idle {
                 continue;
             }
@@ -602,6 +632,37 @@ impl FleetRouter {
             }
         }
         None
+    }
+
+    /// Cordon the device with this id for maintenance: no new routes, no
+    /// own-queue service, no thieving — in-flight work finishes and settles
+    /// normally, and the parked queue is immediately evacuated to capable
+    /// uncordoned same-plane siblings (entries with nowhere to go stay
+    /// parked, draining through sibling steals or the eventual uncordon).
+    /// Idempotent; returns false for unknown device ids.
+    pub fn cordon(&mut self, id: &str) -> bool {
+        let Some(index) = self.device_index(id) else {
+            return false;
+        };
+        self.devices[index].cordoned = true;
+        self.evacuate(index);
+        true
+    }
+
+    /// Lift a cordon placed by [`FleetRouter::cordon`]: the device rejoins
+    /// routing with its health, cost history, and counters exactly as the
+    /// cordon left them. Idempotent; returns false for unknown device ids.
+    pub fn uncordon(&mut self, id: &str) -> bool {
+        let Some(index) = self.device_index(id) else {
+            return false;
+        };
+        self.devices[index].cordoned = false;
+        true
+    }
+
+    /// True while the device at `index` is cordoned.
+    pub fn is_cordoned(&self, index: usize) -> bool {
+        self.devices.get(index).is_some_and(|d| d.cordoned)
     }
 
     /// Settle one member outcome on a device: accrue busy-seconds (faulted
@@ -653,11 +714,13 @@ impl FleetRouter {
         went_down
     }
 
-    /// Move a down device's parked queue to live capable same-plane
-    /// siblings (least-loaded first, headroom waived — absorbing a dead
-    /// device's backlog beats bouncing it). Entries with no live capable
-    /// alternative stay parked on the down device: they run there as a last
-    /// resort and fail terminally through the exclusion walk, which beats
+    /// Move a down (or freshly cordoned) device's parked queue to live
+    /// uncordoned capable same-plane siblings (least-loaded first, headroom
+    /// waived — absorbing a dead device's backlog beats bouncing it).
+    /// Entries with no live capable alternative stay parked on the source
+    /// device: a down device runs them as a last resort and fails them
+    /// terminally through the exclusion walk, while a cordoned device holds
+    /// them for sibling steals or the eventual uncordon — either beats
     /// wedging a drain forever.
     fn evacuate(&mut self, from: usize) {
         let parked = std::mem::take(&mut self.devices[from].queue);
@@ -668,6 +731,7 @@ impl FleetRouter {
                     i != from
                         && self.devices[i].plane == self.devices[from].plane
                         && self.devices[i].health != HealthState::Down
+                        && !self.devices[i].cordoned
                         && self.devices[i].supports(entry.requirements.as_ref())
                         && entry.dispatch.ids().all(|id| !self.is_excluded(id.0, i))
                 })
@@ -703,6 +767,7 @@ impl FleetRouter {
                         busy_seconds: d.busy_seconds,
                         queue_depth: d.queued_members() as u64,
                         in_flight: d.in_flight as u64,
+                        cordoned: d.cordoned,
                     },
                 )
             })
@@ -922,6 +987,63 @@ mod tests {
         assert_eq!(owner, 0);
         assert_eq!(entry.dispatch.id, JobId(1));
         assert!(fleet.pop_parked().is_none());
+    }
+
+    #[test]
+    fn cordon_evacuates_parked_work_to_uncordoned_siblings() {
+        let mut fleet = fleet(3);
+        // Busy slots force the dispatches to park rather than run.
+        fleet.take_slots(0, 2);
+        for id in [1, 2] {
+            fleet.park(
+                0,
+                ParkedDispatch {
+                    dispatch: JobDispatch::new(JobId(id)),
+                    requirements: Some(req(4)),
+                },
+            );
+        }
+        assert!(fleet.cordon("dev-0"));
+        let snap = fleet.snapshot();
+        assert!(snap["dev-0"].cordoned);
+        assert_eq!(snap["dev-0"].queue_depth, 0, "parked work evacuated");
+        assert_eq!(snap["dev-1"].queue_depth + snap["dev-2"].queue_depth, 2);
+        // Both dispatches now run on uncordoned devices.
+        for _ in 0..2 {
+            let (device, _) = fleet.pop_parked().expect("parked work drains");
+            assert_ne!(device, 0, "cordoned device serves nothing");
+        }
+        assert!(fleet.pop_parked().is_none());
+    }
+
+    #[test]
+    fn cordoned_devices_never_thieve_parked_work() {
+        let specs = (0..2)
+            .map(|i| {
+                spec(&format!("dev-{i}"), CapabilityDescriptor::unlimited()).with_concurrency(1)
+            })
+            .collect();
+        let mut fleet = FleetRouter::new(specs, 0.4, 2, 0);
+        // Device 0 is saturated with a dispatch parked behind its busy
+        // slot; device 1 — the only possible thief — is cordoned.
+        fleet.take_slots(0, 1);
+        fleet.park(
+            0,
+            ParkedDispatch {
+                dispatch: JobDispatch::new(JobId(7)),
+                requirements: None,
+            },
+        );
+        assert!(fleet.cordon("dev-1"));
+        assert!(
+            fleet.pop_parked().is_none(),
+            "a cordoned device cannot steal"
+        );
+        // Lifting the cordon restores the steal path.
+        assert!(fleet.uncordon("dev-1"));
+        let (thief, entry) = fleet.pop_parked().expect("idle sibling steals");
+        assert_eq!(thief, 1);
+        assert_eq!(entry.dispatch.id, JobId(7));
     }
 
     #[test]

@@ -33,6 +33,15 @@
 //!   transpilation/lowering per group even on a cold cache), with deficit,
 //!   tokens, and in-flight slots still spent per member so fairness
 //!   accounting is unchanged.
+//! * **Service classes** — every job carries a
+//!   [`ServiceClass`](qml_types::ServiceClass) (`Latency`, optionally with a
+//!   deadline, or the default `Throughput`). Within a tenant, latency jobs
+//!   run first (earliest-deadline-first among them) and are dispatched under
+//!   a small fixed micro-batch cap ([`ServiceConfig::latency_max_batch`]),
+//!   while throughput jobs keep the adaptive cap; a latency arrival preempts
+//!   *coalescing* of a throughput batch, never its execution. Cross-tenant
+//!   DRR stays class-blind, so classes never bypass fairness. Per-class
+//!   queue/dispatch/deadline-miss counters surface as [`ClassStats`].
 //! * **Fleet routing & failure domains** — each backend plane can front a
 //!   fleet of heterogeneous devices ([`DeviceSpec`]: capability descriptor,
 //!   bounded concurrency, its own queue). Dispatch routes every job to the
@@ -104,13 +113,15 @@ pub use fleet::{
     DeviceSpec, DeviceUtilization, FleetRouter, COST_TIE_BAND, DEFAULT_DOWN_THRESHOLD,
 };
 pub use metrics::{
-    BackendUtilization, CacheStats, RunSummary, SchedulerMetrics, ServiceMetrics, TenantStats,
+    BackendUtilization, CacheStats, ClassStats, RunSummary, SchedulerMetrics, ServiceMetrics,
+    TenantStats,
 };
 pub use observe::{
     CostModelGauges, LatencyBreakdown, MetricsRegistry, ObservabilitySnapshot, SNAPSHOT_VERSION,
 };
 pub use scheduler::{RateLimit, TenantPolicy};
 pub use service::{
-    BatchId, QmlService, ServiceConfig, ServiceHandle, DEFAULT_CHARGE_BACK_CLAMP, DEFAULT_MAX_BATCH,
+    BatchId, QmlService, ServiceConfig, ServiceHandle, DEFAULT_CHARGE_BACK_CLAMP,
+    DEFAULT_LATENCY_MAX_BATCH, DEFAULT_MAX_BATCH,
 };
 pub use sweep::SweepRequest;

@@ -54,6 +54,24 @@ impl TenantStats {
     }
 }
 
+/// Queue/dispatch/outcome totals attributed to one service class
+/// (`"latency"` or `"throughput"`), across all tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Jobs of this class currently queued (gauge).
+    pub queued: u64,
+    /// Jobs of this class handed to workers.
+    pub dispatched: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that finished with an error.
+    pub failed: u64,
+    /// Terminal outcomes that settled after the job's absolute deadline.
+    /// Deadline-free jobs (all throughput jobs, and latency jobs submitted
+    /// without one) can never miss.
+    pub deadline_miss: u64,
+}
+
 /// Summary of one service run — a `run_pending` drain or a full
 /// streaming-pool lifetime (start → drain/abort).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,6 +124,11 @@ pub struct ServiceMetrics {
     /// from pre-fleet snapshots, hence the default.
     #[serde(default)]
     pub per_device: BTreeMap<String, DeviceUtilization>,
+    /// Queue/dispatch/outcome totals per service class (`"latency"`,
+    /// `"throughput"`), including deadline misses. Absent from pre-class
+    /// snapshots, hence the default.
+    #[serde(default)]
+    pub per_class: BTreeMap<String, ClassStats>,
     /// Submission totals per tenant.
     pub per_tenant: BTreeMap<String, TenantStats>,
     /// Summary of the most recent `run_pending` drain.

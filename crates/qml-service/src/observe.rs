@@ -67,6 +67,13 @@ pub struct LatencyBreakdown {
     pub backend_queue_wait: BTreeMap<String, HistogramSnapshot>,
     /// Measured execution latency per backend.
     pub backend_execute: BTreeMap<String, HistogramSnapshot>,
+    /// Submit→dispatch wait per service class (`"latency"`,
+    /// `"throughput"`). Absent from pre-class snapshots, hence the default.
+    #[serde(default)]
+    pub class_queue_wait: BTreeMap<String, HistogramSnapshot>,
+    /// Measured execution latency per service class.
+    #[serde(default)]
+    pub class_execute: BTreeMap<String, HistogramSnapshot>,
 }
 
 /// The one versioned snapshot folding every metric surface of the stack:
@@ -154,13 +161,39 @@ impl ObservabilitySnapshot {
                 .unwrap_or_default();
             let _ = writeln!(out, "backend={backend} {}", latency_kv(wait, &exec));
         }
+        for (class, stats) in &self.service.per_class {
+            let wait = self
+                .latency
+                .class_queue_wait
+                .get(class)
+                .copied()
+                .unwrap_or_default();
+            let exec = self
+                .latency
+                .class_execute
+                .get(class)
+                .copied()
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "class={class} queued={} dispatched={} completed={} failed={} deadline_miss={} {}",
+                stats.queued,
+                stats.dispatched,
+                stats.completed,
+                stats.failed,
+                stats.deadline_miss,
+                latency_kv(&wait, &exec),
+            );
+        }
         for (device, util) in &self.service.per_device {
             let _ = writeln!(
                 out,
-                "device={device} plane={} health={} dispatched={} completed={} failed={} \
-                 requeued={} stolen_from={} busy_seconds={:.6} queue_depth={} in_flight={}",
+                "device={device} plane={} health={} cordoned={} dispatched={} completed={} \
+                 failed={} requeued={} stolen_from={} busy_seconds={:.6} queue_depth={} \
+                 in_flight={}",
                 util.plane,
                 util.health,
+                util.cordoned,
                 util.dispatched,
                 util.completed,
                 util.failed,
@@ -195,6 +228,8 @@ pub struct MetricsRegistry {
     tenant_exec: HistogramSet,
     backend_wait: HistogramSet,
     backend_exec: HistogramSet,
+    class_wait: HistogramSet,
+    class_exec: HistogramSet,
 }
 
 impl MetricsRegistry {
@@ -207,6 +242,8 @@ impl MetricsRegistry {
             tenant_exec: HistogramSet::new(),
             backend_wait: HistogramSet::new(),
             backend_exec: HistogramSet::new(),
+            class_wait: HistogramSet::new(),
+            class_exec: HistogramSet::new(),
         }
     }
 
@@ -252,6 +289,18 @@ impl MetricsRegistry {
         }
     }
 
+    /// Feed one submit→dispatch wait observation (microseconds) into the
+    /// service class's queue-wait histogram.
+    pub(crate) fn observe_class_wait(&self, class: &str, wait_us: u64) {
+        self.class_wait.observe(class, wait_us);
+    }
+
+    /// Feed one measured execution latency (microseconds) into the service
+    /// class's execute histogram.
+    pub(crate) fn observe_class_exec(&self, class: &str, us: u64) {
+        self.class_exec.observe(class, us);
+    }
+
     /// Fold the given service surface, the latency histograms, the
     /// cost-model gauges, and the tracer health into one versioned snapshot.
     pub fn snapshot(&self, service: ServiceMetrics) -> ObservabilitySnapshot {
@@ -269,6 +318,8 @@ impl MetricsRegistry {
                 tenant_execute: self.tenant_exec.snapshots(),
                 backend_queue_wait: self.backend_wait.snapshots(),
                 backend_execute: self.backend_exec.snapshots(),
+                class_queue_wait: self.class_wait.snapshots(),
+                class_execute: self.class_exec.snapshots(),
             },
             trace: self.tracer.stats(),
             service,

@@ -21,9 +21,16 @@
 //!   terminates even for throttled tenants; weights and in-flight caps keep
 //!   applying).
 //!
-//! Within one tenant, jobs are kept cost-ranked (longest first): the same
-//! LPT heuristic the one-shot pool used, now applied per tenant so it can
-//! no longer leak across tenant boundaries.
+//! Within one tenant, jobs are ordered **class first**: every
+//! latency-class job ([`ServiceClass::Latency`]) precedes every
+//! throughput-class job. Inside the latency class the order is earliest
+//! deadline first (EDF; deadline-free latency jobs rank behind any
+//! deadline, FIFO among themselves). Inside the throughput class jobs stay
+//! cost-ranked (longest first) — the same LPT heuristic the one-shot pool
+//! used, now applied per tenant so it can no longer leak across tenant
+//! boundaries. Classes reorder work *within* a tenant only; the DRR
+//! rotation, weights, deficits and rate limits across tenants are
+//! class-blind, so the fairness bands weights promise are untouched.
 //!
 //! **Measured-cost fairness.** Deficit used to be spent purely in
 //! placement-estimate units fixed at admission — so a tenant whose jobs were
@@ -47,10 +54,11 @@ use serde::{Deserialize, Serialize};
 
 use qml_observe::Stage;
 use qml_runtime::{JobDispatch, JobId, Placement};
-use qml_types::{JobRequirements, MeasuredCost};
+use qml_types::{JobRequirements, MeasuredCost, ServiceClass};
 
 use crate::cost_model::{CostModel, COST_UNITS_PER_SECOND};
 use crate::fleet::{DeviceUtilization, FleetRouter, ParkedDispatch};
+use crate::metrics::ClassStats;
 use crate::observe::MetricsRegistry;
 
 /// Smallest effective DRR weight; keeps the pass bound finite for
@@ -242,6 +250,18 @@ pub(crate) struct TenantGauges {
     pub busy_seconds: f64,
 }
 
+/// Dispatch/outcome counters for one service class, merged into
+/// [`ClassStats`](crate::ClassStats) snapshots.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClassLedger {
+    pub dispatched: u64,
+    pub completed: u64,
+    pub failed: u64,
+    /// Terminal outcomes that settled after the job's absolute deadline
+    /// (deadline-free jobs can never miss).
+    pub deadline_miss: u64,
+}
+
 /// One admitted, not-yet-dispatched job.
 #[derive(Debug, Clone)]
 struct QueuedJob {
@@ -260,7 +280,43 @@ struct QueuedJob {
     /// What the job demands of a fleet device (register width, opt level),
     /// derived once at submission. `None` routes capability-blind.
     requirements: Option<JobRequirements>,
+    /// The job's service class; orders the queue ahead of any cost rank.
+    class: ServiceClass,
+    /// Absolute completion deadline (submission + the class's relative
+    /// deadline); EDF key within the latency class and the deadline-miss
+    /// reference at settlement.
+    deadline: Option<Instant>,
+    /// True for a device-fault re-admission (PR 8 failover): the original
+    /// dispatch already spent a rate-limit token, so the retry is exempt
+    /// from the token bucket — retrying must not double-charge.
+    retry: bool,
     submitted: Instant,
+}
+
+/// Queue-order predicate for class-aware admission: true while the queued
+/// job `q` keeps its position ahead of an arrival with (`class`,
+/// `deadline`, `cost`). Encodes the full ordering rule — latency before
+/// throughput, EDF (deadline-free last, FIFO ties) inside latency, LPT
+/// inside throughput — so one `partition_point` call places any arrival.
+fn keeps_position(
+    q: &QueuedJob,
+    class: ServiceClass,
+    deadline: Option<Instant>,
+    cost: f64,
+) -> bool {
+    match (q.class, class) {
+        (ServiceClass::Latency { .. }, ServiceClass::Throughput) => true,
+        (ServiceClass::Throughput, ServiceClass::Latency { .. }) => false,
+        (ServiceClass::Latency { .. }, ServiceClass::Latency { .. }) => {
+            match (q.deadline, deadline) {
+                (None, None) => true,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(queued), Some(arriving)) => queued <= arriving,
+            }
+        }
+        (ServiceClass::Throughput, ServiceClass::Throughput) => q.cost >= cost,
+    }
 }
 
 /// One tenant's queue plus its DRR/rate-limit state.
@@ -345,6 +401,12 @@ struct InFlight {
     /// The fleet device the dispatch was routed to; cleared once that
     /// device's slot has been settled (so no path can free it twice).
     device: Option<usize>,
+    /// The job's service class, carried for per-class outcome accounting
+    /// and for class-preserving re-admission after a device fault.
+    class: ServiceClass,
+    /// Absolute deadline (if any): checked against the settlement clock to
+    /// count `deadline_miss`, and preserved across fault requeues.
+    deadline: Option<Instant>,
 }
 
 /// A coalesced batch member plus the attribution its `dispatched` stage
@@ -399,13 +461,18 @@ pub(crate) enum SchedPoll {
 #[derive(Debug)]
 pub(crate) struct FairScheduler {
     pub(crate) mode: Mode,
-    /// Largest number of plan-compatible jobs one dispatch may coalesce
-    /// (1 disables micro-batching).
+    /// Largest number of plan-compatible **throughput-class** jobs one
+    /// dispatch may coalesce (1 disables micro-batching).
     max_batch: usize,
+    /// The latency class's own micro-batch cap (default 2): a latency head
+    /// coalesces at most this many jobs, never the adaptive throughput cap —
+    /// a latency job must not wait out a long device-level batch call.
+    latency_max_batch: usize,
     /// Scale the per-dispatch batch cap from live queue depth: a deep
     /// backlog batches to `max_batch` for throughput, a shallow queue keeps
     /// batches small so a straggler job is not held behind a long device
     /// call. `false` pins the cap at `max_batch` (the pre-adaptive behavior).
+    /// Throughput class only — the latency cap is always fixed.
     adaptive_batch: bool,
     tenants: BTreeMap<Arc<str>, TenantQueue>,
     /// Visit order; tenants are appended on first admission and never
@@ -429,9 +496,15 @@ pub(crate) struct FairScheduler {
     /// Number of tenants whose queues are currently non-empty, so the hot
     /// poll path's contention checks are O(1) instead of O(tenants).
     nonempty: usize,
+    /// Queued latency-class jobs across **all** tenants: the O(1) signal
+    /// that stops a forming throughput batch from growing (preempt
+    /// coalescing, never execution).
+    queued_latency: usize,
     /// Memoized [`FairScheduler::quantum`], invalidated (set to `None`) by
-    /// every queue removal and raised in place by admissions — an idle poll
-    /// storm recomputes nothing.
+    /// every queue removal and by any admission that lands at a queue head
+    /// (class ordering means a new head can *lower* that tenant's head
+    /// cost, so raising in place is no longer sound) — an idle poll storm
+    /// still recomputes nothing.
     cached_quantum: Option<f64>,
     /// Shared observability sink: `admitted`/`dispatched` stage events plus
     /// the per-tenant / per-backend queue-wait histograms.
@@ -441,7 +514,51 @@ pub(crate) struct FairScheduler {
     /// [`empty`](FleetRouter::empty) fleet leaves every plane un-fleeted
     /// (dispatches are device-blind, exactly the pre-fleet behavior).
     fleet: FleetRouter,
+    /// Per-class dispatch/outcome counters (latency, throughput).
+    latency_ledger: ClassLedger,
+    throughput_ledger: ClassLedger,
     pub(crate) metrics: SchedulerMetrics,
+}
+
+/// Everything one admission needs, bundled so the call sites (submission,
+/// fault requeue, tests) stay readable as fields grow with the scheduler.
+#[derive(Debug)]
+pub(crate) struct Admission {
+    pub id: JobId,
+    /// Static placement estimate (the lowest-trust cost source).
+    pub cost: f64,
+    /// Explicit `duration_us` hint in seconds, if the bundle carried one.
+    pub hint_seconds: Option<f64>,
+    pub placement: Option<Placement>,
+    pub batch_key: Option<u64>,
+    pub requirements: Option<JobRequirements>,
+    pub class: ServiceClass,
+    /// Absolute deadline (submission instant + the class's relative
+    /// deadline), resolved by the caller so requeues preserve the original.
+    pub deadline: Option<Instant>,
+    /// True when re-admitting after a device fault: the original dispatch
+    /// already paid the rate-limit token, so the retry must not be charged
+    /// (or throttled) again.
+    pub retry: bool,
+}
+
+impl Admission {
+    /// A plain throughput-class admission with only an id and a static
+    /// cost — what most scheduler tests need.
+    #[cfg(test)]
+    pub(crate) fn job(id: JobId, cost: f64) -> Self {
+        Admission {
+            id,
+            cost,
+            hint_seconds: None,
+            placement: None,
+            batch_key: None,
+            requirements: None,
+            class: ServiceClass::Throughput,
+            deadline: None,
+            retry: false,
+        }
+    }
 }
 
 /// How [`FairScheduler::settle_outcome`] disposed of one member outcome.
@@ -458,6 +575,7 @@ pub(crate) enum OutcomeDisposition {
 impl FairScheduler {
     pub(crate) fn new(
         max_batch: usize,
+        latency_max_batch: usize,
         adaptive_batch: bool,
         ewma_alpha: f64,
         charge_back_clamp: f64,
@@ -466,6 +584,7 @@ impl FairScheduler {
         FairScheduler {
             mode: Mode::Stopped,
             max_batch: max_batch.max(1),
+            latency_max_batch: latency_max_batch.max(1),
             adaptive_batch,
             tenants: BTreeMap::new(),
             rotation: Vec::new(),
@@ -475,9 +594,12 @@ impl FairScheduler {
             cost_model: CostModel::new(ewma_alpha),
             charge_back_clamp,
             nonempty: 0,
+            queued_latency: 0,
             cached_quantum: Some(1.0),
             obs,
             fleet: FleetRouter::empty(),
+            latency_ledger: ClassLedger::default(),
+            throughput_ledger: ClassLedger::default(),
             metrics: SchedulerMetrics::default(),
         }
     }
@@ -536,8 +658,10 @@ impl FairScheduler {
         name
     }
 
-    /// Admit one job into its tenant's queue, keeping the queue cost-ranked
-    /// (descending; FIFO among equal costs — the per-tenant LPT order).
+    /// Admit one job into its tenant's queue, keeping the queue ordered by
+    /// class (latency before throughput), then EDF inside the latency class
+    /// and cost rank (descending; FIFO among equal costs — the per-tenant
+    /// LPT order) inside throughput.
     ///
     /// The cost charged against the tenant's deficit is resolved in order of
     /// trust:
@@ -552,33 +676,18 @@ impl FairScheduler {
     /// Whatever wins is floored at [`MIN_JOB_COST`] so zero-cost estimates
     /// (failed placements, hint-less descriptors) still spend DRR deficit —
     /// a zero-cost queue must not drain in a single parked visit.
-    #[cfg(test)]
-    pub(crate) fn admit(
-        &mut self,
-        tenant: &Arc<str>,
-        id: JobId,
-        cost: f64,
-        hint_seconds: Option<f64>,
-        placement: Option<Placement>,
-        batch_key: Option<u64>,
-    ) {
-        self.admit_with_requirements(tenant, id, cost, hint_seconds, placement, batch_key, None);
-    }
-
-    /// [`FairScheduler::admit`] with the job's fleet requirements attached,
-    /// so dispatch (and any post-fault re-routing) can match it against
-    /// device capability descriptors.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn admit_with_requirements(
-        &mut self,
-        tenant: &Arc<str>,
-        id: JobId,
-        cost: f64,
-        hint_seconds: Option<f64>,
-        placement: Option<Placement>,
-        batch_key: Option<u64>,
-        requirements: Option<JobRequirements>,
-    ) {
+    pub(crate) fn admit_job(&mut self, tenant: &Arc<str>, adm: Admission) {
+        let Admission {
+            id,
+            cost,
+            hint_seconds,
+            placement,
+            batch_key,
+            requirements,
+            class,
+            deadline,
+            retry,
+        } = adm;
         // A disabled model (alpha ≤ 0) bypasses the whole measured-cost
         // path, hints included: admissions are pure estimate-unit, exactly
         // the pre-measured scheduler.
@@ -610,22 +719,56 @@ impl FairScheduler {
             placement,
             batch_key,
             requirements,
+            class,
+            deadline,
+            retry,
             submitted: Instant::now(),
         };
         if queue.queue.is_empty() {
             self.nonempty += 1;
         }
-        // Binary search: the queue is kept sorted by cost descending, and
-        // partition_point places equal costs after their peers (stable FIFO),
-        // so admitting an N-point sweep costs O(N log N) comparisons instead
-        // of O(N^2) — this runs under the scheduler lock workers contend on.
-        let at = queue.queue.partition_point(|q| q.cost >= cost);
-        queue.queue.insert(at, job);
-        // An admission can only raise the max head cost, so the memoized
-        // quantum is updated in place instead of invalidated.
-        if let Some(quantum) = self.cached_quantum {
-            self.cached_quantum = Some(quantum.max(cost));
+        if class.is_latency() {
+            self.queued_latency += 1;
         }
+        // Binary search: the queue is kept sorted by the class-then-EDF/LPT
+        // rule, and partition_point places ties after their peers (stable
+        // FIFO), so admitting an N-point sweep costs O(N log N) comparisons
+        // instead of O(N^2) — this runs under the scheduler lock workers
+        // contend on.
+        let at = queue
+            .queue
+            .partition_point(|q| keeps_position(q, class, deadline, cost));
+        queue.queue.insert(at, job);
+        // A non-head insertion cannot change any tenant's head, so the memo
+        // stays valid; a new head can raise *or lower* the max head cost
+        // (a cheap latency job now outranks an expensive throughput head),
+        // so it invalidates rather than adjusts in place.
+        if at == 0 {
+            self.cached_quantum = None;
+        }
+    }
+
+    /// Test shorthand: a throughput-class [`Admission`] from the positional
+    /// fields most scheduler tests exercise.
+    #[cfg(test)]
+    pub(crate) fn admit(
+        &mut self,
+        tenant: &Arc<str>,
+        id: JobId,
+        cost: f64,
+        hint_seconds: Option<f64>,
+        placement: Option<Placement>,
+        batch_key: Option<u64>,
+    ) {
+        self.admit_job(
+            tenant,
+            Admission {
+                hint_seconds,
+                placement,
+                batch_key,
+                ..Admission::job(id, cost)
+            },
+        );
     }
 
     /// Release the in-flight slot of a **skipped** job (lost claim): no
@@ -692,6 +835,23 @@ impl FairScheduler {
             self.fleet.release_slot(device);
         }
         self.fleet.clear_exclusions(id.0);
+        // Per-class terminal accounting: completion/failure tallies, the
+        // class's execute histogram, and — for deadline-carrying latency
+        // jobs only — whether this outcome settled past its deadline.
+        let missed = flight
+            .deadline
+            .is_some_and(|deadline| Instant::now() > deadline);
+        let ledger = self.ledger_mut(flight.class);
+        if ok {
+            ledger.completed += 1;
+        } else {
+            ledger.failed += 1;
+        }
+        if missed {
+            ledger.deadline_miss += 1;
+        }
+        self.obs
+            .observe_class_exec(flight.class.name(), (seconds * 1e6) as u64);
         if ok {
             if let Some(key) = flight.batch_key {
                 self.cost_model.observe(key, seconds);
@@ -800,14 +960,22 @@ impl FairScheduler {
                     );
                 }
                 let tenant = Arc::clone(&flight.tenant);
-                self.admit_with_requirements(
+                // Class, deadline, and (via `retry`) the already-paid
+                // rate-limit token are preserved: a failover is the same
+                // job, not a fresh submission.
+                self.admit_job(
                     &tenant,
-                    id,
-                    flight.cost,
-                    None,
-                    flight.placement,
-                    flight.batch_key,
-                    flight.requirements,
+                    Admission {
+                        id,
+                        cost: flight.cost,
+                        hint_seconds: None,
+                        placement: flight.placement,
+                        batch_key: flight.batch_key,
+                        requirements: flight.requirements,
+                        class: flight.class,
+                        deadline: flight.deadline,
+                        retry: true,
+                    },
                 );
                 return OutcomeDisposition::Requeued;
             }
@@ -866,6 +1034,51 @@ impl FairScheduler {
             .collect()
     }
 
+    /// The mutable per-class ledger for `class`.
+    fn ledger_mut(&mut self, class: ServiceClass) -> &mut ClassLedger {
+        if class.is_latency() {
+            &mut self.latency_ledger
+        } else {
+            &mut self.throughput_ledger
+        }
+    }
+
+    /// Snapshot the per-class queue split and outcome counters for a
+    /// metrics merge (keys are the class names, `"latency"` /
+    /// `"throughput"`).
+    pub(crate) fn class_snapshot(&self) -> BTreeMap<String, ClassStats> {
+        let throughput_queued = self.queued().saturating_sub(self.queued_latency);
+        [
+            ("latency", &self.latency_ledger, self.queued_latency),
+            ("throughput", &self.throughput_ledger, throughput_queued),
+        ]
+        .into_iter()
+        .map(|(name, ledger, queued)| {
+            (
+                name.to_string(),
+                ClassStats {
+                    queued: queued as u64,
+                    dispatched: ledger.dispatched,
+                    completed: ledger.completed,
+                    failed: ledger.failed,
+                    deadline_miss: ledger.deadline_miss,
+                },
+            )
+        })
+        .collect()
+    }
+
+    /// Cordon a fleet device for maintenance (no new routes; parked work is
+    /// stolen by siblings). See [`FleetRouter::cordon`].
+    pub(crate) fn cordon(&mut self, device: &str) -> bool {
+        self.fleet.cordon(device)
+    }
+
+    /// Lift a cordon. See [`FleetRouter::uncordon`].
+    pub(crate) fn uncordon(&mut self, device: &str) -> bool {
+        self.fleet.uncordon(device)
+    }
+
     /// Advance the rotation pointer, clearing the arrival credit.
     fn advance(&mut self) {
         let n = self.rotation.len().max(1);
@@ -910,6 +1123,9 @@ impl FairScheduler {
         if tenant.queue.is_empty() {
             self.nonempty -= 1;
         }
+        if job.class.is_latency() {
+            self.queued_latency -= 1;
+        }
         self.cached_quantum = None;
         job
     }
@@ -953,6 +1169,10 @@ impl FairScheduler {
         for _visit in 0..n.saturating_mul(MAX_PASSES) {
             let name = Arc::clone(&self.rotation[self.cursor]);
             let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
+            // A device-fault requeue already paid its token at the original
+            // dispatch: the throttle veto (and the token spend below) must
+            // not charge it twice.
+            let head_retry = tenant.queue.front().is_some_and(|job| job.retry);
             // Veto checks: a vetoed tenant is not competing this round.
             let vetoed = if tenant.queue.is_empty() {
                 true
@@ -963,7 +1183,7 @@ impl FairScheduler {
             {
                 self.metrics.capped += 1;
                 true
-            } else if !drain && tenant.policy.rate_limit.is_some() {
+            } else if !drain && !head_retry && tenant.policy.rate_limit.is_some() {
                 tenant.refill(now);
                 if tenant.tokens < 1.0 {
                     tenant.throttled += 1;
@@ -1020,10 +1240,9 @@ impl FairScheduler {
                 self.advance();
                 continue;
             }
-            let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
-            let spend_token = !drain && tenant.policy.rate_limit.is_some();
             let job = self.take_job(&name, 0);
             let tenant = self.tenants.get_mut(&name).expect("rotation entry exists");
+            let spend_token = !drain && !job.retry && tenant.policy.rate_limit.is_some();
             tenant.deficit -= head_cost;
             if spend_token {
                 tenant.tokens -= 1.0;
@@ -1036,6 +1255,7 @@ impl FairScheduler {
             let head_wait = now.saturating_duration_since(job.submitted);
             tenant.total_wait_seconds += head_wait.as_secs_f64();
             self.metrics.dispatched += 1;
+            self.ledger_mut(job.class).dispatched += 1;
             self.in_flight.insert(
                 job.id,
                 InFlight {
@@ -1045,6 +1265,8 @@ impl FairScheduler {
                     requirements: job.requirements,
                     placement: job.placement.clone(),
                     device: None,
+                    class: job.class,
+                    deadline: job.deadline,
                 },
             );
             let members = self.coalesce(&name, &job, drain);
@@ -1054,6 +1276,7 @@ impl FairScheduler {
                 job.placement.as_ref().map(|p| p.backend.name()),
                 head_wait_us,
             );
+            self.obs.observe_class_wait(job.class.name(), head_wait_us);
             if self.obs.tracing_enabled() {
                 let batch_size = (members.len() + 1) as u32;
                 self.obs.trace(
@@ -1088,6 +1311,7 @@ impl FairScheduler {
                 rest: members.into_iter().map(|m| m.id).collect(),
                 placement: job.placement.clone(),
                 device: None,
+                class: job.class,
             };
             let plane = job.placement.as_ref().map(|p| p.backend.name().to_string());
             let route = plane.and_then(|plane| {
@@ -1124,28 +1348,43 @@ impl FairScheduler {
         SchedPoll::Idle
     }
 
+    /// The batch-size cap of one dispatch, given the head's service class
+    /// and how many jobs are queued behind the already-taken head. A
+    /// latency-class head always uses the fixed `latency_max_batch` cap —
+    /// its whole point is a short device call. A throughput head is capped
+    /// at `max_batch`, scaled to `queued/2 + 1` (clamped to
+    /// `[1, max_batch]`) when adaptive batching is on — deep queue → full
+    /// cap, shallow queue → small batch.
+    fn effective_max_batch(&self, class: ServiceClass, queued_behind_head: usize) -> usize {
+        if class.is_latency() {
+            return self.latency_max_batch;
+        }
+        if !self.adaptive_batch {
+            return self.max_batch;
+        }
+        (queued_behind_head / 2 + 1).clamp(1, self.max_batch)
+    }
+
     /// Opportunistically extend a just-dispatched head job into a
     /// **micro-batch**: pop further queued jobs of the same tenant that share
-    /// the head's batch key (same backend, same realization plan), spending
-    /// deficit and rate-limit tokens and taking in-flight slots **per
-    /// member**, exactly as solo dispatches would — fairness accounting is
-    /// unchanged; the batch merely rides one worker round-trip and one
-    /// device-level `execute_batch` call.
+    /// the head's batch key (same backend, same realization plan) *and its
+    /// service class*, spending deficit and rate-limit tokens and taking
+    /// in-flight slots **per member**, exactly as solo dispatches would —
+    /// fairness accounting is unchanged; the batch merely rides one worker
+    /// round-trip and one device-level `execute_batch` call.
     ///
     /// Under contention (any other tenant has queued work) a member is only
     /// taken while the tenant's remaining deficit covers its cost, so DRR
     /// weights keep their exact meaning: a weight-3 tenant coalesces up to
     /// three cost units per visit where a weight-1 tenant dispatches solo.
-    /// An **uncontended** tenant batches up to `max_batch` regardless of
+    /// An **uncontended** tenant batches up to the class cap regardless of
     /// deficit — there is nobody to be fair to — with the deficit clamped at
     /// zero so no batching debt leaks into the next contended period.
     ///
-    /// When `adaptive_batch` is on, the cap additionally scales with the
-    /// live backlog behind the head: a dispatch takes at most about half the
-    /// remaining queue, so a shallow queue (e.g. 3 jobs behind the head)
-    /// ships a small batch quickly instead of waiting out a full-cap device
-    /// call, while a deep backlog (≥ `2·(max_batch−1)` behind the head)
-    /// still batches all the way to `max_batch` for throughput.
+    /// The cap is per class (see
+    /// [`effective_max_batch`](FairScheduler::effective_max_batch)), and a
+    /// queued latency job — any tenant's — stops a throughput batch from
+    /// growing past its head (preempt coalescing, never execution).
     ///
     /// Clock discipline: the caller's `now` is *not* reused here. Member
     /// token refills and wait-time accounting read a **fresh instant** taken
@@ -1153,35 +1392,28 @@ impl FairScheduler {
     /// caller's clock read and this scan can never observe a `now` older
     /// than its own `submitted` stamp (its wait would clamp to zero and, in
     /// older std, panicked), and refill arithmetic never runs backwards.
-    /// The batch-size cap of one dispatch, given how many jobs are queued
-    /// behind the already-taken head. Fixed at `max_batch` unless adaptive
-    /// batching is enabled; then `queued/2 + 1`, clamped to
-    /// `[1, max_batch]` — deep queue → full cap, shallow queue → small batch.
-    fn effective_max_batch(&self, queued_behind_head: usize) -> usize {
-        if !self.adaptive_batch {
-            return self.max_batch;
-        }
-        (queued_behind_head / 2 + 1).clamp(1, self.max_batch)
-    }
-
     fn coalesce(&mut self, name: &Arc<str>, head: &QueuedJob, drain: bool) -> Vec<BatchMember> {
         let mut rest = Vec::new();
         let Some(key) = head.batch_key else {
             return rest;
         };
-        if self.max_batch <= 1 {
-            return rest;
-        }
         let now = Instant::now();
         // O(1) contention check: some *other* tenant has queued work iff the
         // non-empty count exceeds this tenant's own contribution.
         let tenant = self.tenants.get_mut(name).expect("tenant exists");
         let contended = self.nonempty > usize::from(!tenant.queue.is_empty());
-        // Adaptive cap, read from the live backlog (queue length and the
+        // Per-class cap, read from the live backlog (queue length and the
         // non-empty count are both O(1) signals — no scan).
         let queued_behind_head = tenant.queue.len();
-        let cap = self.effective_max_batch(queued_behind_head);
+        let cap = self.effective_max_batch(head.class, queued_behind_head);
         if cap <= 1 {
+            return rest;
+        }
+        // Preempt **coalescing**, never execution: a queued latency-class
+        // job — any tenant's — stops a throughput batch from growing past
+        // its head, so the latency job's dispatch is at most one short
+        // device call away. Batches already executing are untouched.
+        if !head.class.is_latency() && self.queued_latency > 0 {
             return rest;
         }
         let mut idx = 0usize;
@@ -1193,6 +1425,14 @@ impl FairScheduler {
             }
             scanned += 1;
             if tenant.queue[idx].batch_key != Some(key) {
+                idx += 1;
+                continue;
+            }
+            // Members must share the head's class: one batch rides one cap
+            // and one latency promise. (A latency head never reaches a
+            // throughput member anyway — class ordering puts every latency
+            // job ahead — so this guards the converse.)
+            if tenant.queue[idx].class.is_latency() != head.class.is_latency() {
                 idx += 1;
                 continue;
             }
@@ -1218,7 +1458,9 @@ impl FairScheduler {
             {
                 break;
             }
-            if !drain && tenant.policy.rate_limit.is_some() {
+            // Retries are token-exempt (already paid at original dispatch):
+            // they neither stop the batch on an empty bucket nor spend.
+            if !drain && !tenant.queue[idx].retry && tenant.policy.rate_limit.is_some() {
                 tenant.refill(now);
                 if tenant.tokens < 1.0 {
                     break;
@@ -1236,6 +1478,7 @@ impl FairScheduler {
             let wait = now.saturating_duration_since(member.submitted);
             tenant.total_wait_seconds += wait.as_secs_f64();
             self.metrics.dispatched += 1;
+            self.ledger_mut(member.class).dispatched += 1;
             self.in_flight.insert(
                 member.id,
                 InFlight {
@@ -1245,6 +1488,8 @@ impl FairScheduler {
                     requirements: member.requirements,
                     placement: member.placement.clone(),
                     device: None,
+                    class: member.class,
+                    deadline: member.deadline,
                 },
             );
             let wait_us = wait.as_micros() as u64;
@@ -1253,6 +1498,7 @@ impl FairScheduler {
                 member.placement.as_ref().map(|p| p.backend.name()),
                 wait_us,
             );
+            self.obs.observe_class_wait(member.class.name(), wait_us);
             rest.push(BatchMember {
                 id: member.id,
                 wait_us,
@@ -1271,12 +1517,14 @@ impl FairScheduler {
 mod tests {
     use super::*;
 
+    use std::time::Duration;
+
     fn noop_registry() -> Arc<MetricsRegistry> {
         Arc::new(MetricsRegistry::new(Arc::new(qml_observe::NoopTracer)))
     }
 
     fn sched_with(policies: &[(&str, TenantPolicy)]) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(8, false, 0.4, 16.0, noop_registry());
+        let mut sched = FairScheduler::new(8, 2, false, 0.4, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let names = policies
             .iter()
@@ -1555,7 +1803,7 @@ mod tests {
 
     #[test]
     fn adaptive_batching_scales_the_cap_with_queue_depth() {
-        let mut sched = FairScheduler::new(8, true, 0.4, 16.0, noop_registry());
+        let mut sched = FairScheduler::new(8, 2, true, 0.4, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let name = sched.intern("solo", &TenantPolicy::default());
 
@@ -1713,7 +1961,7 @@ mod tests {
     }
 
     fn mis_estimated_sched(charge_back_clamp: f64) -> (FairScheduler, Vec<Arc<str>>) {
-        let mut sched = FairScheduler::new(1, false, 0.4, charge_back_clamp, noop_registry());
+        let mut sched = FairScheduler::new(1, 2, false, 0.4, charge_back_clamp, noop_registry());
         sched.mode = Mode::Running;
         let names: Vec<Arc<str>> = [("under", ()), ("exact", ())]
             .iter()
@@ -1988,7 +2236,7 @@ mod tests {
     fn disabled_model_ignores_duration_hints_too() {
         // alpha <= 0 must restore *pure* estimate-unit admission: hints are
         // part of the measured-cost path and must not reprice either.
-        let mut sched = FairScheduler::new(8, false, 0.0, 16.0, noop_registry());
+        let mut sched = FairScheduler::new(8, 2, false, 0.0, 16.0, noop_registry());
         sched.mode = Mode::Running;
         let name = sched.intern("t", &TenantPolicy::default());
         sched.admit(&name, JobId(0), 40.0, Some(0.005), None, Some(9));
@@ -2117,5 +2365,312 @@ mod tests {
             order.push(dispatch.id.0);
         }
         assert_eq!(order, vec![1, 2, 0], "longest-first within the tenant");
+    }
+
+    /// Shorthand: admit a latency-class job with an explicit absolute
+    /// deadline (what the service resolves from `ServiceClass::deadline()`
+    /// at submission).
+    fn admit_latency(
+        sched: &mut FairScheduler,
+        tenant: &Arc<str>,
+        id: JobId,
+        cost: f64,
+        deadline: Option<Instant>,
+    ) {
+        sched.admit_job(
+            tenant,
+            Admission {
+                class: ServiceClass::latency(),
+                deadline,
+                ..Admission::job(id, cost)
+            },
+        );
+    }
+
+    #[test]
+    fn latency_class_precedes_throughput_with_edf_inside() {
+        // Interleaved admissions across both classes; cost is deliberately
+        // adversarial (the cheapest job is latency-class) so the test pins
+        // class-then-EDF, not a cost accident.
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        let base = Instant::now();
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        admit_latency(
+            &mut sched,
+            &names[0],
+            JobId(1),
+            0.1,
+            Some(base + Duration::from_secs(5)),
+        );
+        sched.admit(&names[0], JobId(2), 9.0, None, None, None);
+        admit_latency(&mut sched, &names[0], JobId(3), 0.1, None);
+        admit_latency(
+            &mut sched,
+            &names[0],
+            JobId(4),
+            0.1,
+            Some(base + Duration::from_secs(1)),
+        );
+        admit_latency(
+            &mut sched,
+            &names[0],
+            JobId(5),
+            0.1,
+            Some(base + Duration::from_secs(5)),
+        );
+        let now = Instant::now();
+        let mut order = Vec::new();
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            sched.release(dispatch.id);
+            order.push(dispatch.id.0);
+        }
+        // Latency first: EDF (1s, then the 5s pair FIFO), deadline-free
+        // last; then throughput longest-first.
+        assert_eq!(order, vec![4, 1, 5, 3, 2, 0], "class → EDF → LPT");
+    }
+
+    #[test]
+    fn latency_batches_stop_at_the_latency_cap() {
+        // One tenant, both classes sharing plan-compatible work: latency
+        // dispatches ride the small fixed cap (2 in `sched_with`) while
+        // throughput still coalesces to the full max_batch (8).
+        let (mut sched, names) = sched_with(&[("solo", TenantPolicy::default())]);
+        for i in 0..4 {
+            sched.admit_job(
+                &names[0],
+                Admission {
+                    class: ServiceClass::latency(),
+                    batch_key: Some(7),
+                    ..Admission::job(JobId(i), 1.0)
+                },
+            );
+        }
+        for i in 10..18 {
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(7));
+        }
+        let now = Instant::now();
+        let mut sizes = Vec::new();
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            let latency = dispatch.class.is_latency();
+            sizes.push((latency, dispatch.len()));
+            dispatch.ids().for_each(|id| sched.release(id));
+        }
+        assert_eq!(
+            sizes,
+            vec![(true, 2), (true, 2), (false, 8)],
+            "latency caps at latency_max_batch, throughput at max_batch"
+        );
+    }
+
+    #[test]
+    fn mixed_class_jobs_never_share_a_batch() {
+        // Same tenant, same batch key: the throughput job is plan-compatible
+        // with the latency head but must not ride its micro-batch — a
+        // latency dispatch stays short by construction.
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        sched.admit_job(
+            &names[0],
+            Admission {
+                class: ServiceClass::latency(),
+                batch_key: Some(3),
+                ..Admission::job(JobId(0), 1.0)
+            },
+        );
+        sched.admit(&names[0], JobId(1), 1.0, None, None, Some(3));
+        let SchedPoll::Dispatch(first) = sched.next_job(Instant::now()) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.ids().collect::<Vec<_>>(), vec![JobId(0)]);
+        assert!(first.class.is_latency());
+    }
+
+    #[test]
+    fn a_queued_latency_job_preempts_coalescing_never_execution() {
+        let (mut sched, names) = sched_with(&[
+            ("bulk", TenantPolicy::default().with_weight(4.0)),
+            ("interactive", TenantPolicy::default()),
+        ]);
+        for i in 0..8 {
+            sched.admit(&names[0], JobId(i), 1.0, None, None, Some(42));
+        }
+        admit_latency(&mut sched, &names[1], JobId(100), 1.0, None);
+        let now = Instant::now();
+        let mut first = true;
+        let mut saw_latency = false;
+        let mut batched_after = false;
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            if first {
+                // Execution is never preempted: the rotation still serves
+                // bulk's head ahead of the waiting latency job.
+                assert!(!dispatch.class.is_latency(), "DRR stays class-blind");
+                first = false;
+            }
+            if dispatch.id == JobId(100) {
+                saw_latency = true;
+            } else if !saw_latency {
+                assert_eq!(
+                    dispatch.len(),
+                    1,
+                    "a queued latency job stops throughput coalescing"
+                );
+            } else {
+                batched_after |= dispatch.len() > 1;
+            }
+            dispatch.ids().for_each(|id| sched.release(id));
+        }
+        assert!(saw_latency);
+        assert!(
+            batched_after,
+            "coalescing resumes once the latency job left"
+        );
+    }
+
+    #[test]
+    fn requeued_jobs_are_not_charged_rate_limit_tokens_again() {
+        // Regression: a device-fault requeue re-enters the queue with
+        // `retry: true` because its original dispatch already paid the
+        // token. Charging (or throttling) it again would double-bill every
+        // failover.
+        let (mut sched, names) = sched_with(&[(
+            "limited",
+            TenantPolicy::default().with_rate_limit(RateLimit {
+                jobs_per_second: 0.0,
+                burst: 1.0,
+            }),
+        )]);
+        let now = Instant::now();
+        // Spend the only token on a normal dispatch.
+        sched.admit(&names[0], JobId(0), 1.0, None, None, None);
+        let SchedPoll::Dispatch(paid) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        sched.release(paid.id);
+        // Bucket empty: a fresh submission throttles...
+        sched.admit(&names[0], JobId(1), 1.0, None, None, None);
+        assert!(matches!(sched.next_job(now), SchedPoll::Idle));
+        assert_eq!(sched.metrics.throttled, 1);
+        // ...but a requeued job (higher cost, so it outranks the queued
+        // fresh one) dispatches straight through and spends nothing.
+        sched.admit_job(
+            &names[0],
+            Admission {
+                retry: true,
+                ..Admission::job(JobId(2), 2.0)
+            },
+        );
+        let tokens_before = sched.tenants[&names[0]].tokens;
+        let SchedPoll::Dispatch(retried) = sched.next_job(now) else {
+            panic!("retry must bypass the empty bucket");
+        };
+        assert_eq!(retried.id, JobId(2));
+        sched.release(retried.id);
+        assert_eq!(
+            sched.tenants[&names[0]].tokens, tokens_before,
+            "the retry spends no token"
+        );
+        // The fresh job is still throttled — the retry bought it nothing.
+        assert!(matches!(sched.next_job(now), SchedPoll::Idle));
+    }
+
+    #[test]
+    fn deadline_misses_count_only_past_deadline_outcomes() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        let now = Instant::now();
+        admit_latency(&mut sched, &names[0], JobId(0), 1.0, Some(now));
+        admit_latency(
+            &mut sched,
+            &names[0],
+            JobId(1),
+            1.0,
+            Some(now + Duration::from_secs(3600)),
+        );
+        sched.admit(&names[0], JobId(2), 1.0, None, None, None);
+        // EDF: the already-expired deadline dispatches first.
+        let SchedPoll::Dispatch(first) = sched.next_job(now) else {
+            panic!("expected dispatch");
+        };
+        assert_eq!(first.id, JobId(0));
+        sched.record_outcome(first.id, 1e-3, true);
+        while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+            sched.record_outcome(dispatch.id, 1e-3, true);
+        }
+        let stats = sched.class_snapshot();
+        assert_eq!(stats["latency"].deadline_miss, 1, "only the expired one");
+        assert_eq!(stats["latency"].dispatched, 2);
+        assert_eq!(stats["latency"].completed, 2);
+        assert_eq!(stats["throughput"].completed, 1);
+        assert_eq!(stats["throughput"].deadline_miss, 0);
+    }
+
+    #[test]
+    fn class_snapshot_splits_the_queue_by_class() {
+        let (mut sched, names) = sched_with(&[("t", TenantPolicy::default())]);
+        admit_latency(&mut sched, &names[0], JobId(0), 1.0, None);
+        admit_latency(&mut sched, &names[0], JobId(1), 1.0, None);
+        for i in 2..5 {
+            sched.admit(&names[0], JobId(i), 1.0, None, None, None);
+        }
+        let stats = sched.class_snapshot();
+        assert_eq!(stats["latency"].queued, 2);
+        assert_eq!(stats["throughput"].queued, 3);
+        let SchedPoll::Dispatch(first) = sched.next_job(Instant::now()) else {
+            panic!("expected dispatch");
+        };
+        assert!(first.class.is_latency());
+        let stats = sched.class_snapshot();
+        assert_eq!(stats["latency"].queued, 1, "the dispatched head left");
+        assert_eq!(stats["latency"].dispatched, 1);
+        assert_eq!(stats["throughput"].queued, 3);
+        assert_eq!(stats["throughput"].dispatched, 0);
+        sched.record_outcome(first.id, 1e-3, false);
+        assert_eq!(sched.class_snapshot()["latency"].failed, 1);
+    }
+
+    mod class_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// An all-latency tenant cannot starve an all-throughput tenant:
+            /// classes reorder *within* a tenant only, so at equal weight
+            /// and cost the cross-tenant DRR rotation keeps the two dispatch
+            /// counts within one of each other while both have work.
+            #[test]
+            fn latency_tenants_cannot_starve_throughput_tenants(
+                latency_jobs in 2usize..40,
+                throughput_jobs in 2usize..40,
+            ) {
+                let (mut sched, names) = sched_with(&[
+                    ("interactive", TenantPolicy::default()),
+                    ("bulk", TenantPolicy::default()),
+                ]);
+                for i in 0..latency_jobs {
+                    admit_latency(&mut sched, &names[0], JobId(i as u64), 1.0, None);
+                }
+                for i in 0..throughput_jobs {
+                    sched.admit(&names[1], JobId(1000 + i as u64), 1.0, None, None, None);
+                }
+                let now = Instant::now();
+                let (mut lat, mut thr) = (0usize, 0usize);
+                while let SchedPoll::Dispatch(dispatch) = sched.next_job(now) {
+                    sched.release(dispatch.id);
+                    if dispatch.class.is_latency() {
+                        lat += 1;
+                    } else {
+                        thr += 1;
+                    }
+                    if lat < latency_jobs && thr < throughput_jobs {
+                        prop_assert!(
+                            lat.abs_diff(thr) <= 1,
+                            "class drift while contended: lat={} thr={}", lat, thr
+                        );
+                    }
+                }
+                prop_assert_eq!(lat, latency_jobs);
+                prop_assert_eq!(thr, throughput_jobs);
+            }
+        }
     }
 }

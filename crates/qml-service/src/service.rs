@@ -19,7 +19,9 @@ use qml_types::{CapabilityDescriptor, JobBundle, JobRequirements, QmlError, Resu
 use crate::fleet::{DeviceSpec, DeviceUtilization, FleetRouter, DEFAULT_DOWN_THRESHOLD};
 use crate::metrics::{BackendUtilization, RunSummary, ServiceMetrics, TenantStats};
 use crate::observe::{MetricsRegistry, ObservabilitySnapshot};
-use crate::scheduler::{FairScheduler, Mode, OutcomeDisposition, SchedPoll, TenantPolicy};
+use crate::scheduler::{
+    Admission, FairScheduler, Mode, OutcomeDisposition, SchedPoll, TenantPolicy,
+};
 use crate::sweep::SweepRequest;
 
 /// Identifier of a submitted batch (single bundles get one too).
@@ -41,8 +43,18 @@ pub struct ServiceConfig {
     /// always batching to [`ServiceConfig::max_batch`]: a deep backlog still
     /// batches to the cap for throughput, but a shallow queue ships small
     /// batches so an isolated job is not held behind a long device call.
-    /// Off by default (fixed cap, the pre-adaptive behavior).
+    /// Off by default (fixed cap, the pre-adaptive behavior). Applies to
+    /// [`ServiceClass::Throughput`](qml_types::ServiceClass) jobs only;
+    /// latency-class dispatches are always capped by
+    /// [`ServiceConfig::latency_max_batch`].
     pub adaptive_batch: bool,
+    /// Fixed micro-batch cap for latency-class dispatches
+    /// ([`ServiceClass::Latency`](qml_types::ServiceClass)): a latency job
+    /// never waits for more than this many queue-mates to coalesce,
+    /// regardless of backlog depth or [`ServiceConfig::adaptive_batch`].
+    /// `1` disables latency batching entirely; the default is
+    /// [`DEFAULT_LATENCY_MAX_BATCH`].
+    pub latency_max_batch: usize,
     /// Policy applied to tenants without an explicit entry in
     /// [`ServiceConfig::tenant_policies`].
     pub default_policy: TenantPolicy,
@@ -91,6 +103,12 @@ pub struct ServiceConfig {
 /// does not serialize a whole sweep onto one worker of a small pool.
 pub const DEFAULT_MAX_BATCH: usize = 8;
 
+/// Default [`ServiceConfig::latency_max_batch`]: pairs of plan-compatible
+/// latency jobs still amortize one realization, but a latency dispatch never
+/// grows past two members — tail latency stays bounded by roughly one
+/// queue-mate even under a saturating throughput backlog.
+pub const DEFAULT_LATENCY_MAX_BATCH: usize = 2;
+
 /// Default [`ServiceConfig::charge_back_clamp`]: generous enough that a
 /// genuine 10×-under-estimated job is charged back in full (correction
 /// ≤ 16 × estimate covers it), tight enough that a 1000× outlier is
@@ -115,6 +133,7 @@ impl ServiceConfig {
             workers,
             max_batch: DEFAULT_MAX_BATCH,
             adaptive_batch: false,
+            latency_max_batch: DEFAULT_LATENCY_MAX_BATCH,
             default_policy: TenantPolicy::default(),
             tenant_policies: BTreeMap::new(),
             cost_ewma_alpha: crate::cost_model::DEFAULT_COST_EWMA_ALPHA,
@@ -173,6 +192,14 @@ impl ServiceConfig {
     /// builder-style (see [`ServiceConfig::adaptive_batch`]).
     pub fn with_adaptive_batch(mut self, adaptive: bool) -> Self {
         self.adaptive_batch = adaptive;
+        self
+    }
+
+    /// Cap (or disable, with `1`) latency-class micro-batching,
+    /// builder-style (see [`ServiceConfig::latency_max_batch`]). Values of 0
+    /// are treated as 1.
+    pub fn with_latency_max_batch(mut self, max_batch: usize) -> Self {
+        self.latency_max_batch = max_batch.max(1);
         self
     }
 
@@ -354,9 +381,14 @@ impl ServiceInner {
         let cache = self.runtime.cache();
         // Locks are taken one at a time (scheduler gauges first, then the
         // submission/outcome state), never nested.
-        let (scheduler, gauges, per_device) = {
+        let (scheduler, gauges, per_device, per_class) = {
             let sched = self.sched.lock();
-            (sched.metrics, sched.gauges(), sched.device_snapshot())
+            (
+                sched.metrics,
+                sched.gauges(),
+                sched.device_snapshot(),
+                sched.class_snapshot(),
+            )
         };
         let state = self.state.lock();
         let mut per_tenant: BTreeMap<String, TenantStats> = state
@@ -383,6 +415,7 @@ impl ServiceInner {
             scheduler,
             per_backend: state.per_backend.clone(),
             per_device,
+            per_class,
             per_tenant,
             last_run: state.last_run,
         }
@@ -517,6 +550,7 @@ impl QmlService {
         runtime.set_tracer(Arc::clone(obs.tracer()));
         let mut sched = FairScheduler::new(
             config.max_batch,
+            config.latency_max_batch,
             config.adaptive_batch,
             config.cost_ewma_alpha,
             config.charge_back_clamp,
@@ -606,13 +640,26 @@ impl QmlService {
             // job, so routing — and re-routing after a device fault — never
             // re-parses descriptors.
             let requirements = JobRequirements::of(&bundle);
+            // The service class (and any relative deadline) rides the bundle;
+            // the deadline clock starts at submission, not dispatch, so queue
+            // wait counts against it.
+            let class = bundle.service_class();
+            let deadline = class.deadline().map(|budget| Instant::now() + budget);
             prepared.push((
                 bundle,
-                cost,
-                hint_seconds,
-                placement,
-                batch_key,
-                requirements,
+                Admission {
+                    // Placeholder until the runtime assigns the real id at
+                    // submission below.
+                    id: JobId(0),
+                    cost,
+                    hint_seconds,
+                    placement,
+                    batch_key,
+                    requirements: Some(requirements),
+                    class,
+                    deadline,
+                    retry: false,
+                },
             ));
         }
         // Fleet feasibility, still before anything is recorded: a job no
@@ -621,8 +668,8 @@ impl QmlService {
         // of queueing work that can only bounce until it fails.
         {
             let sched = self.inner.sched.lock();
-            for (_, _, _, placement, _, requirements) in &prepared {
-                if let Some(placement) = placement {
+            for (_, adm) in &prepared {
+                if let (Some(placement), Some(requirements)) = (&adm.placement, &adm.requirements) {
                     if !sched.feasible(placement.backend.name(), requirements) {
                         return Err(QmlError::Validation(format!(
                             "no device in the '{}' fleet can serve this job \
@@ -637,9 +684,9 @@ impl QmlService {
         }
         let jobs = {
             let mut submitted = Vec::with_capacity(prepared.len());
-            for (bundle, cost, hint_seconds, placement, batch_key, requirements) in prepared {
-                let id = self.inner.runtime.submit(bundle)?;
-                submitted.push((id, cost, hint_seconds, placement, batch_key, requirements));
+            for (bundle, mut adm) in prepared {
+                adm.id = self.inner.runtime.submit(bundle)?;
+                submitted.push(adm);
             }
             submitted
         };
@@ -659,37 +706,29 @@ impl QmlService {
             state.jobs_submitted += jobs.len() as u64;
             let tenant_stats = state.per_tenant.entry(Arc::clone(&tenant)).or_default();
             tenant_stats.submitted += jobs.len() as u64;
-            for (job, ..) in &jobs {
-                state.job_tenant.insert(*job, Arc::clone(&tenant));
+            for adm in &jobs {
+                state.job_tenant.insert(adm.id, Arc::clone(&tenant));
             }
             state.batches.insert(
                 id,
                 BatchRecord {
                     tenant: Arc::clone(&tenant),
-                    job_ids: jobs.iter().map(|(id, ..)| *id).collect(),
+                    job_ids: jobs.iter().map(|adm| adm.id).collect(),
                 },
             );
             id
         };
         let mut sched = self.inner.sched.lock();
-        for (id, cost, hint_seconds, placement, batch_key, requirements) in jobs {
+        for adm in jobs {
             // `submitted` lands immediately before the scheduler's own
             // `admitted` event, under the same lock: per-job stage order and
             // timestamp order agree by construction.
             if self.inner.obs.tracing_enabled() {
                 self.inner
                     .obs
-                    .trace(id, Some(&tenant), batch_key, Stage::Submitted);
+                    .trace(adm.id, Some(&tenant), adm.batch_key, Stage::Submitted);
             }
-            sched.admit_with_requirements(
-                &tenant,
-                id,
-                cost,
-                hint_seconds,
-                placement,
-                batch_key,
-                Some(requirements),
-            );
+            sched.admit_job(&tenant, adm);
         }
         Ok(batch)
     }
@@ -847,6 +886,21 @@ impl QmlService {
     /// plane's [`BackendUtilization`] busy-seconds.
     pub fn device_metrics(&self) -> BTreeMap<String, DeviceUtilization> {
         self.inner.sched.lock().device_snapshot()
+    }
+
+    /// Cordon a fleet device for maintenance: it accepts no new routes,
+    /// in-flight work finishes normally, and anything parked on its queue is
+    /// released for siblings to steal. Healthy state and fault counters are
+    /// untouched — [`QmlService::uncordon_device`] restores routing exactly
+    /// as it was. Returns false for unknown device ids.
+    pub fn cordon_device(&self, device: &str) -> bool {
+        self.inner.sched.lock().cordon(device)
+    }
+
+    /// Lift a cordon placed by [`QmlService::cordon_device`]. Returns false
+    /// for unknown device ids.
+    pub fn uncordon_device(&self, device: &str) -> bool {
+        self.inner.sched.lock().uncordon(device)
     }
 
     /// Tenant that owns a batch (if known). Shared id, no per-call

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::bindings::BindingSet;
+use crate::class::ServiceClass;
 use crate::context::ContextDescriptor;
 use crate::error::{QmlError, Result};
 use crate::params::ParamValue;
@@ -43,6 +44,12 @@ pub struct JobBundle {
     /// cached transpilation plan); backends substitute at execute time.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub bindings: Option<BindingSet>,
+    /// Scheduling class (policy, like the context): latency-critical with an
+    /// optional deadline, or throughput-oriented (the default when absent).
+    /// Excluded from every program hash — a latency job and a throughput job
+    /// with identical intent share one transpiled plan.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub class: Option<ServiceClass>,
     /// Free-form metadata (provenance, workflow ids, ...).
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub metadata: BTreeMap<String, ParamValue>,
@@ -91,6 +98,7 @@ impl JobBundle {
             operators,
             context: None,
             bindings: None,
+            class: None,
             metadata: BTreeMap::new(),
         }
     }
@@ -108,6 +116,20 @@ impl JobBundle {
     pub fn with_bindings(mut self, bindings: BindingSet) -> Self {
         self.bindings = Some(bindings);
         self
+    }
+
+    /// Set the scheduling class, builder-style. Like the context, the class
+    /// is policy: it never changes what the program computes, only how the
+    /// serving tier orders and batches it.
+    pub fn with_service_class(mut self, class: ServiceClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// The effective scheduling class ([`ServiceClass::Throughput`] when
+    /// none was set).
+    pub fn service_class(&self) -> ServiceClass {
+        self.class.unwrap_or_default()
     }
 
     /// Attach a metadata entry, builder-style.

@@ -1,0 +1,188 @@
+//! Service classes: the per-job latency-vs-throughput attribute.
+//!
+//! The serving tier's batching and ordering policies used to be one global
+//! trade: micro-batching buys sweep throughput at the price of preemption
+//! latency. A closed-loop variational driver — an optimizer submitting one
+//! tiny job per iteration and blocking on its outcome — loses that trade
+//! every time. [`ServiceClass`] makes the trade per job: `Latency` jobs are
+//! ordered ahead of `Throughput` jobs inside their tenant (earliest
+//! deadline first within the class), dispatch caps their micro-batches
+//! independently of the throughput cap, and a latency arrival stops
+//! *forming* batches from growing (never a running one).
+//!
+//! The class is policy, not intent: it is excluded from every program hash,
+//! so a latency job and a throughput job with the same descriptors share
+//! one transpiled plan.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The scheduling class of a job: latency-critical (optionally with a
+/// deadline) or throughput-oriented (the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServiceClass {
+    /// Latency-critical: ordered ahead of `Throughput` work inside the
+    /// tenant, earliest deadline first, and dispatched in micro-batches
+    /// capped by the service's latency cap (default 2, not the adaptive
+    /// throughput cap).
+    Latency {
+        /// Optional completion deadline, relative to submission. A job
+        /// that settles after its deadline counts one `deadline_miss`;
+        /// deadline-free latency jobs can never miss.
+        deadline: Option<Duration>,
+    },
+    /// Throughput-oriented: cost-ranked (LPT) behind any latency work,
+    /// coalesced up to the adaptive throughput batch cap. The default.
+    #[default]
+    Throughput,
+}
+
+impl ServiceClass {
+    /// A deadline-free latency-class marker.
+    pub fn latency() -> Self {
+        ServiceClass::Latency { deadline: None }
+    }
+
+    /// A latency class with a completion deadline relative to submission.
+    pub fn latency_within(deadline: Duration) -> Self {
+        ServiceClass::Latency {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The class name used for metrics keys: `"latency"` or `"throughput"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceClass::Latency { .. } => "latency",
+            ServiceClass::Throughput => "throughput",
+        }
+    }
+
+    /// The relative deadline, if this is a deadline-carrying latency job.
+    pub fn deadline(&self) -> Option<Duration> {
+        match self {
+            ServiceClass::Latency { deadline } => *deadline,
+            ServiceClass::Throughput => None,
+        }
+    }
+
+    /// Whether this is the latency class (with or without a deadline).
+    pub fn is_latency(&self) -> bool {
+        matches!(self, ServiceClass::Latency { .. })
+    }
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceClass::Throughput => f.write_str("throughput"),
+            ServiceClass::Latency { deadline: None } => f.write_str("latency"),
+            ServiceClass::Latency {
+                deadline: Some(d), ..
+            } => write!(f, "latency:{}us", d.as_micros()),
+        }
+    }
+}
+
+// Serialized as a compact string — "throughput", "latency", or
+// "latency:<micros>us" — so the class reads naturally in job JSON and the
+// vendored serde needs no `Duration` support.
+impl Serialize for ServiceClass {
+    fn serialize<S: Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for ServiceClass {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        let raw = String::deserialize(deserializer)?;
+        parse_class(&raw).ok_or_else(|| {
+            serde::de::Error::custom(format!(
+                "invalid service class {raw:?}: expected \"throughput\", \"latency\", \
+                 or \"latency:<micros>us\""
+            ))
+        })
+    }
+}
+
+fn parse_class(raw: &str) -> Option<ServiceClass> {
+    match raw {
+        "throughput" => Some(ServiceClass::Throughput),
+        "latency" => Some(ServiceClass::latency()),
+        _ => {
+            let micros = raw.strip_prefix("latency:")?.strip_suffix("us")?;
+            let micros: u64 = micros.parse().ok()?;
+            Some(ServiceClass::latency_within(Duration::from_micros(micros)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_throughput() {
+        assert_eq!(ServiceClass::default(), ServiceClass::Throughput);
+        assert!(!ServiceClass::default().is_latency());
+    }
+
+    #[test]
+    fn names_and_deadlines() {
+        assert_eq!(ServiceClass::Throughput.name(), "throughput");
+        assert_eq!(ServiceClass::latency().name(), "latency");
+        assert_eq!(ServiceClass::latency().deadline(), None);
+        assert_eq!(
+            ServiceClass::latency_within(Duration::from_millis(5)).deadline(),
+            Some(Duration::from_millis(5))
+        );
+        assert_eq!(ServiceClass::Throughput.deadline(), None);
+    }
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        for class in [
+            ServiceClass::Throughput,
+            ServiceClass::latency(),
+            ServiceClass::latency_within(Duration::from_micros(1500)),
+        ] {
+            let json = serde_json::to_string(&class).unwrap();
+            let back: ServiceClass = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, class, "round trip through {json}");
+        }
+    }
+
+    #[test]
+    fn compact_string_forms() {
+        assert_eq!(
+            serde_json::to_string(&ServiceClass::Throughput).unwrap(),
+            "\"throughput\""
+        );
+        assert_eq!(
+            serde_json::to_string(&ServiceClass::latency()).unwrap(),
+            "\"latency\""
+        );
+        assert_eq!(
+            serde_json::to_string(&ServiceClass::latency_within(Duration::from_micros(250)))
+                .unwrap(),
+            "\"latency:250us\""
+        );
+    }
+
+    #[test]
+    fn malformed_class_strings_are_rejected() {
+        for raw in [
+            "\"bulk\"",
+            "\"latency:us\"",
+            "\"latency:-4us\"",
+            "\"latency:5ms\"",
+        ] {
+            assert!(
+                serde_json::from_str::<ServiceClass>(raw).is_err(),
+                "{raw} must not parse"
+            );
+        }
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod bindings;
 pub mod bundle;
+pub mod class;
 pub mod context;
 pub mod cost;
 pub mod decode;
@@ -66,6 +67,7 @@ pub mod result_schema;
 
 pub use bindings::BindingSet;
 pub use bundle::{JobBundle, JOB_SCHEMA};
+pub use class::ServiceClass;
 pub use context::{
     AnnealConfig, ContextDescriptor, ExecConfig, ExecOptions, QecConfig, Target, CTX_SCHEMA,
 };
@@ -83,6 +85,7 @@ pub use result_schema::{MeasurementBasis, ResultSchema};
 pub mod prelude {
     pub use crate::bindings::BindingSet;
     pub use crate::bundle::JobBundle;
+    pub use crate::class::ServiceClass;
     pub use crate::context::{AnnealConfig, ContextDescriptor, ExecConfig, QecConfig, Target};
     pub use crate::cost::CostHint;
     pub use crate::decode::{decode_word, DecodedCounts, DecodedValue};

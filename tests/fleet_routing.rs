@@ -9,6 +9,9 @@
 //!   tie band of the cheapest capable device;
 //! * exclusion sets are respected across a requeue walk, and the walk
 //!   terminates (the capable set is finite and exclusions only grow);
+//! * cordoned devices receive no new routes (while staying admission-time
+//!   feasible, so queued work waits out the maintenance window), and
+//!   uncordoning restores the full candidate set;
 //! * end to end, randomized fault schedules lose no job and duplicate no
 //!   outcome: completed + failed always equals submitted.
 
@@ -130,6 +133,111 @@ proptest! {
                     break;
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn cordoned_devices_accept_no_new_routes_until_uncordoned() {
+    let mut fleet = unlimited_fleet(3);
+    assert!(fleet.cordon("dev-1"));
+    assert!(!fleet.cordon("dev-9"), "unknown ids are rejected");
+    let picked: BTreeSet<usize> = (0..9)
+        .filter_map(|job| {
+            fleet.select(
+                PLANE,
+                Some(&JobRequirements {
+                    qubits: 4,
+                    opt_level: 1,
+                }),
+                None,
+                job,
+            )
+        })
+        .collect();
+    assert_eq!(picked, BTreeSet::from([0, 2]), "dev-1 is out of rotation");
+    // A cordon is administrative, not a capability change: admission-time
+    // feasibility still sees the device, so queued jobs wait out the
+    // maintenance window instead of failing.
+    assert!(fleet.capable_exists(PLANE, None));
+    assert!(fleet.snapshot()["dev-1"].cordoned);
+    assert!(fleet.uncordon("dev-1"));
+    assert!(!fleet.snapshot()["dev-1"].cordoned);
+    let rejoined: BTreeSet<usize> = (100..109)
+        .filter_map(|job| fleet.select(PLANE, None, None, job))
+        .collect();
+    assert_eq!(rejoined, BTreeSet::from([0, 1, 2]), "dev-1 rejoined");
+}
+
+#[test]
+fn a_sweep_completes_around_a_cordoned_device() {
+    // End to end through the service: cordon one of two devices before
+    // submitting, and every job completes on the other while the cordoned
+    // device dispatches nothing.
+    let config = ServiceConfig::with_workers(2)
+        .with_device(gate_device("gate-a", FaultPlan::none()))
+        .with_device(gate_device("gate-b", FaultPlan::none()));
+    let service = QmlService::with_config(config);
+    assert!(service.cordon_device("gate-a"));
+    assert!(!service.cordon_device("missing"));
+    service.submit_sweep("tenant", qaoa_sweep(8)).unwrap();
+    let report = service.run_pending();
+    assert_eq!(report.completed, 8);
+    let per_device = service.metrics().per_device;
+    assert!(per_device["gate-a"].cordoned);
+    assert_eq!(per_device["gate-a"].dispatched, 0, "cordoned device idles");
+    assert_eq!(per_device["gate-b"].completed, 8);
+    // Lift the cordon: the device takes traffic again.
+    assert!(service.uncordon_device("gate-a"));
+    service.submit_sweep("tenant", qaoa_sweep(8)).unwrap();
+    assert_eq!(service.run_pending().completed, 8);
+    let per_device = service.metrics().per_device;
+    assert!(!per_device["gate-a"].cordoned);
+    assert!(
+        per_device["gate-a"].dispatched > 0,
+        "uncordoned device serves"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cordon invariant: whatever subset of the fleet is cordoned, routing
+    /// never lands on a cordoned device, and returns `None` exactly when
+    /// every device is cordoned (the job waits — a cordon never fails work).
+    /// Uncordoning restores the full candidate set.
+    #[test]
+    fn routing_never_lands_on_a_cordoned_device(
+        n in 1usize..5,
+        cordoned_mask in 0u32..32,
+        jobs in proptest::collection::vec(0u64..1000, 1..16),
+    ) {
+        let mut fleet = unlimited_fleet(n);
+        let cordoned: BTreeSet<usize> =
+            (0..n).filter(|i| cordoned_mask & (1 << i) != 0).collect();
+        for &i in &cordoned {
+            let id = format!("dev-{i}");
+            prop_assert!(fleet.cordon(&id));
+            prop_assert!(fleet.is_cordoned(i));
+        }
+        for &job in &jobs {
+            match fleet.select(PLANE, None, None, job) {
+                Some(pick) => prop_assert!(
+                    !cordoned.contains(&pick),
+                    "job {job} routed to cordoned device {pick}"
+                ),
+                None => prop_assert!(
+                    cordoned.len() == n,
+                    "routing gave up although an uncordoned device exists"
+                ),
+            }
+        }
+        for &i in &cordoned {
+            let id = format!("dev-{i}");
+            prop_assert!(fleet.uncordon(&id));
+        }
+        for &job in &jobs {
+            prop_assert!(fleet.select(PLANE, None, None, job).is_some());
         }
     }
 }
